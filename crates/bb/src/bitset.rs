@@ -1,0 +1,196 @@
+//! A small fixed-capacity bitset over job indices.
+//!
+//! B&B nodes need a compact representation of "which jobs are already
+//! scheduled"; with at most a few hundred jobs (Taillard instances go up to
+//! 500) a handful of `u64` words is enough and keeps nodes cheap to clone —
+//! important because the GPU off-load engine materialises hundreds of
+//! thousands of nodes per iteration.
+
+/// A set of job indices in `0..capacity`, stored as packed 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JobSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl JobSet {
+    /// Creates an empty set able to hold jobs `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Creates a set containing every job in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        for j in 0..capacity {
+            s.insert(j);
+        }
+        s
+    }
+
+    /// Maximum job index (exclusive) this set can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `job`; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job >= capacity`.
+    pub fn insert(&mut self, job: usize) -> bool {
+        assert!(job < self.capacity, "job {job} out of capacity {}", self.capacity);
+        let (w, b) = (job / 64, job % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Removes `job`; returns `true` if it was present.
+    pub fn remove(&mut self, job: usize) -> bool {
+        assert!(job < self.capacity, "job {job} out of capacity {}", self.capacity);
+        let (w, b) = (job / 64, job % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, job: usize) -> bool {
+        if job >= self.capacity {
+            return false;
+        }
+        let (w, b) = (job / 64, job % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of jobs in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates the members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Iterates the jobs of `0..capacity` **not** in the set, in increasing
+    /// order.
+    pub fn iter_absent(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.capacity).filter(move |&j| !self.contains(j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = JobSet::new(100);
+        assert!(s.is_empty());
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert!(!s.contains(6));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn full_contains_everything() {
+        let s = JobSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!((0..70).all(|j| s.contains(j)));
+        assert_eq!(s.iter_absent().count(), 0);
+    }
+
+    #[test]
+    fn iteration_order_is_increasing() {
+        let mut s = JobSet::new(200);
+        for j in [150, 3, 64, 65, 199, 0] {
+            s.insert(j);
+        }
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![0, 3, 64, 65, 150, 199]);
+        assert_eq!(s.iter_absent().count(), 194);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let s = JobSet::new(10);
+        assert!(!s.contains(10));
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_range_panics() {
+        JobSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn word_boundary_behaviour() {
+        let mut s = JobSet::new(130);
+        s.insert(63);
+        s.insert(64);
+        s.insert(127);
+        s.insert(128);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![63, 64, 127, 128]);
+        s.remove(64);
+        assert_eq!(s.len(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_reference_hashset(ops in proptest::collection::vec((0usize..300, any::<bool>()), 0..200)) {
+            let mut set = JobSet::new(300);
+            let mut reference = std::collections::HashSet::new();
+            for (j, add) in ops {
+                if add {
+                    prop_assert_eq!(set.insert(j), reference.insert(j));
+                } else {
+                    prop_assert_eq!(set.remove(j), reference.remove(&j));
+                }
+            }
+            prop_assert_eq!(set.len(), reference.len());
+            let mut sorted: Vec<_> = reference.into_iter().collect();
+            sorted.sort_unstable();
+            prop_assert_eq!(set.iter().collect::<Vec<_>>(), sorted);
+        }
+
+        #[test]
+        fn absent_and_present_partition_the_domain(jobs in proptest::collection::hash_set(0usize..128, 0..128)) {
+            let mut set = JobSet::new(128);
+            for &j in &jobs {
+                set.insert(j);
+            }
+            let present = set.iter().count();
+            let absent = set.iter_absent().count();
+            prop_assert_eq!(present + absent, 128);
+        }
+    }
+}

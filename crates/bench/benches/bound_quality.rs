@@ -1,0 +1,49 @@
+//! Ablation of the lower-bound quality: solving the same instance to
+//! optimality with the paper's Johnson bound versus the cheap one-machine
+//! bound. The Johnson bound costs more per node but prunes far more nodes —
+//! the trade-off the paper's whole design rests on.
+
+use bb::{FspProblem, SerialSolver, SolverConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsp::taillard::generate;
+use fsp::OneMachineBound;
+
+fn bench_bound_quality(c: &mut Criterion) {
+    let inst = generate("bound-quality-10x5", 10, 5, 31);
+
+    // Report the explored-tree sizes once (the scientific payload).
+    let strong = SerialSolver::with_defaults(FspProblem::new(inst.clone())).solve();
+    let weak = SerialSolver::with_defaults(FspProblem::with_bound(
+        inst.clone(),
+        OneMachineBound::new(&inst),
+    ))
+    .solve();
+    eprintln!(
+        "explored nodes to optimality on 10x5: johnson = {}, one-machine = {} ({}x more)",
+        strong.stats.bounded,
+        weak.stats.bounded,
+        weak.stats.bounded / strong.stats.bounded.max(1)
+    );
+
+    let mut group = c.benchmark_group("bound_quality");
+    group.sample_size(10);
+    group.bench_function("solve_10x5_johnson", |b| {
+        b.iter(|| {
+            let solver = SerialSolver::with_defaults(FspProblem::new(inst.clone()));
+            std::hint::black_box(solver.solve().best_makespan)
+        })
+    });
+    group.bench_function("solve_10x5_one_machine", |b| {
+        b.iter(|| {
+            let solver = SerialSolver::new(
+                FspProblem::with_bound(inst.clone(), OneMachineBound::new(&inst)),
+                SolverConfig::default(),
+            );
+            std::hint::black_box(solver.solve().best_makespan)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bound_quality);
+criterion_main!(benches);

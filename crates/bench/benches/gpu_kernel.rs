@@ -1,0 +1,52 @@
+//! Benchmark of the two bounding back-ends of the off-load engine: full
+//! functional SIMT simulation versus fast-forward (host bound + analytic
+//! timing). Both return identical bounds and identical modelled kernel times;
+//! this bench quantifies the *simulation* overhead of the functional path.
+
+use bench::workloads::PreparedInstance;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsp::taillard::InstanceClass;
+use gpu_bnb::{BoundingEngine, DataPlacement};
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpu_kernel");
+    group.sample_size(10);
+
+    let prep = PreparedInstance::prepare(
+        InstanceClass {
+            jobs: 20,
+            machines: 20,
+        },
+        2012,
+        256,
+    );
+    let chunk: Vec<_> = prep.frozen.nodes.iter().take(256).cloned().collect();
+    let host_lb = prep.problem.bound_fn().clone();
+
+    for placement in [DataPlacement::AllGlobal, DataPlacement::SharedJmPtm] {
+        group.bench_with_input(
+            BenchmarkId::new("functional_256", placement.name()),
+            &chunk,
+            |b, chunk| {
+                let mut engine =
+                    BoundingEngine::new(host_lb.data(), placement.clone(), 256, 26, 512);
+                b.iter(|| std::hint::black_box(engine.bound_nodes(chunk).bounds.len()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fast_forward_256", placement.name()),
+            &chunk,
+            |b, chunk| {
+                let mut engine =
+                    BoundingEngine::new(host_lb.data(), placement.clone(), 256, 26, 512);
+                b.iter(|| {
+                    std::hint::black_box(engine.bound_nodes_fast(chunk, &host_lb).bounds.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Micro-benchmark of the lower-bound functions themselves: the Johnson
+//! two-machine-relaxation bound (the paper's kernel) versus the cheap
+//! one-machine bound, on the root node of two instance classes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsp::bound::LowerBound;
+use fsp::taillard::generate;
+use fsp::{JohnsonLowerBound, OneMachineBound, PartialSchedule};
+
+fn bench_lower_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bound");
+    group.sample_size(20);
+
+    for (jobs, machines) in [(20usize, 20usize), (50, 20)] {
+        let inst = generate(format!("{jobs}x{machines}"), jobs, machines, 2012);
+        let johnson = JohnsonLowerBound::new(&inst);
+        let one_machine = OneMachineBound::new(&inst);
+        let sched = PartialSchedule::from_prefix(&inst, &[0, 1]);
+
+        group.bench_with_input(
+            BenchmarkId::new("johnson", format!("{jobs}x{machines}")),
+            &sched,
+            |b, s| b.iter(|| std::hint::black_box(johnson.bound(s))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("one-machine", format!("{jobs}x{machines}")),
+            &sched,
+            |b, s| b.iter(|| std::hint::black_box(one_machine.bound(s))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lower_bounds);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Micro-benchmark of the pending-pool implementations (the selection
+//! operator's data structure): best-first heap vs depth-first stack vs FIFO.
+
+use bb::pool::PoolStrategy;
+use bb::FspNode;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsp::taillard::generate;
+
+fn nodes_for_bench(count: usize) -> Vec<FspNode> {
+    let inst = generate("pool-bench", 20, 10, 99);
+    (0..count)
+        .map(|i| {
+            let mut node = FspNode::from_prefix(&inst, &[i % 20]);
+            node.set_bound(1_000 + ((i * 37) % 500) as u32);
+            node
+        })
+        .collect()
+}
+
+fn bench_pools(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_ops");
+    group.sample_size(20);
+    let nodes = nodes_for_bench(5_000);
+
+    for strategy in [
+        PoolStrategy::BestFirst,
+        PoolStrategy::DepthFirst,
+        PoolStrategy::Fifo,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("push_pop_5000", format!("{strategy:?}")),
+            &nodes,
+            |b, nodes| {
+                b.iter(|| {
+                    let mut pool = strategy.build();
+                    for node in nodes {
+                        pool.push(node.clone());
+                    }
+                    let mut popped = 0usize;
+                    while pool.pop().is_some() {
+                        popped += 1;
+                    }
+                    std::hint::black_box(popped)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pools);
+criterion_main!(benches);

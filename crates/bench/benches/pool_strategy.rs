@@ -1,0 +1,36 @@
+//! Ablation of the selection strategy used to build the pools fed to the GPU
+//! (the paper uses best-first): time to freeze a pool of a given size under
+//! each strategy.
+
+use bb::pool::PoolStrategy;
+use bb::{frozen_pool_with_strategy, FspProblem};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsp::taillard::generate;
+
+fn bench_pool_strategies(c: &mut Criterion) {
+    let inst = generate("pool-strategy-14x8", 14, 8, 17);
+    let problem = FspProblem::new(inst);
+
+    let mut group = c.benchmark_group("pool_strategy");
+    group.sample_size(10);
+    for strategy in [
+        PoolStrategy::BestFirst,
+        PoolStrategy::DepthFirst,
+        PoolStrategy::Fifo,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("freeze_512", format!("{strategy:?}")),
+            &problem,
+            |b, problem| {
+                b.iter(|| {
+                    let frozen = frozen_pool_with_strategy(problem, 512, strategy);
+                    std::hint::black_box(frozen.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_strategies);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Regenerates the paper's **preliminary experiment** (Section III): the share
+//! of the serial B&B wall-clock time spent in the bounding operator on
+//! m = 20 instances (the paper reports ≈ 98.5 % on average), plus the
+//! Table I inventory of the six data structures.
+
+use bb::{SerialSolver, SolverConfig};
+use bench::workloads::paper_classes;
+use fsp::bound::counts::AccessCounts;
+use fsp::taillard;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let budget: u64 = args
+        .iter()
+        .position(|a| a == "--budget")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3_000);
+
+    println!("Preliminary experiment — share of the serial B&B time spent bounding");
+    println!("(node budget per instance: {budget} lower-bound evaluations)\n");
+
+    let mut shares = Vec::new();
+    for (i, class) in paper_classes().into_iter().enumerate() {
+        let inst = taillard::generate(
+            format!("rand-{}-s{}", class.label(), 2012 + i as i64),
+            class.jobs,
+            class.machines,
+            2012 + i as i64,
+        );
+        let config = SolverConfig {
+            node_limit: Some(budget),
+            ..Default::default()
+        };
+        let outcome = SerialSolver::new(bb::FspProblem::new(inst), config).solve();
+        let total = outcome.times.total().as_secs_f64().max(1e-12);
+        let share = outcome.times.bounding_share() * 100.0;
+        shares.push(share);
+        println!(
+            "  {:>8}: bounding {:>6.2} % of {:>9.3?} total  (selection {:>5.2} %, branching {:>5.2} %, elimination {:>5.2} %)",
+            class.label(),
+            share,
+            outcome.times.total(),
+            outcome.times.selection.as_secs_f64() / total * 100.0,
+            outcome.times.branching.as_secs_f64() / total * 100.0,
+            outcome.times.elimination.as_secs_f64() / total * 100.0,
+        );
+    }
+    let avg: f64 = shares.iter().sum::<f64>() / shares.len() as f64;
+    println!("\n  average bounding share: {avg:.2} %  (paper: ~98.5 %)\n");
+
+    println!("Table I — the six data structures of the lower bound (200x20, n' = 190):");
+    println!(
+        "  {:<8} {:>12} {:>16} {:>16}",
+        "matrix", "size (elems)", "accesses (paper)", "accesses (impl)"
+    );
+    let sizes = AccessCounts::sizes(200, 20);
+    let paper = AccessCounts::paper_expected(200, 20, 190);
+    let imp = AccessCounts::impl_expected(200, 20, 190);
+    let rows = [
+        ("PTM", sizes[0], paper.ptm, imp.ptm),
+        ("LM", sizes[1], paper.lm, imp.lm),
+        ("JM", sizes[2], paper.jm, imp.jm),
+        ("RM", sizes[3], paper.rm, imp.rm),
+        ("QM", sizes[4], paper.qm, imp.qm),
+        ("MM", sizes[5], paper.mm, imp.mm),
+    ];
+    for (name, size, p, i) in rows {
+        println!("  {name:<8} {size:>12} {p:>16} {i:>16}");
+    }
+}

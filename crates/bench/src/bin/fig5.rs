@@ -1,0 +1,60 @@
+//! Regenerates **Figure 5** of the paper: GPU-accelerated B&B versus the
+//! multi-threaded CPU B&B at the *same theoretical computational power*
+//! (≈ 500 GFLOPS ⇒ 7 CPU threads on the i7-970 vs one Tesla C2050).
+//!
+//! The GPU series takes, for every instance class, the best speedup over the
+//! pool-size sweep with the `PTM`+`JM` shared placement (as the paper's text
+//! does); the CPU series comes from the Table IV model at 7 threads.
+
+use bench::experiment::{run_speedup_cell, ExperimentConfig};
+use bench::report::series_to_text;
+use bench::workloads::{paper_classes, scaled_pool_sizes, PreparedInstance};
+use gpu_bnb::placement::MatrixId;
+use gpu_bnb::DataPlacement;
+use multicore_bnb::{CpuSpec, GpuFlops, MulticoreModel};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ExperimentConfig::from_args(&args);
+    let pool_sizes = scaled_pool_sizes(cfg.scale);
+
+    let cpu = CpuSpec::i7_970();
+    let gpu_flops = GpuFlops::tesla_c2050();
+    let cpu_threads = gpu_flops.matching_cpu_threads(&cpu);
+    let model = MulticoreModel::default();
+
+    let mut gpu_series = Vec::new();
+    let mut cpu_series = Vec::new();
+    for (i, class) in paper_classes().into_iter().enumerate() {
+        eprintln!("[fig5] preparing {} …", class.label());
+        let prep = PreparedInstance::prepare(class, cfg.seed + i as i64, cfg.frozen_target);
+        // Best GPU speedup over the pool-size sweep.
+        let mut best = 0.0f64;
+        for &pool in &pool_sizes {
+            let cell = run_speedup_cell(&prep, DataPlacement::SharedJmPtm, pool, &cfg);
+            best = best.max(cell.speedup);
+        }
+        gpu_series.push((class.label(), best));
+
+        let footprint: usize = MatrixId::ALL
+            .iter()
+            .map(|m| m.packed_bytes(class.jobs, class.machines))
+            .sum();
+        cpu_series.push((class.label(), model.speedup(cpu_threads, footprint)));
+    }
+
+    println!(
+        "Figure 5 — GPU vs multi-threaded B&B at equal computational power (~{:.0} GFLOPS, {} CPU threads)",
+        gpu_flops.peak_gflops, cpu_threads
+    );
+    println!("{}", series_to_text("GPU-based Branch and Bound", &gpu_series));
+    println!(
+        "{}",
+        series_to_text("Multithreaded-based Branch and Bound", &cpu_series)
+    );
+    println!("GPU / CPU ratio per instance class:");
+    for ((label, g), (_, c)) in gpu_series.iter().zip(&cpu_series) {
+        println!("  {label:>8}: x{:.1}", g / c);
+    }
+    println!("# paper reference (Fig. 5): 20x20 61.47 vs 9.22, 200x20 100.48 vs 8.76 (x11.5).");
+}

@@ -1,0 +1,240 @@
+//! The speedup experiment shared by Tables II/III and Figures 4/5: resolve
+//! (part of) a frozen list of sub-problems with the GPU-accelerated solver
+//! and report the modelled parallel efficiency `T_serial / T_gpu`.
+
+use crate::workloads::PreparedInstance;
+use gpu_bnb::{DataPlacement, GpuBnbSolver, GpuSolverConfig};
+use gpu_sim::HostModel;
+use std::time::Duration;
+
+/// Parameters of one experiment campaign.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Seed used to generate the Taillard-like instances.
+    pub seed: i64,
+    /// Size of the frozen list `L` every solver starts from.
+    pub frozen_target: usize,
+    /// Budget of lower-bound evaluations per table cell (keeps runtimes
+    /// bounded; the speedup converges after a couple of pool off-loads).
+    pub node_budget: u64,
+    /// Divisor applied to the paper's pool sizes (1 = paper scale).
+    pub scale: usize,
+    /// Wall-clock safety cap per cell.
+    pub cell_time_limit: Duration,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            seed: 2012,
+            frozen_target: 4_096,
+            node_budget: 40_000,
+            scale: 8,
+            cell_time_limit: Duration::from_secs(120),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Full paper-scale configuration (pool sizes up to 262 144).
+    pub fn paper_scale() -> Self {
+        Self {
+            scale: 1,
+            frozen_target: 8_192,
+            node_budget: 600_000,
+            cell_time_limit: Duration::from_secs(600),
+            ..Default::default()
+        }
+    }
+
+    /// Builds the configuration from command-line arguments of the form
+    /// `--paper-scale`, `--scale N`, `--budget N`, `--seed N`.
+    pub fn from_args(args: &[String]) -> Self {
+        let mut cfg = Self::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--paper-scale" => cfg = Self::paper_scale(),
+                "--scale" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        cfg.scale = v;
+                        i += 1;
+                    }
+                }
+                "--budget" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        cfg.node_budget = v;
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        cfg.seed = v;
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        cfg
+    }
+}
+
+/// One cell of a speedup table.
+#[derive(Debug, Clone)]
+pub struct SpeedupCell {
+    /// Instance class label (`"200x20"`).
+    pub instance: String,
+    /// Pool size used for the off-loads.
+    pub pool_size: usize,
+    /// Data placement used.
+    pub placement: DataPlacement,
+    /// The modelled parallel efficiency `T_serial / T_gpu`.
+    pub speedup: f64,
+    /// Sub-problems bounded on the device during the cell.
+    pub nodes_bounded: u64,
+    /// Modelled GPU time (kernel + transfers + host operators).
+    pub gpu_time: Duration,
+    /// Modelled single-core time for the same sub-problems.
+    pub serial_time: Duration,
+}
+
+/// Runs one cell: resolve the prepared instance's frozen list with the given
+/// placement and pool size (fast-forward bounding) under the configured node
+/// budget, and report the modelled speedup.
+pub fn run_speedup_cell(
+    prep: &PreparedInstance,
+    placement: DataPlacement,
+    pool_size: usize,
+    cfg: &ExperimentConfig,
+) -> SpeedupCell {
+    let solver_config = GpuSolverConfig {
+        pool_size,
+        placement: placement.clone(),
+        node_limit: Some(cfg.node_budget),
+        time_limit: Some(cfg.cell_time_limit),
+        fast_forward: true,
+        ..Default::default()
+    };
+    let solver = GpuBnbSolver::from_problem(prep.problem.clone(), solver_config);
+    let outcome = solver.solve_from(
+        prep.frozen.nodes.clone(),
+        Some(prep.frozen.upper_bound),
+        prep.frozen.best_schedule.clone(),
+    );
+    let host = HostModel::default();
+    let gpu_time = outcome.gpu.modeled_gpu_time(&host);
+    let serial_time = outcome
+        .gpu
+        .modeled_serial_time(&host, prep.footprint_bytes);
+    eprintln!(
+        "    [cell] {} pool={pool_size} {}: {} nodes in {} launches, kernel {:?}, transfer {:?}, gpu total {:?}, serial {:?}, speedup {:.2}",
+        prep.label(),
+        placement.name(),
+        outcome.gpu.nodes_bounded,
+        outcome.gpu.iterations,
+        outcome.gpu.kernel_time,
+        outcome.gpu.transfer_time,
+        gpu_time,
+        serial_time,
+        outcome.speedup(&host, prep.footprint_bytes),
+    );
+    SpeedupCell {
+        instance: prep.label(),
+        pool_size,
+        placement,
+        speedup: outcome.speedup(&host, prep.footprint_bytes),
+        nodes_bounded: outcome.gpu.nodes_bounded,
+        gpu_time,
+        serial_time,
+    }
+}
+
+/// Runs a whole speedup table (the layout of Tables II and III): one row per
+/// paper instance class, one column per (possibly scaled) pool size, plus the
+/// "Average Speedup" row. Also returns every cell for machine-readable
+/// output. Progress is written to stderr because the big cells take a while.
+pub fn run_speedup_table(
+    placement: DataPlacement,
+    cfg: &ExperimentConfig,
+    title: &str,
+) -> (crate::report::Table, Vec<SpeedupCell>) {
+    let pool_sizes = crate::workloads::scaled_pool_sizes(cfg.scale);
+    let columns: Vec<String> = pool_sizes
+        .iter()
+        .map(|p| format!("{p} ({}x256)", p.div_ceil(256)))
+        .collect();
+    let mut table = crate::report::Table::new(title, "Problem instance", columns);
+    let mut cells = Vec::new();
+
+    // The paper lists the largest class first (200×20 … 20×20).
+    for (i, class) in crate::workloads::paper_classes().into_iter().rev().enumerate() {
+        eprintln!("[{}] preparing {} …", title, class.label());
+        let prep = PreparedInstance::prepare(class, cfg.seed + i as i64, cfg.frozen_target);
+        let mut row = Vec::with_capacity(pool_sizes.len());
+        for &pool_size in &pool_sizes {
+            eprintln!("[{}]   {} pool={pool_size} …", title, class.label());
+            let cell = run_speedup_cell(&prep, placement.clone(), pool_size, cfg);
+            row.push(cell.speedup);
+            cells.push(cell);
+        }
+        table.push_row(class.label(), row);
+    }
+    table.push_average_row("Average Speedup");
+    (table, cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp::taillard::InstanceClass;
+
+    fn small_prep() -> PreparedInstance {
+        PreparedInstance::prepare(
+            InstanceClass {
+                jobs: 16,
+                machines: 10,
+            },
+            7,
+            256,
+        )
+    }
+
+    #[test]
+    fn a_cell_produces_a_positive_speedup() {
+        let prep = small_prep();
+        let cfg = ExperimentConfig {
+            node_budget: 2_000,
+            ..Default::default()
+        };
+        let cell = run_speedup_cell(&prep, DataPlacement::SharedJmPtm, 512, &cfg);
+        assert!(cell.speedup > 1.0, "speedup {}", cell.speedup);
+        assert!(cell.nodes_bounded > 0);
+        assert!(cell.gpu_time > Duration::ZERO);
+        assert!(cell.serial_time > cell.gpu_time);
+        assert_eq!(cell.instance, "16x10");
+    }
+
+    #[test]
+    fn config_parsing_from_args() {
+        let args: Vec<String> = ["--scale", "2", "--budget", "1234", "--seed", "99"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cfg = ExperimentConfig::from_args(&args);
+        assert_eq!(cfg.scale, 2);
+        assert_eq!(cfg.node_budget, 1234);
+        assert_eq!(cfg.seed, 99);
+
+        let paper = ExperimentConfig::from_args(&["--paper-scale".to_string()]);
+        assert_eq!(paper.scale, 1);
+    }
+
+    #[test]
+    fn default_config_is_modest() {
+        let cfg = ExperimentConfig::default();
+        assert!(cfg.scale > 1);
+        assert!(cfg.node_budget <= 100_000);
+    }
+}

@@ -1,0 +1,15 @@
+//! # bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation section
+//! (Tables II-IV, Figures 4-5 and the "bounding share" preliminary
+//! experiment). Each `src/bin/*.rs` binary prints one artefact; this library
+//! holds the shared experiment runner, the instance sets and the text/CSV
+//! table formatting.
+
+pub mod experiment;
+pub mod report;
+pub mod workloads;
+
+pub use experiment::{ExperimentConfig, SpeedupCell};
+pub use report::Table;
+pub use workloads::paper_pool_sizes;

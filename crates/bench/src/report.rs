@@ -1,0 +1,193 @@
+//! Plain-text and CSV rendering of the regenerated tables and figures.
+
+use std::fmt::Write as _;
+
+/// A rectangular table of numbers with row and column labels, rendered the
+/// way the paper's tables are laid out (instances as rows, pool sizes /
+/// thread counts as columns).
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    corner: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates an empty table. `corner` labels the row-header column.
+    pub fn new(title: impl Into<String>, corner: impl Into<String>, columns: Vec<String>) -> Self {
+        Self {
+            title: title.into(),
+            corner: corner.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values differs from the number of columns.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match the column count"
+        );
+        self.rows.push((label.into(), values));
+    }
+
+    /// Appends a row computed as the column-wise mean of the existing rows
+    /// (the "Average Speedup" row of Tables II and III).
+    pub fn push_average_row(&mut self, label: impl Into<String>) {
+        assert!(!self.rows.is_empty(), "cannot average an empty table");
+        let cols = self.columns.len();
+        let mut sums = vec![0.0; cols];
+        for (_, values) in &self.rows {
+            for (s, v) in sums.iter_mut().zip(values) {
+                *s += v;
+            }
+        }
+        let count = self.rows.len() as f64;
+        let averages = sums.into_iter().map(|s| s / count).collect();
+        self.rows.push((label.into(), averages));
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no rows yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The value at (`row`, `column`), if present.
+    pub fn value(&self, row: usize, column: usize) -> Option<f64> {
+        self.rows.get(row).and_then(|(_, v)| v.get(column)).copied()
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let mut width = self.corner.len();
+        for (label, _) in &self.rows {
+            width = width.max(label.len());
+        }
+        let col_width = self
+            .columns
+            .iter()
+            .map(|c| c.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let _ = write!(out, "{:<width$}", self.corner, width = width + 2);
+        for c in &self.columns {
+            let _ = write!(out, "{:>col_width$}", c, col_width = col_width + 2);
+        }
+        let _ = writeln!(out);
+        for (label, values) in &self.rows {
+            let _ = write!(out, "{:<width$}", label, width = width + 2);
+            for v in values {
+                let _ = write!(out, "{:>col_width$.2}", v, col_width = col_width + 2);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (row label in the first column).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{},{}", self.corner, self.columns.join(","));
+        for (label, values) in &self.rows {
+            let cells: Vec<String> = values.iter().map(|v| format!("{v:.4}")).collect();
+            let _ = writeln!(out, "{},{}", label, cells.join(","));
+        }
+        out
+    }
+}
+
+/// Renders an x/y series (one line of a figure) as aligned text, one point
+/// per line.
+pub fn series_to_text(name: &str, points: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {name}");
+    let width = points.iter().map(|(x, _)| x.len()).max().unwrap_or(4).max(4);
+    for (x, y) in points {
+        let _ = writeln!(out, "{:<width$}  {:>10.2}", x, y, width = width);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "Table X",
+            "Problem instance",
+            vec!["4096".into(), "8192".into()],
+        );
+        t.push_row("200x20", vec![46.63, 60.88]);
+        t.push_row("20x20", vec![41.71, 50.28]);
+        t
+    }
+
+    #[test]
+    fn text_rendering_contains_every_cell() {
+        let text = sample().to_text();
+        for needle in ["Table X", "200x20", "20x20", "46.63", "50.28", "4096"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn csv_rendering_is_parseable() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "Problem instance,4096,8192");
+        assert!(lines[1].starts_with("200x20,"));
+        assert_eq!(lines[1].split(',').count(), 3);
+    }
+
+    #[test]
+    fn average_row_matches_column_means() {
+        let mut t = sample();
+        t.push_average_row("Average Speedup");
+        let avg0 = t.value(2, 0).unwrap();
+        assert!((avg0 - (46.63 + 41.71) / 2.0).abs() < 1e-9);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        sample().push_row("bad", vec![1.0]);
+    }
+
+    #[test]
+    fn series_rendering() {
+        let s = series_to_text(
+            "GPU-based Branch and Bound",
+            &[("20x20".into(), 61.47), ("200x20".into(), 100.48)],
+        );
+        assert!(s.contains("GPU-based"));
+        assert!(s.contains("100.48"));
+    }
+
+    #[test]
+    fn value_accessor_bounds() {
+        let t = sample();
+        assert!(t.value(0, 1).is_some());
+        assert!(t.value(5, 0).is_none());
+        assert!(t.value(0, 5).is_none());
+        assert!(!t.is_empty());
+    }
+}

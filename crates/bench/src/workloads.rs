@@ -1,0 +1,110 @@
+//! Workload definitions shared by every experiment binary: the paper's
+//! instance classes, pool-size sweep and frozen-pool preparation.
+
+use bb::{frozen_pool, FrozenPool, FspProblem};
+use fsp::taillard::{self, InstanceClass};
+use fsp::{Instance, JohnsonLowerBound};
+use gpu_bnb::placement::MatrixId;
+
+/// The seven pool sizes of Tables II and III (`16×256` … `1024×256`).
+pub fn paper_pool_sizes() -> Vec<usize> {
+    gpu_bnb::config::PAPER_POOL_SIZES.to_vec()
+}
+
+/// The paper's pool sizes divided by `scale` (and floored at one block of
+/// 256 threads) — used to keep default experiment runtimes reasonable while
+/// preserving the sweep's shape. `scale = 1` reproduces the paper exactly.
+pub fn scaled_pool_sizes(scale: usize) -> Vec<usize> {
+    let scale = scale.max(1);
+    paper_pool_sizes()
+        .into_iter()
+        .map(|p| (p / scale).max(256))
+        .collect()
+}
+
+/// The four instance classes of the evaluation (20×20 … 200×20).
+pub fn paper_classes() -> Vec<InstanceClass> {
+    taillard::paper_classes().to_vec()
+}
+
+/// The thread counts of Table IV.
+pub fn paper_thread_counts() -> Vec<usize> {
+    vec![3, 5, 7, 9, 11]
+}
+
+/// An instance prepared for the speedup experiments: the frozen list `L` of
+/// sub-problems (the protocol of Section IV) plus everything derived from the
+/// instance that every cell of a table row shares.
+pub struct PreparedInstance {
+    /// The Taillard-like instance.
+    pub instance: Instance,
+    /// Problem definition with the Johnson bound.
+    pub problem: FspProblem<JohnsonLowerBound>,
+    /// The frozen list `L`, identical for every solver being compared.
+    pub frozen: FrozenPool,
+    /// Packed byte footprint of the six bound matrices.
+    pub footprint_bytes: usize,
+}
+
+impl PreparedInstance {
+    /// Generates the instance of `class` from `seed` and freezes a list of at
+    /// least `frozen_target` sub-problems.
+    pub fn prepare(class: InstanceClass, seed: i64, frozen_target: usize) -> Self {
+        let instance = taillard::generate(
+            format!("rand-{}-s{}", class.label(), seed),
+            class.jobs,
+            class.machines,
+            seed,
+        );
+        let problem = FspProblem::new(instance.clone());
+        let frozen = frozen_pool(&problem, frozen_target);
+        let footprint_bytes = MatrixId::ALL
+            .iter()
+            .map(|m| m.packed_bytes(class.jobs, class.machines))
+            .sum();
+        Self {
+            instance,
+            problem,
+            frozen,
+            footprint_bytes,
+        }
+    }
+
+    /// The `n x m` label used as row header in the tables.
+    pub fn label(&self) -> String {
+        self.instance.class()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_size_sweeps() {
+        assert_eq!(paper_pool_sizes().len(), 7);
+        assert_eq!(scaled_pool_sizes(1), paper_pool_sizes());
+        let scaled = scaled_pool_sizes(16);
+        assert_eq!(scaled[0], 256);
+        assert_eq!(*scaled.last().unwrap(), 16384);
+        assert!(scaled.iter().all(|&p| p >= 256));
+    }
+
+    #[test]
+    fn preparation_produces_a_consistent_bundle() {
+        let class = InstanceClass {
+            jobs: 12,
+            machines: 6,
+        };
+        let prep = PreparedInstance::prepare(class, 42, 64);
+        assert_eq!(prep.instance.jobs(), 12);
+        assert!(prep.frozen.len() >= 64 || prep.frozen.is_empty());
+        assert!(prep.footprint_bytes > 0);
+        assert_eq!(prep.label(), "12x6");
+    }
+
+    #[test]
+    fn thread_counts_match_table_four() {
+        assert_eq!(paper_thread_counts(), vec![3, 5, 7, 9, 11]);
+    }
+}

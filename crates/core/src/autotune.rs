@@ -1,0 +1,169 @@
+//! Runtime pool-size auto-tuning.
+//!
+//! The paper concludes that "the pool size that enables to achieve the best
+//! acceleration … depends strongly on the size of the problem instance being
+//! solved. Therefore, this parameter has to be determined at runtime by
+//! testing different pool sizes." This module implements that procedure: it
+//! freezes a probe pool, runs a few bounding iterations for every candidate
+//! pool size, and picks the one with the best modelled throughput.
+
+use crate::config::{GpuSolverConfig, PAPER_POOL_SIZES};
+use crate::offload::BoundingEngine;
+use crate::placement::MatrixId;
+use bb::{frozen_pool, FspProblem};
+use fsp::{Instance, JohnsonLowerBound};
+use gpu_sim::HostModel;
+
+/// Measurement for one candidate pool size.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolSizeMeasurement {
+    /// The candidate pool size.
+    pub pool_size: usize,
+    /// Modelled device time per bounded node (seconds).
+    pub seconds_per_node: f64,
+    /// Modelled speedup over the serial baseline for that iteration.
+    pub speedup: f64,
+}
+
+/// Result of an auto-tuning session.
+#[derive(Debug, Clone)]
+pub struct AutotuneReport {
+    /// One measurement per candidate, in candidate order.
+    pub measurements: Vec<PoolSizeMeasurement>,
+    /// The pool size with the lowest modelled time per node.
+    pub best_pool_size: usize,
+}
+
+/// Auto-tunes the pool size for `inst` by probing each candidate with one
+/// bounding iteration over a frozen pool of that size (fast-forward mode, so
+/// the probe costs one host bound evaluation per node).
+///
+/// `candidates` defaults to the paper's seven pool sizes when empty.
+pub fn autotune_pool_size(
+    inst: &Instance,
+    base_config: &GpuSolverConfig,
+    candidates: &[usize],
+    probe_budget_nodes: usize,
+) -> AutotuneReport {
+    let candidates: Vec<usize> = if candidates.is_empty() {
+        PAPER_POOL_SIZES.to_vec()
+    } else {
+        candidates.to_vec()
+    };
+    let problem = FspProblem::new(inst.clone());
+    let host_lb: &JohnsonLowerBound = problem.bound_fn();
+    let host_model = HostModel::default();
+    let footprint: usize = MatrixId::ALL
+        .iter()
+        .map(|m| m.packed_bytes(inst.jobs(), inst.machines()))
+        .sum();
+
+    // One probe pool large enough for the biggest candidate (clamped by the
+    // probe budget so tuning stays cheap).
+    let largest = candidates
+        .iter()
+        .copied()
+        .max()
+        .expect("at least one candidate")
+        .min(probe_budget_nodes.max(1));
+    let frozen = frozen_pool(&problem, largest);
+
+    let mut measurements = Vec::with_capacity(candidates.len());
+    for &pool_size in &candidates {
+        let take = pool_size.min(frozen.nodes.len()).max(1);
+        let chunk: Vec<_> = frozen.nodes.iter().take(take).cloned().collect();
+        let mut engine = BoundingEngine::new(
+            host_lb.data(),
+            base_config.placement.clone(),
+            base_config.block_threads,
+            base_config.registers_per_thread,
+            take,
+        );
+        let result = engine.bound_nodes_fast(&chunk, host_lb);
+        let device_time = result.device_time().as_secs_f64();
+        let seconds_per_node = device_time / take as f64;
+
+        // Modelled serial time of the same chunk, for the speedup estimate.
+        let n = inst.jobs();
+        let m = inst.machines();
+        let serial_accesses: u64 = chunk
+            .iter()
+            .map(|node| {
+                let np = n - node.depth();
+                if np == 0 {
+                    0
+                } else {
+                    fsp::bound::counts::AccessCounts::impl_expected(n, m, np).total()
+                }
+            })
+            .sum();
+        let serial = host_model
+            .bounding_time(serial_accesses, take as u64, footprint)
+            .as_secs_f64();
+        let speedup = if device_time > 0.0 { serial / device_time } else { 0.0 };
+
+        measurements.push(PoolSizeMeasurement {
+            pool_size,
+            seconds_per_node,
+            speedup,
+        });
+    }
+
+    let best_pool_size = measurements
+        .iter()
+        .min_by(|a, b| a.seconds_per_node.total_cmp(&b.seconds_per_node))
+        .map(|m| m.pool_size)
+        .expect("at least one measurement");
+
+    AutotuneReport {
+        measurements,
+        best_pool_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::DataPlacement;
+    use fsp::taillard::generate;
+
+    fn base() -> GpuSolverConfig {
+        GpuSolverConfig {
+            placement: DataPlacement::SharedJmPtm,
+            fast_forward: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn autotune_probes_every_candidate() {
+        let inst = generate("t", 16, 8, 5);
+        let report = autotune_pool_size(&inst, &base(), &[64, 256, 1024], 2_000);
+        assert_eq!(report.measurements.len(), 3);
+        assert!(report
+            .measurements
+            .iter()
+            .all(|m| m.seconds_per_node > 0.0 && m.speedup > 0.0));
+        assert!([64, 256, 1024].contains(&report.best_pool_size));
+    }
+
+    #[test]
+    fn larger_pools_amortise_fixed_costs_on_wide_instances() {
+        // With more blocks the launch overhead and SM under-utilisation are
+        // amortised, so the per-node time for the largest probe must not be
+        // worse than for the smallest.
+        let inst = generate("t", 16, 10, 7);
+        let report = autotune_pool_size(&inst, &base(), &[64, 1024], 4_000);
+        let small = report.measurements[0].seconds_per_node;
+        let large = report.measurements[1].seconds_per_node;
+        assert!(large <= small * 1.05, "large {large} vs small {small}");
+    }
+
+    #[test]
+    fn empty_candidate_list_uses_paper_sizes() {
+        let inst = generate("t", 10, 5, 3);
+        let report = autotune_pool_size(&inst, &base(), &[], 500);
+        assert_eq!(report.measurements.len(), PAPER_POOL_SIZES.len());
+        assert!(PAPER_POOL_SIZES.contains(&report.best_pool_size));
+    }
+}

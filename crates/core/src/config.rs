@@ -1,0 +1,114 @@
+//! Configuration of the GPU-accelerated solver.
+
+use crate::placement::DataPlacement;
+use std::time::Duration;
+
+/// The pool sizes swept in the paper's Tables II and III
+/// (`16×256` … `1024×256` threads).
+pub const PAPER_POOL_SIZES: [usize; 7] = [4096, 8192, 16384, 32768, 65536, 131072, 262144];
+
+/// Configuration of a [`crate::solver::GpuBnbSolver`] run.
+#[derive(Debug, Clone)]
+pub struct GpuSolverConfig {
+    /// Number of sub-problems off-loaded to the device per bounding
+    /// iteration (the paper's "pool size").
+    pub pool_size: usize,
+    /// Threads per block (the paper fixes 256).
+    pub block_threads: usize,
+    /// Registers per thread reported for the kernel (occupancy input; the
+    /// paper's kernel uses 26).
+    pub registers_per_thread: usize,
+    /// Which matrices are staged into shared memory.
+    pub placement: DataPlacement,
+    /// Stop after this many lower-bound evaluations.
+    pub node_limit: Option<u64>,
+    /// Stop after this much wall-clock time (of the *simulation*, not of the
+    /// modelled device — used to keep experiment runtimes bounded).
+    pub time_limit: Option<Duration>,
+    /// Seed the incumbent with the NEH heuristic when no explicit incumbent
+    /// is given.
+    pub use_initial_ub: bool,
+    /// `true`: lower bounds are computed by the host reference implementation
+    /// and the kernel timing is derived analytically (fast-forward mode —
+    /// identical results and identical timing formulas, used for the
+    /// paper-scale sweeps). `false`: every bound is computed by functionally
+    /// simulating the kernel thread by thread.
+    pub fast_forward: bool,
+}
+
+impl Default for GpuSolverConfig {
+    fn default() -> Self {
+        Self {
+            pool_size: 8192,
+            block_threads: 256,
+            registers_per_thread: 26,
+            placement: DataPlacement::SharedJmPtm,
+            node_limit: None,
+            time_limit: None,
+            use_initial_ub: true,
+            fast_forward: false,
+        }
+    }
+}
+
+impl GpuSolverConfig {
+    /// Configuration matching Table II (everything in global memory).
+    pub fn all_global(pool_size: usize) -> Self {
+        Self {
+            pool_size,
+            placement: DataPlacement::AllGlobal,
+            ..Default::default()
+        }
+    }
+
+    /// Configuration matching Table III (`JM` and `PTM` in shared memory).
+    pub fn shared_jm_ptm(pool_size: usize) -> Self {
+        Self {
+            pool_size,
+            placement: DataPlacement::SharedJmPtm,
+            ..Default::default()
+        }
+    }
+
+    /// Number of thread blocks needed for one full pool.
+    pub fn grid_blocks(&self) -> usize {
+        self.pool_size.div_ceil(self.block_threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pool_sizes_are_powers_of_two_times_256() {
+        for (i, &p) in PAPER_POOL_SIZES.iter().enumerate() {
+            assert_eq!(p % 256, 0);
+            assert_eq!(p, 4096 << i);
+        }
+    }
+
+    #[test]
+    fn grid_blocks_matches_the_paper_columns() {
+        // The paper labels the columns 16×256 … 1024×256.
+        let blocks: Vec<usize> = PAPER_POOL_SIZES
+            .iter()
+            .map(|&p| GpuSolverConfig::all_global(p).grid_blocks())
+            .collect();
+        assert_eq!(blocks, vec![16, 32, 64, 128, 256, 512, 1024]);
+    }
+
+    #[test]
+    fn presets_set_the_placement() {
+        assert_eq!(
+            GpuSolverConfig::all_global(4096).placement,
+            DataPlacement::AllGlobal
+        );
+        assert_eq!(
+            GpuSolverConfig::shared_jm_ptm(4096).placement,
+            DataPlacement::SharedJmPtm
+        );
+        assert_eq!(GpuSolverConfig::default().block_threads, 256);
+        assert_eq!(GpuSolverConfig::default().registers_per_thread, 26);
+    }
+}

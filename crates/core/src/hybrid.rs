@@ -1,0 +1,290 @@
+//! Hybrid multi-core + GPU Branch-and-Bound.
+//!
+//! The paper's conclusion announces "the combination of the GPU-based
+//! bounding model with the multi-core parallel search tree exploration". This
+//! module implements that extension: several CPU worker threads share the
+//! pending pool and the incumbent, each accumulating its own batch of
+//! children and bounding it through the (single, shared) GPU engine.
+
+use crate::config::GpuSolverConfig;
+use crate::offload::BoundingEngine;
+use crate::stats::GpuRunStats;
+use bb::pool::Pool;
+use bb::stats::SolveStats;
+use bb::{BestFirstPool, FspNode, FspProblem, SharedUpperBound};
+use fsp::bound::counts::AccessCounts;
+use fsp::{Instance, JohnsonLowerBound, Job, Time};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Result of a hybrid (multi-core exploration + GPU bounding) solve.
+#[derive(Debug, Clone)]
+pub struct HybridOutcome {
+    /// Best makespan found (optimal when the tree was exhausted).
+    pub best_makespan: Time,
+    /// Schedule achieving it, when known.
+    pub best_schedule: Option<Vec<Job>>,
+    /// Node counters aggregated over all workers.
+    pub stats: SolveStats,
+    /// Device accounting aggregated over all workers.
+    pub gpu: GpuRunStats,
+    /// Number of exploration threads used.
+    pub workers: usize,
+}
+
+/// Hybrid solver: `workers` CPU threads explore the tree, the GPU bounds.
+pub struct HybridSolver {
+    problem: FspProblem<JohnsonLowerBound>,
+    config: GpuSolverConfig,
+    workers: usize,
+}
+
+impl HybridSolver {
+    /// Creates a hybrid solver with `workers` exploration threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(inst: Instance, config: GpuSolverConfig, workers: usize) -> Self {
+        assert!(workers > 0, "the hybrid solver needs at least one worker");
+        Self {
+            problem: FspProblem::new(inst),
+            config,
+            workers,
+        }
+    }
+
+    /// Solves from the root, seeding the incumbent with NEH.
+    pub fn solve(&self) -> HybridOutcome {
+        let mut root = self.problem.root();
+        self.problem.bound(&mut root);
+        self.solve_from(vec![root], None, None)
+    }
+
+    /// Solves from an explicit list of pending sub-problems.
+    pub fn solve_from(
+        &self,
+        initial_nodes: Vec<FspNode>,
+        initial_ub: Option<Time>,
+        initial_schedule: Option<Vec<Job>>,
+    ) -> HybridOutcome {
+        let start = Instant::now();
+        let inst = self.problem.instance();
+        let n = inst.jobs();
+        let m = inst.machines();
+
+        let incumbent_schedule = Mutex::new(initial_schedule);
+        let ub = match initial_ub {
+            Some(v) => SharedUpperBound::new(v),
+            None if self.config.use_initial_ub => {
+                let (perm, value) = self.problem.initial_upper_bound();
+                *incumbent_schedule.lock() = Some(perm);
+                SharedUpperBound::new(value)
+            }
+            None => SharedUpperBound::unbounded(),
+        };
+
+        let pool = Mutex::new(BestFirstPool::new());
+        {
+            let mut guard = pool.lock();
+            for node in initial_nodes {
+                guard.push(node);
+            }
+        }
+
+        let engine = Mutex::new(BoundingEngine::new(
+            self.problem.bound_fn().data(),
+            self.config.placement.clone(),
+            self.config.block_threads,
+            self.config.registers_per_thread,
+            self.config.pool_size + n,
+        ));
+
+        // Per-worker chunk: the GPU pool is filled cooperatively.
+        let chunk_target = (self.config.pool_size / self.workers).max(1);
+        let busy_workers = AtomicUsize::new(0);
+        let node_budget = self.config.node_limit.unwrap_or(u64::MAX);
+        let bounded_so_far = AtomicUsize::new(0);
+
+        let stats = Mutex::new(SolveStats::default());
+        let gpu = Mutex::new(GpuRunStats::default());
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(|| {
+                    let host_lb = self.problem.bound_fn().clone();
+                    loop {
+                        if bounded_so_far.load(Ordering::Relaxed) as u64 >= node_budget {
+                            break;
+                        }
+                        // Selection + branching: grab nodes from the shared
+                        // pool and accumulate a local batch.
+                        busy_workers.fetch_add(1, Ordering::AcqRel);
+                        let mut local_stats = SolveStats::default();
+                        let mut batch: Vec<FspNode> = Vec::with_capacity(chunk_target + n);
+                        {
+                            let mut guard = pool.lock();
+                            while batch.len() < chunk_target {
+                                let Some(node) = guard.pop() else { break };
+                                local_stats.selected += 1;
+                                if ub.prunes(node.bound()) {
+                                    local_stats.pruned += 1;
+                                    continue;
+                                }
+                                local_stats.decomposed += 1;
+                                batch.extend(self.problem.branch(&node));
+                            }
+                        }
+
+                        if batch.is_empty() {
+                            busy_workers.fetch_sub(1, Ordering::AcqRel);
+                            // Termination: nothing pending and nobody else is
+                            // producing new nodes.
+                            let pool_empty = pool.lock().is_empty();
+                            if pool_empty && busy_workers.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        }
+
+                        // Bounding through the shared GPU engine.
+                        let result = {
+                            let mut engine = engine.lock();
+                            if self.config.fast_forward {
+                                engine.bound_nodes_fast(&batch, &host_lb)
+                            } else {
+                                engine.bound_nodes(&batch)
+                            }
+                        };
+                        bounded_so_far.fetch_add(batch.len(), Ordering::Relaxed);
+
+                        {
+                            let mut g = gpu.lock();
+                            g.iterations += 1;
+                            g.nodes_bounded += batch.len() as u64;
+                            g.kernel_time += result.kernel.duration;
+                            g.transfer_time += result.transfer_time;
+                            g.upload_bytes += result.upload_bytes as u64;
+                            g.download_bytes += result.download_bytes as u64;
+                            for node in &batch {
+                                let np = n - node.depth();
+                                if np > 0 {
+                                    g.serial_accesses +=
+                                        AccessCounts::impl_expected(n, m, np).total();
+                                }
+                            }
+                        }
+
+                        // Elimination + incumbent updates.
+                        let mut survivors = Vec::new();
+                        for (mut child, bound) in batch.into_iter().zip(result.bounds) {
+                            child.set_bound(bound);
+                            local_stats.bounded += 1;
+                            if self.problem.is_leaf(&child) {
+                                local_stats.leaves += 1;
+                                let cost = self.problem.leaf_cost(&child);
+                                if ub.try_improve(cost) {
+                                    local_stats.improvements += 1;
+                                    *incumbent_schedule.lock() = Some(child.prefix_vec());
+                                }
+                            } else if ub.prunes(bound) {
+                                local_stats.pruned += 1;
+                            } else {
+                                survivors.push(child);
+                            }
+                        }
+                        {
+                            let mut guard = pool.lock();
+                            for node in survivors {
+                                guard.push(node);
+                            }
+                            local_stats.max_pool = guard.len();
+                        }
+                        {
+                            let mut s = stats.lock();
+                            *s = s.add(&local_stats);
+                        }
+                        busy_workers.fetch_sub(1, Ordering::AcqRel);
+                    }
+                });
+            }
+        });
+
+        let mut gpu_stats = gpu.into_inner();
+        gpu_stats.wall_time = start.elapsed();
+        let final_stats = stats.into_inner();
+        HybridOutcome {
+            best_makespan: ub.get(),
+            best_schedule: incumbent_schedule.into_inner(),
+            stats: final_stats,
+            gpu: gpu_stats,
+            workers: self.workers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::DataPlacement;
+    use fsp::brute::brute_force_optimal;
+    use fsp::taillard::generate;
+
+    fn config(pool: usize) -> GpuSolverConfig {
+        GpuSolverConfig {
+            pool_size: pool,
+            placement: DataPlacement::SharedJmPtm,
+            fast_forward: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hybrid_finds_the_optimum_with_one_worker() {
+        let inst = generate("t", 7, 4, 13);
+        let (_, expected) = brute_force_optimal(&inst);
+        let outcome = HybridSolver::new(inst, config(32), 1).solve();
+        assert_eq!(outcome.best_makespan, expected);
+        assert_eq!(outcome.workers, 1);
+    }
+
+    #[test]
+    fn hybrid_finds_the_optimum_with_several_workers() {
+        for workers in [2, 4] {
+            let inst = generate("t", 8, 4, 5);
+            let (_, expected) = brute_force_optimal(&inst);
+            let outcome = HybridSolver::new(inst.clone(), config(32), workers).solve();
+            assert_eq!(outcome.best_makespan, expected, "{workers} workers");
+            let sched = outcome.best_schedule.expect("schedule");
+            assert_eq!(fsp::makespan(&inst, &sched), expected);
+        }
+    }
+
+    #[test]
+    fn hybrid_matches_the_single_gpu_solver() {
+        let inst = generate("t", 8, 5, 99);
+        let gpu = crate::solver::GpuBnbSolver::new(inst.clone(), config(32)).solve();
+        let hybrid = HybridSolver::new(inst, config(32), 3).solve();
+        assert_eq!(gpu.best_makespan, hybrid.best_makespan);
+    }
+
+    #[test]
+    fn node_budget_bounds_the_work() {
+        let inst = generate("t", 12, 8, 3);
+        let mut cfg = config(64);
+        cfg.node_limit = Some(500);
+        let outcome = HybridSolver::new(inst, cfg, 2).solve();
+        // The budget is a soft cap checked per batch, so it can be exceeded by
+        // at most one batch per worker.
+        assert!(outcome.gpu.nodes_bounded >= 1);
+        assert!(outcome.gpu.nodes_bounded < 500 + 2 * (64 + 12) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        HybridSolver::new(generate("t", 5, 3, 1), config(8), 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! The lower-bound kernel: one GPU thread evaluates the Johnson-based lower
+//! bound of one sub-problem (Figure 2 of the paper, executed on the device).
+//!
+//! The kernel reads the six bound matrices through the simulator's
+//! [`ThreadCtx`], so every access is charged to the memory space the active
+//! [`crate::placement::DataPlacement`] assigned to its matrix. The algorithm
+//! is kept line-for-line parallel to the host reference
+//! (`fsp::JohnsonLowerBound::bound_prefix`); equality of the two is enforced
+//! by tests in [`crate::offload`].
+
+use fsp::Time;
+use gpu_sim::{DeviceBuffer, Kernel, ThreadCtx};
+
+/// Device-side handles and dimensions needed by the bounding kernel.
+#[derive(Debug, Clone)]
+pub struct LowerBoundKernel {
+    /// Number of jobs `n`.
+    pub jobs: usize,
+    /// Number of machines `m`.
+    pub machines: usize,
+    /// Number of machine pairs `m(m−1)/2`.
+    pub num_pairs: usize,
+    /// Number of sub-problems in the off-loaded pool.
+    pub num_nodes: usize,
+    /// Stride (in elements) of one encoded sub-problem in `pool`.
+    pub node_stride: usize,
+    /// Processing times, `n × m`.
+    pub ptm: DeviceBuffer,
+    /// Lags, `n × pairs`.
+    pub lm: DeviceBuffer,
+    /// Johnson orders, `n × pairs` (position-major).
+    pub jm: DeviceBuffer,
+    /// Heads, `n × m`.
+    pub rm: DeviceBuffer,
+    /// Tails, `n × m`.
+    pub qm: DeviceBuffer,
+    /// Machine pairs, `pairs × 2`.
+    pub mm: DeviceBuffer,
+    /// Encoded pool of sub-problems: for each node, `[depth, job_0, …,
+    /// job_{depth−1}, <padding>]` with stride `node_stride`.
+    pub pool: DeviceBuffer,
+    /// Output lower bounds, one per node.
+    pub out: DeviceBuffer,
+}
+
+impl Kernel for LowerBoundKernel {
+    fn run(&self, ctx: &mut ThreadCtx<'_>) {
+        let tid = ctx.id().global;
+        if tid >= self.num_nodes {
+            return;
+        }
+        let n = self.jobs;
+        let m = self.machines;
+        let base = tid * self.node_stride;
+
+        // Decode the sub-problem: depth, prefix, scheduled set, and the
+        // per-machine completion times of the prefix (recomputed from PTM, as
+        // the CUDA implementation would — the host only ships the prefix).
+        let depth = ctx.read(self.pool, base) as usize;
+        let mut scheduled = vec![false; n];
+        let mut front = vec![0 as Time; m];
+        for p in 0..depth {
+            let job = ctx.read(self.pool, base + 1 + p) as usize;
+            scheduled[job] = true;
+            let mut prev = 0;
+            for (k, c) in front.iter_mut().enumerate() {
+                let start = (*c).max(prev);
+                *c = start + ctx.read(self.ptm, job * m + k);
+                prev = *c;
+            }
+        }
+
+        // Per-machine minimum head and tail over the remaining jobs.
+        let mut min_head = vec![Time::MAX; m];
+        let mut min_tail = vec![Time::MAX; m];
+        let mut remaining = 0usize;
+        for job in 0..n {
+            if scheduled[job] {
+                continue;
+            }
+            remaining += 1;
+            for k in 0..m {
+                let h = ctx.read(self.rm, job * m + k);
+                if h < min_head[k] {
+                    min_head[k] = h;
+                }
+                let t = ctx.read(self.qm, job * m + k);
+                if t < min_tail[k] {
+                    min_tail[k] = t;
+                }
+            }
+        }
+
+        if remaining == 0 {
+            ctx.write(self.out, tid, front[m - 1]);
+            return;
+        }
+
+        // The Figure 2 loop over machine pairs.
+        let mut lb: Time = 0;
+        for pair in 0..self.num_pairs {
+            let m1 = ctx.read(self.mm, pair * 2) as usize;
+            let m2 = ctx.read(self.mm, pair * 2 + 1) as usize;
+
+            let mut time_on_m1 = front[m1].max(min_head[m1]);
+            let mut time_on_m2 = front[m2].max(min_head[m2]);
+
+            for pos in 0..n {
+                let job = ctx.read(self.jm, pos * self.num_pairs + pair) as usize;
+                if scheduled[job] {
+                    continue;
+                }
+                time_on_m1 += ctx.read(self.ptm, job * m + m1);
+                let lag = ctx.read(self.lm, job * self.num_pairs + pair);
+                let ready_on_m2 = time_on_m1 + lag;
+                let p2 = ctx.read(self.ptm, job * m + m2);
+                if time_on_m2 > ready_on_m2 {
+                    time_on_m2 += p2;
+                } else {
+                    time_on_m2 = ready_on_m2 + p2;
+                }
+            }
+
+            let bound_for_pair = time_on_m2 + min_tail[m2];
+            if bound_for_pair > lb {
+                lb = bound_for_pair;
+            }
+        }
+        ctx.write(self.out, tid, lb);
+    }
+
+    fn name(&self) -> &str {
+        "flowshop-lower-bound"
+    }
+}

@@ -1,0 +1,22 @@
+//! # gpu-bnb — GPU-accelerated Branch-and-Bound for the Flow-Shop problem
+//!
+//! The paper's primary contribution: a B&B solver whose **bounding operator
+//! runs on the GPU** (Type 1 parallelism — parallel evaluation of the lower
+//! bound over a pool of sub-problems), with a data-placement strategy that
+//! maps the six bound matrices onto the device memory hierarchy.
+
+pub mod autotune;
+pub mod config;
+pub mod hybrid;
+pub mod kernel_lb;
+pub mod offload;
+pub mod placement;
+pub mod solver;
+pub mod stats;
+
+pub use config::GpuSolverConfig;
+pub use kernel_lb::LowerBoundKernel;
+pub use offload::BoundingEngine;
+pub use placement::DataPlacement;
+pub use solver::{GpuBnbSolver, GpuSolveOutcome};
+pub use stats::GpuRunStats;

@@ -1,0 +1,526 @@
+//! The pool off-load engine: encode a pool of sub-problems, ship it to the
+//! (simulated) device, run the bounding kernel, and read the lower bounds
+//! back (Figure 3 of the paper).
+
+use crate::kernel_lb::LowerBoundKernel;
+use crate::placement::{DataPlacement, MatrixId};
+use bb::FspNode;
+use fsp::bound::counts::AccessCounts;
+use fsp::{BoundData, JohnsonLowerBound, Time};
+use gpu_sim::host::BufferKind;
+use gpu_sim::thread::AccessTally;
+use gpu_sim::{AnalyticWorkload, Device, DeviceBuffer, KernelTiming, LaunchConfig, LaunchStats};
+use std::time::Duration;
+
+/// Result of bounding one off-loaded pool.
+#[derive(Debug, Clone)]
+pub struct BoundingResult {
+    /// Lower bound of every node of the pool, in input order.
+    pub bounds: Vec<Time>,
+    /// Kernel-duration estimate (simulated device time).
+    pub kernel: KernelTiming,
+    /// Functional launch statistics (access tallies, occupancy, footprint).
+    pub stats: LaunchStats,
+    /// Estimated PCIe time for this iteration (pool up + bounds back).
+    pub transfer_time: Duration,
+    /// Bytes shipped host→device (packed encoding).
+    pub upload_bytes: usize,
+    /// Bytes shipped device→host.
+    pub download_bytes: usize,
+}
+
+impl BoundingResult {
+    /// Kernel plus transfer time — the modelled GPU cost of the iteration.
+    pub fn device_time(&self) -> Duration {
+        self.kernel.duration + self.transfer_time
+    }
+}
+
+/// Owns the simulated device, the six matrix buffers and the per-iteration
+/// pool/output buffers, and runs the bounding kernel over pools of nodes.
+pub struct BoundingEngine {
+    device: Device,
+    jobs: usize,
+    machines: usize,
+    num_pairs: usize,
+    node_stride: usize,
+    max_pool: usize,
+    block_threads: usize,
+    registers_per_thread: usize,
+    placement: DataPlacement,
+    ptm: DeviceBuffer,
+    lm: DeviceBuffer,
+    jm: DeviceBuffer,
+    rm: DeviceBuffer,
+    qm: DeviceBuffer,
+    mm: DeviceBuffer,
+    pool_buf: DeviceBuffer,
+    out_buf: DeviceBuffer,
+}
+
+impl BoundingEngine {
+    /// Creates an engine on a Tesla C2050 for the instance described by
+    /// `data`, able to bound pools of at most `max_pool` sub-problems.
+    pub fn new(
+        data: &BoundData,
+        placement: DataPlacement,
+        block_threads: usize,
+        registers_per_thread: usize,
+        max_pool: usize,
+    ) -> Self {
+        Self::on_device(
+            Device::tesla_c2050(),
+            data,
+            placement,
+            block_threads,
+            registers_per_thread,
+            max_pool,
+        )
+    }
+
+    /// Creates an engine on an explicit device (tests use a tiny device).
+    pub fn on_device(
+        mut device: Device,
+        data: &BoundData,
+        placement: DataPlacement,
+        block_threads: usize,
+        registers_per_thread: usize,
+        max_pool: usize,
+    ) -> Self {
+        assert!(max_pool > 0, "the engine needs a positive pool capacity");
+        let n = data.jobs();
+        let m = data.machines();
+        let pairs = data.num_pairs();
+
+        // Upload the six instance-level matrices once (the paper copies them
+        // to the device before the exploration starts).
+        let ptm = device.alloc_init(
+            data.ptm_raw().to_vec(),
+            MatrixId::Ptm.packed_elem_bytes(n),
+            BufferKind::InstanceData,
+        );
+        let lm = device.alloc_init(
+            data.lm_raw().to_vec(),
+            MatrixId::Lm.packed_elem_bytes(n),
+            BufferKind::InstanceData,
+        );
+        let jm = device.alloc_init(
+            data.jm_raw().to_vec(),
+            MatrixId::Jm.packed_elem_bytes(n),
+            BufferKind::InstanceData,
+        );
+        let rm = device.alloc_init(
+            data.rm_raw().to_vec(),
+            MatrixId::Rm.packed_elem_bytes(n),
+            BufferKind::InstanceData,
+        );
+        let qm = device.alloc_init(
+            data.qm_raw().to_vec(),
+            MatrixId::Qm.packed_elem_bytes(n),
+            BufferKind::InstanceData,
+        );
+        let mm = device.alloc_init(
+            data.mm_raw().to_vec(),
+            MatrixId::Mm.packed_elem_bytes(n),
+            BufferKind::InstanceData,
+        );
+
+        let node_stride = 1 + n;
+        let pool_buf = device.alloc(max_pool * node_stride, 2, BufferKind::Stream);
+        let out_buf = device.alloc(max_pool, 4, BufferKind::Stream);
+
+        Self {
+            device,
+            jobs: n,
+            machines: m,
+            num_pairs: pairs,
+            node_stride,
+            max_pool,
+            block_threads,
+            registers_per_thread,
+            placement,
+            ptm,
+            lm,
+            jm,
+            rm,
+            qm,
+            mm,
+            pool_buf,
+            out_buf,
+        }
+    }
+
+    /// The data placement this engine was built with.
+    pub fn placement(&self) -> &DataPlacement {
+        &self.placement
+    }
+
+    /// The simulated device (e.g. to inspect or tweak the cost model).
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Mutable access to the simulated device (ablation benches).
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.device
+    }
+
+    /// Largest pool this engine can bound in one launch.
+    pub fn max_pool(&self) -> usize {
+        self.max_pool
+    }
+
+    /// Shared-memory bytes per block required by the placement.
+    pub fn shared_bytes_per_block(&self) -> usize {
+        self.placement.shared_bytes(self.jobs, self.machines)
+    }
+
+    fn buffer_of(&self, matrix: MatrixId) -> DeviceBuffer {
+        match matrix {
+            MatrixId::Ptm => self.ptm,
+            MatrixId::Lm => self.lm,
+            MatrixId::Jm => self.jm,
+            MatrixId::Rm => self.rm,
+            MatrixId::Qm => self.qm,
+            MatrixId::Mm => self.mm,
+        }
+    }
+
+    fn shared_buffers(&self) -> Vec<DeviceBuffer> {
+        self.placement
+            .shared_matrices()
+            .iter()
+            .map(|&m| self.buffer_of(m))
+            .collect()
+    }
+
+    fn launch_config(&self, num_nodes: usize) -> LaunchConfig {
+        LaunchConfig::for_threads(num_nodes, self.block_threads)
+            .with_registers(self.registers_per_thread)
+            .with_shared_buffers(self.shared_buffers())
+    }
+
+    /// Packed host→device payload size of `nodes` (two bytes per depth field
+    /// and per prefix entry, as a CUDA implementation would ship them).
+    pub fn upload_bytes(&self, nodes: &[FspNode]) -> usize {
+        nodes.iter().map(|n| (1 + n.depth()) * 2).sum()
+    }
+
+    /// Encodes `nodes` into the flat pool layout read by the kernel.
+    fn encode(&self, nodes: &[FspNode]) -> Vec<u32> {
+        let mut flat = vec![0u32; nodes.len() * self.node_stride];
+        for (i, node) in nodes.iter().enumerate() {
+            let base = i * self.node_stride;
+            flat[base] = node.depth() as u32;
+            for (p, &job) in node.prefix_raw().iter().enumerate() {
+                flat[base + 1 + p] = job as u32;
+            }
+        }
+        flat
+    }
+
+    fn kernel(&self, num_nodes: usize) -> LowerBoundKernel {
+        LowerBoundKernel {
+            jobs: self.jobs,
+            machines: self.machines,
+            num_pairs: self.num_pairs,
+            num_nodes,
+            node_stride: self.node_stride,
+            ptm: self.ptm,
+            lm: self.lm,
+            jm: self.jm,
+            rm: self.rm,
+            qm: self.qm,
+            mm: self.mm,
+            pool: self.pool_buf,
+            out: self.out_buf,
+        }
+    }
+
+    /// Bounds `nodes` by functionally simulating the kernel (every thread is
+    /// executed; results are exact, timing is estimated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` exceeds the engine's pool capacity.
+    pub fn bound_nodes(&mut self, nodes: &[FspNode]) -> BoundingResult {
+        assert!(
+            nodes.len() <= self.max_pool,
+            "pool of {} exceeds engine capacity {}",
+            nodes.len(),
+            self.max_pool
+        );
+        if nodes.is_empty() {
+            return self.empty_result();
+        }
+        let encoded = self.encode(nodes);
+        self.device.upload(self.pool_buf, &encoded);
+        let config = self.launch_config(nodes.len());
+        let kernel = self.kernel(nodes.len());
+        let result = self.device.launch(&kernel, &config);
+        let out = self.device.download(self.out_buf);
+        let bounds = out[..nodes.len()].to_vec();
+        self.finish(nodes, bounds, result.timing, result.stats)
+    }
+
+    /// Bounds `nodes` in fast-forward mode: the lower bounds come from the
+    /// host reference implementation and the kernel timing is derived from
+    /// the analytically known access counts — the two paths share the cost
+    /// function, so the timing matches [`BoundingEngine::bound_nodes`]
+    /// exactly (see the tests below).
+    pub fn bound_nodes_fast(
+        &mut self,
+        nodes: &[FspNode],
+        host_bound: &JohnsonLowerBound,
+    ) -> BoundingResult {
+        assert!(
+            nodes.len() <= self.max_pool,
+            "pool of {} exceeds engine capacity {}",
+            nodes.len(),
+            self.max_pool
+        );
+        if nodes.is_empty() {
+            return self.empty_result();
+        }
+        let bounds: Vec<Time> = nodes
+            .iter()
+            .map(|node| host_bound.bound_prefix_fn(node.front(), |j| node.is_scheduled(j)))
+            .collect();
+        let workload = AnalyticWorkload {
+            tally: self.analytic_tally(nodes),
+            total_threads: nodes.len(),
+        };
+        let config = self.launch_config(nodes.len());
+        let result = self.device.launch_analytic(&workload, &config);
+        self.finish(nodes, bounds, result.timing, result.stats)
+    }
+
+    /// The exact per-space access tally the kernel produces for `nodes`,
+    /// computed without executing it (used by fast-forward mode and checked
+    /// against the functional tally in tests).
+    pub fn analytic_tally(&self, nodes: &[FspNode]) -> AccessTally {
+        let n = self.jobs;
+        let m = self.machines;
+        let mut tally = AccessTally::default();
+        for node in nodes {
+            let depth = node.depth();
+            let np = n - depth;
+
+            // Decode: depth word + prefix (always from the streamed pool
+            // buffer in global memory).
+            tally.global += (1 + depth) as u64;
+            // Front recomputation: depth × m PTM reads.
+            let front_ptm = (depth * m) as u64;
+            // Output write.
+            tally.global_writes += 1;
+
+            let counts = if np == 0 {
+                AccessCounts::default()
+            } else {
+                AccessCounts::impl_expected(n, m, np)
+            };
+
+            let mut add = |matrix: MatrixId, amount: u64| {
+                if self.placement.is_shared(matrix) {
+                    tally.shared += amount;
+                } else {
+                    tally.global += amount;
+                }
+            };
+            add(MatrixId::Ptm, counts.ptm + front_ptm);
+            add(MatrixId::Lm, counts.lm);
+            add(MatrixId::Jm, counts.jm);
+            add(MatrixId::Rm, counts.rm);
+            add(MatrixId::Qm, counts.qm);
+            add(MatrixId::Mm, counts.mm);
+        }
+        tally
+    }
+
+    fn finish(
+        &self,
+        nodes: &[FspNode],
+        bounds: Vec<Time>,
+        kernel: KernelTiming,
+        stats: LaunchStats,
+    ) -> BoundingResult {
+        let upload_bytes = self.upload_bytes(nodes);
+        let download_bytes = nodes.len() * 4;
+        let transfer_time = self.device.round_trip_time(upload_bytes, download_bytes);
+        BoundingResult {
+            bounds,
+            kernel,
+            stats,
+            transfer_time,
+            upload_bytes,
+            download_bytes,
+        }
+    }
+
+    fn empty_result(&self) -> BoundingResult {
+        BoundingResult {
+            bounds: Vec::new(),
+            kernel: KernelTiming::from_cost(gpu_sim::timing::KernelCost {
+                compute_seconds: 0.0,
+                latency_seconds: 0.0,
+                bandwidth_seconds: 0.0,
+                overhead_seconds: 0.0,
+                l1_hit_rate: 1.0,
+                total_seconds: 0.0,
+            }),
+            stats: LaunchStats {
+                tally: AccessTally::default(),
+                total_threads: 0,
+                grid_blocks: 0,
+                occupancy: gpu_sim::occupancy::Occupancy {
+                    blocks_per_sm: 0,
+                    active_warps_per_sm: 0,
+                    limiter: gpu_sim::occupancy::OccupancyLimiter::HardwareLimit,
+                },
+                shared_bytes_per_block: 0,
+                global_footprint_bytes: 0,
+            },
+            transfer_time: Duration::ZERO,
+            upload_bytes: 0,
+            download_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb::{frozen_pool, FspProblem};
+    use fsp::taillard::generate;
+    use fsp::LowerBound;
+
+    fn engine_for(
+        inst: &fsp::Instance,
+        placement: DataPlacement,
+        max_pool: usize,
+    ) -> (BoundingEngine, JohnsonLowerBound) {
+        let lb = JohnsonLowerBound::new(inst);
+        let engine = BoundingEngine::new(lb.data(), placement, 256, 26, max_pool);
+        (engine, lb)
+    }
+
+    fn some_nodes(inst: &fsp::Instance, how_many: usize) -> Vec<FspNode> {
+        let problem = FspProblem::new(inst.clone());
+        let frozen = frozen_pool(&problem, how_many);
+        frozen.nodes.into_iter().take(how_many).collect()
+    }
+
+    #[test]
+    fn gpu_bounds_match_the_host_reference_exactly() {
+        let inst = generate("t", 12, 6, 421);
+        let (mut engine, lb) = engine_for(&inst, DataPlacement::SharedJmPtm, 64);
+        let nodes = some_nodes(&inst, 48);
+        let result = engine.bound_nodes(&nodes);
+        assert_eq!(result.bounds.len(), nodes.len());
+        for (node, &gpu_bound) in nodes.iter().zip(&result.bounds) {
+            let host = lb.bound_prefix_fn(node.front(), |j| node.is_scheduled(j));
+            assert_eq!(gpu_bound, host, "mismatch for prefix {:?}", node.prefix_vec());
+        }
+    }
+
+    #[test]
+    fn bounds_are_identical_across_placements() {
+        let inst = generate("t", 10, 5, 7);
+        let nodes = some_nodes(&inst, 32);
+        let (mut all_global, _) = engine_for(&inst, DataPlacement::AllGlobal, 32);
+        let (mut shared, _) = engine_for(&inst, DataPlacement::SharedJmPtm, 32);
+        let a = all_global.bound_nodes(&nodes);
+        let b = shared.bound_nodes(&nodes);
+        assert_eq!(a.bounds, b.bounds);
+    }
+
+    #[test]
+    fn functional_tally_matches_the_analytic_model() {
+        let inst = generate("t", 11, 5, 99);
+        for placement in [DataPlacement::AllGlobal, DataPlacement::SharedJmPtm] {
+            let (mut engine, _) = engine_for(&inst, placement, 40);
+            let nodes = some_nodes(&inst, 40);
+            let analytic = engine.analytic_tally(&nodes);
+            let functional = engine.bound_nodes(&nodes).stats.tally;
+            assert_eq!(functional, analytic, "placement {:?}", engine.placement());
+        }
+    }
+
+    #[test]
+    fn fast_forward_gives_the_same_bounds_and_timing() {
+        let inst = generate("t", 10, 6, 5);
+        let (mut engine, lb) = engine_for(&inst, DataPlacement::SharedJmPtm, 64);
+        let nodes = some_nodes(&inst, 50);
+        let functional = engine.bound_nodes(&nodes);
+        let fast = engine.bound_nodes_fast(&nodes, &lb);
+        assert_eq!(functional.bounds, fast.bounds);
+        assert_eq!(functional.kernel.duration, fast.kernel.duration);
+        assert_eq!(functional.transfer_time, fast.transfer_time);
+    }
+
+    #[test]
+    fn complete_schedules_get_their_makespan_back() {
+        let inst = generate("t", 6, 4, 33);
+        let (mut engine, _) = engine_for(&inst, DataPlacement::AllGlobal, 4);
+        let perm: Vec<usize> = (0..6).collect();
+        let leaf = FspNode::from_prefix(&inst, &perm);
+        let result = engine.bound_nodes(&[leaf]);
+        assert_eq!(result.bounds, vec![fsp::makespan(&inst, &perm)]);
+    }
+
+    #[test]
+    fn shared_placement_moves_traffic_off_global_memory() {
+        let inst = generate("t", 12, 6, 3);
+        let nodes = some_nodes(&inst, 32);
+        let (mut g, _) = engine_for(&inst, DataPlacement::AllGlobal, 32);
+        let (mut s, _) = engine_for(&inst, DataPlacement::SharedJmPtm, 32);
+        let tg = g.bound_nodes(&nodes).stats.tally;
+        let ts = s.bound_nodes(&nodes).stats.tally;
+        assert_eq!(tg.shared, 0);
+        assert!(ts.shared > 0);
+        assert!(ts.global < tg.global);
+        assert_eq!(tg.total(), ts.total(), "placement must not change the work");
+    }
+
+    #[test]
+    fn transfer_accounting_reflects_node_depths() {
+        let inst = generate("t", 10, 4, 11);
+        let (engine, _) = engine_for(&inst, DataPlacement::AllGlobal, 8);
+        let shallow = FspNode::from_prefix(&inst, &[1]);
+        let deep = FspNode::from_prefix(&inst, &[1, 2, 3, 4, 5]);
+        assert_eq!(engine.upload_bytes(&[shallow.clone()]), 4);
+        assert_eq!(engine.upload_bytes(&[deep.clone()]), 12);
+        assert_eq!(engine.upload_bytes(&[shallow, deep]), 16);
+    }
+
+    #[test]
+    fn empty_pool_is_a_no_op() {
+        let inst = generate("t", 8, 4, 2);
+        let (mut engine, _) = engine_for(&inst, DataPlacement::AllGlobal, 8);
+        let result = engine.bound_nodes(&[]);
+        assert!(result.bounds.is_empty());
+        assert_eq!(result.kernel.duration, Duration::ZERO);
+        assert_eq!(result.transfer_time, Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds engine capacity")]
+    fn oversized_pool_panics() {
+        let inst = generate("t", 8, 4, 2);
+        let (mut engine, _) = engine_for(&inst, DataPlacement::AllGlobal, 4);
+        let nodes: Vec<FspNode> = (0..8).map(|j| FspNode::from_prefix(&inst, &[j])).collect();
+        engine.bound_nodes(&nodes);
+    }
+
+    #[test]
+    fn lower_bound_trait_consistency_via_engine() {
+        // The engine's bounds drive pruning exactly like the host bound when
+        // accessed through the LowerBound trait on partial schedules.
+        let inst = generate("t", 9, 5, 71);
+        let (mut engine, lb) = engine_for(&inst, DataPlacement::SharedJmPtm, 16);
+        let node = FspNode::from_prefix(&inst, &[2, 4]);
+        let via_engine = engine.bound_nodes(std::slice::from_ref(&node)).bounds[0];
+        let sched = fsp::PartialSchedule::from_prefix(&inst, &[2, 4]);
+        assert_eq!(via_engine, lb.bound(&sched));
+    }
+}

@@ -1,0 +1,355 @@
+//! The GPU-accelerated Branch-and-Bound solver.
+//!
+//! The exploration follows Figure 3 of the paper: **selection**, **branching**
+//! and **elimination** run on the CPU; freshly generated sub-problems are
+//! accumulated into a pool of the configured size and off-loaded to the
+//! (simulated) GPU, where one thread evaluates the lower bound of one
+//! sub-problem; the bounds come back and drive pruning and the incumbent.
+
+use crate::config::GpuSolverConfig;
+use crate::offload::BoundingEngine;
+use crate::placement::MatrixId;
+use crate::stats::GpuRunStats;
+use bb::pool::Pool;
+use bb::{BestFirstPool, FspNode, FspProblem, SharedUpperBound};
+use bb::stats::SolveStats;
+use bb::solver::StopReason;
+use fsp::bound::counts::AccessCounts;
+use fsp::{Instance, JohnsonLowerBound, Job, Time};
+use gpu_sim::HostModel;
+use std::time::Instant;
+
+/// Result of a GPU-accelerated solve.
+#[derive(Debug, Clone)]
+pub struct GpuSolveOutcome {
+    /// Best makespan found.
+    pub best_makespan: Time,
+    /// Schedule achieving it, when one was reached or supplied.
+    pub best_schedule: Option<Vec<Job>>,
+    /// Node counters (same semantics as the serial solver's).
+    pub stats: SolveStats,
+    /// Device-side accounting (kernel/transfer time, modelled speedup).
+    pub gpu: GpuRunStats,
+    /// Why the solve stopped.
+    pub stop: StopReason,
+}
+
+impl GpuSolveOutcome {
+    /// `true` when the search proved optimality.
+    pub fn is_optimal(&self) -> bool {
+        self.stop == StopReason::Exhausted
+    }
+
+    /// The parallel efficiency (`T_serial / T_gpu`) the paper reports, under
+    /// the given host model and this instance's matrix footprint.
+    pub fn speedup(&self, host: &HostModel, footprint_bytes: usize) -> f64 {
+        self.gpu.speedup(host, footprint_bytes)
+    }
+}
+
+/// B&B solver with GPU-offloaded bounding.
+pub struct GpuBnbSolver {
+    problem: FspProblem<JohnsonLowerBound>,
+    config: GpuSolverConfig,
+}
+
+impl GpuBnbSolver {
+    /// Creates a solver for `inst` with the paper's Johnson lower bound.
+    pub fn new(inst: Instance, config: GpuSolverConfig) -> Self {
+        Self {
+            problem: FspProblem::new(inst),
+            config,
+        }
+    }
+
+    /// Creates a solver from an existing problem (sharing its bound data).
+    pub fn from_problem(problem: FspProblem<JohnsonLowerBound>, config: GpuSolverConfig) -> Self {
+        Self { problem, config }
+    }
+
+    /// The underlying problem.
+    pub fn problem(&self) -> &FspProblem<JohnsonLowerBound> {
+        &self.problem
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GpuSolverConfig {
+        &self.config
+    }
+
+    /// Byte footprint of the six bound matrices (packed, as on the device) —
+    /// the figure used by the host cache model when computing speedups.
+    pub fn matrix_footprint_bytes(&self) -> usize {
+        let inst = self.problem.instance();
+        MatrixId::ALL
+            .iter()
+            .map(|m| m.packed_bytes(inst.jobs(), inst.machines()))
+            .sum()
+    }
+
+    /// Solves from the root.
+    pub fn solve(&self) -> GpuSolveOutcome {
+        let mut root = self.problem.root();
+        self.problem.bound(&mut root);
+        self.solve_from(vec![root], None, None)
+    }
+
+    /// Solves from an explicit list of pending sub-problems (the frozen-pool
+    /// protocol), optionally seeded with an incumbent.
+    pub fn solve_from(
+        &self,
+        initial_nodes: Vec<FspNode>,
+        initial_ub: Option<Time>,
+        initial_schedule: Option<Vec<Job>>,
+    ) -> GpuSolveOutcome {
+        let start = Instant::now();
+        let inst = self.problem.instance();
+        let n = inst.jobs();
+        let m = inst.machines();
+
+        let mut stats = SolveStats::default();
+        let mut gpu = GpuRunStats::default();
+
+        // Incumbent.
+        let mut best_schedule = initial_schedule;
+        let ub = match initial_ub {
+            Some(v) => SharedUpperBound::new(v),
+            None if self.config.use_initial_ub => {
+                let (perm, value) = self.problem.initial_upper_bound();
+                best_schedule = Some(perm);
+                SharedUpperBound::new(value)
+            }
+            None => SharedUpperBound::unbounded(),
+        };
+
+        // Device engine sized for one pool plus the children of the last
+        // decomposed node.
+        let mut engine = BoundingEngine::new(
+            self.problem.bound_fn().data(),
+            self.config.placement.clone(),
+            self.config.block_threads,
+            self.config.registers_per_thread,
+            self.config.pool_size + n,
+        );
+        let host_lb = self.problem.bound_fn().clone();
+
+        let mut pool = BestFirstPool::new();
+        for node in initial_nodes {
+            pool.push(node);
+        }
+        stats.max_pool = pool.len();
+
+        let mut stop = StopReason::Exhausted;
+        'outer: loop {
+            if let Some(limit) = self.config.node_limit {
+                if stats.bounded >= limit {
+                    stop = StopReason::NodeLimit;
+                    break;
+                }
+            }
+            if let Some(limit) = self.config.time_limit {
+                if start.elapsed() >= limit {
+                    stop = StopReason::TimeLimit;
+                    break;
+                }
+            }
+
+            // Selection + branching on the CPU: accumulate children until the
+            // configured pool size is reached or the pending pool runs dry.
+            let mut batch: Vec<FspNode> = Vec::with_capacity(self.config.pool_size + n);
+            while batch.len() < self.config.pool_size {
+                let Some(node) = pool.pop() else { break };
+                stats.selected += 1;
+                if ub.prunes(node.bound()) {
+                    stats.pruned += 1;
+                    continue;
+                }
+                stats.decomposed += 1;
+                batch.extend(self.problem.branch(&node));
+            }
+            if batch.is_empty() {
+                if pool.is_empty() {
+                    break 'outer;
+                }
+                continue;
+            }
+
+            // Bounding on the GPU.
+            let result = if self.config.fast_forward {
+                engine.bound_nodes_fast(&batch, &host_lb)
+            } else {
+                engine.bound_nodes(&batch)
+            };
+            gpu.iterations += 1;
+            gpu.nodes_bounded += batch.len() as u64;
+            gpu.kernel_time += result.kernel.duration;
+            gpu.transfer_time += result.transfer_time;
+            gpu.upload_bytes += result.upload_bytes as u64;
+            gpu.download_bytes += result.download_bytes as u64;
+            for node in &batch {
+                let np = n - node.depth();
+                let counts = if np == 0 {
+                    AccessCounts::default()
+                } else {
+                    AccessCounts::impl_expected(n, m, np)
+                };
+                gpu.serial_accesses += counts.total();
+            }
+
+            // Elimination on the CPU.
+            for (mut child, bound) in batch.into_iter().zip(result.bounds) {
+                child.set_bound(bound);
+                stats.bounded += 1;
+                if self.problem.is_leaf(&child) {
+                    stats.leaves += 1;
+                    let cost = self.problem.leaf_cost(&child);
+                    if ub.try_improve(cost) {
+                        stats.improvements += 1;
+                        best_schedule = Some(child.prefix_vec());
+                    }
+                } else if ub.prunes(bound) {
+                    stats.pruned += 1;
+                } else {
+                    pool.push(child);
+                }
+            }
+            stats.max_pool = stats.max_pool.max(pool.len());
+        }
+
+        gpu.wall_time = start.elapsed();
+        GpuSolveOutcome {
+            best_makespan: ub.get(),
+            best_schedule,
+            stats,
+            gpu,
+            stop,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::DataPlacement;
+    use bb::{SerialSolver, SolverConfig};
+    use fsp::brute::brute_force_optimal;
+    use fsp::taillard::generate;
+
+    fn config(pool: usize, placement: DataPlacement, fast: bool) -> GpuSolverConfig {
+        GpuSolverConfig {
+            pool_size: pool,
+            placement,
+            fast_forward: fast,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn finds_the_optimum_of_tiny_instances() {
+        for seed in 1..=5 {
+            let inst = generate(format!("t{seed}"), 7, 4, seed * 37);
+            let (_, expected) = brute_force_optimal(&inst);
+            let solver = GpuBnbSolver::new(inst.clone(), config(64, DataPlacement::SharedJmPtm, false));
+            let outcome = solver.solve();
+            assert!(outcome.is_optimal());
+            assert_eq!(outcome.best_makespan, expected, "seed {seed}");
+            let sched = outcome.best_schedule.expect("schedule");
+            assert_eq!(fsp::makespan(&inst, &sched), expected);
+        }
+    }
+
+    #[test]
+    fn gpu_and_serial_solvers_agree() {
+        let inst = generate("t", 8, 5, 4242);
+        let serial = SerialSolver::with_defaults(FspProblem::new(inst.clone())).solve();
+        let gpu = GpuBnbSolver::new(inst, config(32, DataPlacement::AllGlobal, false)).solve();
+        assert_eq!(serial.best_makespan, gpu.best_makespan);
+    }
+
+    #[test]
+    fn fast_forward_gives_identical_results() {
+        let inst = generate("t", 8, 4, 77);
+        let slow = GpuBnbSolver::new(inst.clone(), config(48, DataPlacement::SharedJmPtm, false)).solve();
+        let fast = GpuBnbSolver::new(inst, config(48, DataPlacement::SharedJmPtm, true)).solve();
+        assert_eq!(slow.best_makespan, fast.best_makespan);
+        assert_eq!(slow.stats.bounded, fast.stats.bounded);
+        assert_eq!(slow.gpu.nodes_bounded, fast.gpu.nodes_bounded);
+    }
+
+    #[test]
+    fn placement_changes_timing_but_not_results() {
+        let inst = generate("t", 9, 5, 11);
+        let all_global =
+            GpuBnbSolver::new(inst.clone(), config(64, DataPlacement::AllGlobal, false)).solve();
+        let shared =
+            GpuBnbSolver::new(inst, config(64, DataPlacement::SharedJmPtm, false)).solve();
+        assert_eq!(all_global.best_makespan, shared.best_makespan);
+        assert_eq!(all_global.stats.bounded, shared.stats.bounded);
+        // Timing estimates may differ (that is the point of the placement).
+        assert!(all_global.gpu.kernel_time > std::time::Duration::ZERO);
+        assert!(shared.gpu.kernel_time > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn frozen_pool_runs_reach_the_same_optimum() {
+        let inst = generate("t", 8, 4, 21);
+        let (_, expected) = brute_force_optimal(&inst);
+        let problem = FspProblem::new(inst.clone());
+        let frozen = bb::frozen_pool(&problem, 32);
+        let solver = GpuBnbSolver::from_problem(problem, config(16, DataPlacement::SharedJmPtm, false));
+        let outcome = solver.solve_from(
+            frozen.nodes.clone(),
+            Some(frozen.upper_bound),
+            frozen.best_schedule.clone(),
+        );
+        assert_eq!(outcome.best_makespan, expected);
+        // The serial reference over the same frozen pool agrees.
+        let serial = SerialSolver::new(FspProblem::new(inst), SolverConfig::default())
+            .solve_from(frozen.nodes, Some(frozen.upper_bound), frozen.best_schedule);
+        assert_eq!(serial.best_makespan, outcome.best_makespan);
+    }
+
+    #[test]
+    fn node_limit_truncates_the_search() {
+        let inst = generate("t", 12, 10, 5);
+        let cfg = GpuSolverConfig {
+            pool_size: 128,
+            node_limit: Some(400),
+            fast_forward: true,
+            ..Default::default()
+        };
+        let outcome = GpuBnbSolver::new(inst, cfg).solve();
+        assert_eq!(outcome.stop, StopReason::NodeLimit);
+        assert!(outcome.stats.bounded >= 400);
+    }
+
+    #[test]
+    fn gpu_accounting_is_populated_and_speedup_positive() {
+        let inst = generate("t", 10, 8, 3);
+        let cfg = GpuSolverConfig {
+            pool_size: 256,
+            node_limit: Some(2_000),
+            fast_forward: true,
+            ..Default::default()
+        };
+        let solver = GpuBnbSolver::new(inst, cfg);
+        let footprint = solver.matrix_footprint_bytes();
+        let outcome = solver.solve();
+        assert!(outcome.gpu.iterations > 0);
+        assert_eq!(outcome.gpu.nodes_bounded, outcome.stats.bounded);
+        assert!(outcome.gpu.kernel_time > std::time::Duration::ZERO);
+        assert!(outcome.gpu.transfer_time > std::time::Duration::ZERO);
+        assert!(outcome.gpu.serial_accesses > 0);
+        let speedup = outcome.speedup(&HostModel::default(), footprint);
+        assert!(speedup > 1.0, "expected a speedup, got {speedup}");
+    }
+
+    #[test]
+    fn footprint_matches_packed_matrix_sizes() {
+        let inst = generate("t", 20, 20, 9);
+        let solver = GpuBnbSolver::new(inst, GpuSolverConfig::default());
+        // PTM 400 + LM 7600*2... computed from the placement module.
+        let expected: usize = MatrixId::ALL.iter().map(|m| m.packed_bytes(20, 20)).sum();
+        assert_eq!(solver.matrix_footprint_bytes(), expected);
+    }
+}

@@ -1,0 +1,151 @@
+//! Accounting of a GPU-accelerated run: modelled device time, modelled
+//! serial time, and the speedup the paper's tables report.
+
+use gpu_sim::{HostModel, TransferModel};
+use std::time::Duration;
+
+/// CPU-side cycles charged per generated node for the operators that stay on
+/// the host (selection, branching, elimination). A small constant: the
+/// paper's measurements put all three together at ≈ 1.5 % of the serial time,
+/// i.e. a few hundred cycles per generated child.
+pub const HOST_OPS_CYCLES_PER_NODE: f64 = 300.0;
+
+/// Aggregated statistics of a GPU-accelerated solve.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GpuRunStats {
+    /// Number of bounding iterations (kernel launches).
+    pub iterations: u64,
+    /// Sub-problems bounded on the device.
+    pub nodes_bounded: u64,
+    /// Modelled kernel time, summed over iterations.
+    pub kernel_time: Duration,
+    /// Modelled PCIe transfer time, summed over iterations.
+    pub transfer_time: Duration,
+    /// Bytes shipped host→device.
+    pub upload_bytes: u64,
+    /// Bytes shipped device→host.
+    pub download_bytes: u64,
+    /// Matrix accesses the equivalent serial bounding would perform (drives
+    /// the modelled serial time).
+    pub serial_accesses: u64,
+    /// Wall-clock time of the *simulation* (useful to budget experiments; not
+    /// a modelled quantity).
+    pub wall_time: Duration,
+}
+
+impl GpuRunStats {
+    /// Modelled CPU time of the operators that remain on the host.
+    pub fn host_ops_time(&self, host: &HostModel) -> Duration {
+        Duration::from_secs_f64(self.nodes_bounded as f64 * HOST_OPS_CYCLES_PER_NODE / host.clock_hz)
+    }
+
+    /// Modelled total time of the GPU-accelerated run: kernels + transfers +
+    /// host-side operators.
+    pub fn modeled_gpu_time(&self, host: &HostModel) -> Duration {
+        self.kernel_time + self.transfer_time + self.host_ops_time(host)
+    }
+
+    /// Modelled time a single CPU core would need to bound the same
+    /// sub-problems (the paper's serial baseline), given the byte footprint
+    /// of the bound matrices.
+    pub fn modeled_serial_time(&self, host: &HostModel, footprint_bytes: usize) -> Duration {
+        host.bounding_time(self.serial_accesses, self.nodes_bounded, footprint_bytes)
+            + self.host_ops_time(host)
+    }
+
+    /// The parallel efficiency the paper reports: modelled serial time over
+    /// modelled GPU time. Returns 0 when nothing was bounded.
+    pub fn speedup(&self, host: &HostModel, footprint_bytes: usize) -> f64 {
+        let gpu = self.modeled_gpu_time(host).as_secs_f64();
+        if gpu == 0.0 {
+            return 0.0;
+        }
+        self.modeled_serial_time(host, footprint_bytes).as_secs_f64() / gpu
+    }
+
+    /// Average nodes bounded per iteration.
+    pub fn average_pool(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.nodes_bounded as f64 / self.iterations as f64
+        }
+    }
+
+    /// Fraction of the modelled GPU time spent transferring data.
+    pub fn transfer_share(&self, host: &HostModel) -> f64 {
+        let total = self.modeled_gpu_time(host).as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.transfer_time.as_secs_f64() / total
+        }
+    }
+
+    /// Effective PCIe bandwidth achieved by the uploads of this run.
+    pub fn effective_upload_bandwidth(&self, transfer: &TransferModel) -> f64 {
+        let _ = transfer;
+        if self.transfer_time.is_zero() {
+            0.0
+        } else {
+            (self.upload_bytes + self.download_bytes) as f64 / self.transfer_time.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GpuRunStats {
+        GpuRunStats {
+            iterations: 10,
+            nodes_bounded: 10_000,
+            kernel_time: Duration::from_millis(50),
+            transfer_time: Duration::from_millis(5),
+            upload_bytes: 1_000_000,
+            download_bytes: 40_000,
+            serial_accesses: 150_000_000,
+            wall_time: Duration::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn modeled_times_compose() {
+        let host = HostModel::default();
+        let s = sample();
+        let total = s.modeled_gpu_time(&host);
+        assert!(total >= s.kernel_time + s.transfer_time);
+        assert!(s.host_ops_time(&host) > Duration::ZERO);
+    }
+
+    #[test]
+    fn speedup_is_serial_over_gpu() {
+        let host = HostModel::default();
+        let s = sample();
+        let speedup = s.speedup(&host, 64 * 1024);
+        let expected = s.modeled_serial_time(&host, 64 * 1024).as_secs_f64()
+            / s.modeled_gpu_time(&host).as_secs_f64();
+        assert!((speedup - expected).abs() < 1e-12);
+        assert!(speedup > 1.0, "this workload should favour the GPU");
+    }
+
+    #[test]
+    fn empty_run_has_zero_speedup() {
+        let host = HostModel::default();
+        let empty = GpuRunStats::default();
+        assert_eq!(empty.speedup(&host, 1024), 0.0);
+        assert_eq!(empty.average_pool(), 0.0);
+        assert_eq!(empty.transfer_share(&host), 0.0);
+    }
+
+    #[test]
+    fn averages_and_shares() {
+        let host = HostModel::default();
+        let s = sample();
+        assert!((s.average_pool() - 1000.0).abs() < 1e-9);
+        let share = s.transfer_share(&host);
+        assert!(share > 0.0 && share < 1.0);
+        assert!(s.effective_upload_bandwidth(&TransferModel::default()) > 0.0);
+    }
+}

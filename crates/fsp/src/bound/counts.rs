@@ -1,0 +1,169 @@
+//! Memory-access accounting for the lower-bound kernel — the quantitative
+//! basis of the paper's data-placement decision (Table I).
+//!
+//! Two models are provided:
+//!
+//! * [`AccessCounts::paper_expected`] — the closed-form access counts the
+//!   paper reports in Table I;
+//! * [`AccessCounts::impl_expected`] — the exact counts of *this*
+//!   implementation, which differ only for `RM`/`QM` (the paper lists them as
+//!   `m`-sized vectors whereas the Figure 2 pseudo-code, and we, index them
+//!   per job; both agree that they are negligible next to `PTM`/`JM`/`LM`).
+//!
+//! The instrumented bound
+//! ([`super::johnson_lb::JohnsonLowerBound::bound_prefix_counted`]) is tested
+//! against `impl_expected`, and the GPU simulator's traffic model consumes
+//! these counts to price each memory space.
+
+/// Number of reads of each of the six lower-bound matrices during one bound
+/// evaluation.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AccessCounts {
+    /// Reads of the processing-time matrix `PTM`.
+    pub ptm: u64,
+    /// Reads of the lag matrix `LM`.
+    pub lm: u64,
+    /// Reads of the Johnson-order matrix `JM`.
+    pub jm: u64,
+    /// Reads of the head matrix `RM`.
+    pub rm: u64,
+    /// Reads of the tail matrix `QM`.
+    pub qm: u64,
+    /// Reads of the machine-pair table `MM`.
+    pub mm: u64,
+}
+
+impl AccessCounts {
+    /// Total number of matrix reads.
+    pub fn total(&self) -> u64 {
+        self.ptm + self.lm + self.jm + self.rm + self.qm + self.mm
+    }
+
+    /// Element-wise sum of two access-count records.
+    pub fn add(&self, other: &AccessCounts) -> AccessCounts {
+        AccessCounts {
+            ptm: self.ptm + other.ptm,
+            lm: self.lm + other.lm,
+            jm: self.jm + other.jm,
+            rm: self.rm + other.rm,
+            qm: self.qm + other.qm,
+            mm: self.mm + other.mm,
+        }
+    }
+
+    /// The access counts reported in Table I of the paper for one bound
+    /// evaluation on an `n × m` instance with `n_remaining` unscheduled jobs.
+    pub fn paper_expected(n: usize, m: usize, n_remaining: usize) -> AccessCounts {
+        let (n, m, np) = (n as u64, m as u64, n_remaining as u64);
+        let pairs = m * (m - 1) / 2;
+        AccessCounts {
+            ptm: np * m * (m - 1),
+            lm: np * pairs,
+            jm: n * pairs,
+            rm: m * (m - 1),
+            qm: pairs,
+            mm: m * (m - 1),
+        }
+    }
+
+    /// The exact access counts of this crate's implementation
+    /// ([`super::johnson_lb::JohnsonLowerBound`]) for one bound evaluation,
+    /// assuming at least one job remains unscheduled.
+    pub fn impl_expected(n: usize, m: usize, n_remaining: usize) -> AccessCounts {
+        let (n, m, np) = (n as u64, m as u64, n_remaining as u64);
+        let pairs = m * (m - 1) / 2;
+        AccessCounts {
+            ptm: np * m * (m - 1), // two PTM reads per remaining job per pair
+            lm: np * pairs,
+            jm: n * pairs,
+            rm: np * m, // per-machine minima computed once per sub-problem
+            qm: np * m,
+            mm: m * (m - 1),
+        }
+    }
+
+    /// Per-matrix sizes (element counts) as analysed in Table I, in the order
+    /// `(PTM, LM, JM, RM, QM, MM)`, with `RM`/`QM` following the Figure 2
+    /// per-job indexing used by this implementation.
+    pub fn sizes(n: usize, m: usize) -> [usize; 6] {
+        let pairs = m * (m - 1) / 2;
+        [n * m, n * pairs, n * pairs, n * m, n * m, pairs * 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::johnson_lb::JohnsonLowerBound;
+    use crate::schedule::PartialSchedule;
+    use crate::taillard::generate;
+
+    #[test]
+    fn instrumented_counts_match_impl_model() {
+        for (n, m, prefix_len) in [(10usize, 5usize, 0usize), (12, 6, 3), (20, 20, 5)] {
+            let inst = generate(format!("c{n}x{m}"), n, m, 1000 + (n * m) as i64);
+            let lb = JohnsonLowerBound::new(&inst);
+            let prefix: Vec<usize> = (0..prefix_len).collect();
+            let sched = PartialSchedule::from_prefix(&inst, &prefix);
+            let mut scheduled = vec![false; n];
+            for &j in &prefix {
+                scheduled[j] = true;
+            }
+            let (_, counts) = lb.bound_prefix_counted(sched.front(), &scheduled);
+            let expected = AccessCounts::impl_expected(n, m, n - prefix_len);
+            assert_eq!(counts, expected, "mismatch for {n}x{m}, prefix {prefix_len}");
+        }
+    }
+
+    #[test]
+    fn paper_and_impl_agree_on_the_dominant_structures() {
+        let paper = AccessCounts::paper_expected(200, 20, 190);
+        let imp = AccessCounts::impl_expected(200, 20, 190);
+        assert_eq!(paper.ptm, imp.ptm);
+        assert_eq!(paper.lm, imp.lm);
+        assert_eq!(paper.jm, imp.jm);
+        assert_eq!(paper.mm, imp.mm);
+        // PTM and JM dominate in both models — the basis of the shared-memory
+        // placement recommendation.
+        assert!(imp.ptm > imp.rm && imp.ptm > imp.qm && imp.ptm > imp.mm);
+        assert!(imp.jm > imp.rm && imp.jm > imp.qm && imp.jm > imp.mm);
+    }
+
+    #[test]
+    fn table_one_formulas_for_200x20() {
+        let c = AccessCounts::paper_expected(200, 20, 200);
+        assert_eq!(c.ptm, 200 * 20 * 19);
+        assert_eq!(c.lm, 200 * 190);
+        assert_eq!(c.jm, 200 * 190);
+        assert_eq!(c.rm, 20 * 19);
+        assert_eq!(c.qm, 190);
+        assert_eq!(c.mm, 20 * 19);
+    }
+
+    #[test]
+    fn sizes_match_bound_data() {
+        let inst = generate("s", 50, 20, 3);
+        let data = crate::bound::data::BoundData::new(&inst);
+        let sizes = AccessCounts::sizes(50, 20);
+        let bytes = data.sizes_bytes();
+        for i in 0..6 {
+            assert_eq!(sizes[i] * 4, bytes[i]);
+        }
+    }
+
+    #[test]
+    fn totals_and_addition() {
+        let a = AccessCounts {
+            ptm: 1,
+            lm: 2,
+            jm: 3,
+            rm: 4,
+            qm: 5,
+            mm: 6,
+        };
+        assert_eq!(a.total(), 21);
+        let b = a.add(&a);
+        assert_eq!(b.total(), 42);
+        assert_eq!(b.ptm, 2);
+    }
+}

@@ -1,0 +1,62 @@
+//! Lower bounds for the permutation Flow-Shop problem.
+//!
+//! The efficiency of a B&B solver depends critically on its lower-bound
+//! function. The paper uses the two-machine relaxation bound of
+//! Lageweg, Lenstra and Rinnooy Kan (1978), built on Johnson's algorithm
+//! (1954); its data structures and pseudo-code are reproduced in Table I and
+//! Figure 2 of the paper and implemented in [`data`] and [`johnson_lb`].
+//!
+//! A cheaper single-machine bound ([`lb1`]) is provided for ablation studies
+//! (bound quality vs bound cost), and [`counts`] models the memory-access
+//! complexities of Table I, which drive the GPU data-placement decision.
+
+pub mod counts;
+pub mod data;
+pub mod johnson_lb;
+pub mod lb1;
+
+use crate::schedule::PartialSchedule;
+use crate::Time;
+
+/// A lower bound on the best makespan reachable from a partial schedule.
+///
+/// Implementations must be thread-safe: the multi-core baseline evaluates
+/// bounds from several worker threads concurrently.
+pub trait LowerBound: Send + Sync {
+    /// Lower bound on the makespan of every completion of `schedule`.
+    ///
+    /// For a complete schedule the bound must equal its makespan exactly.
+    fn bound(&self, schedule: &PartialSchedule<'_>) -> Time;
+
+    /// Short human-readable name used in experiment reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Blanket implementation so `&B`, `Box<B>` and `Arc<B>` can be passed where
+/// a bound is expected.
+impl<B: LowerBound + ?Sized> LowerBound for &B {
+    fn bound(&self, schedule: &PartialSchedule<'_>) -> Time {
+        (**self).bound(schedule)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<B: LowerBound + ?Sized> LowerBound for std::sync::Arc<B> {
+    fn bound(&self, schedule: &PartialSchedule<'_>) -> Time {
+        (**self).bound(schedule)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<B: LowerBound + ?Sized> LowerBound for Box<B> {
+    fn bound(&self, schedule: &PartialSchedule<'_>) -> Time {
+        (**self).bound(schedule)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}

@@ -1,0 +1,107 @@
+//! Exhaustive enumeration of all permutations — the test oracle for tiny
+//! instances (`n ≤ 10`).
+
+use crate::instance::Instance;
+use crate::schedule::makespan;
+use crate::{Job, Time};
+
+/// Finds the optimal permutation and makespan by enumerating all `n!`
+/// schedules.
+///
+/// Intended for tests only; refuses instances with more than 10 jobs.
+///
+/// # Panics
+///
+/// Panics if `inst.jobs() > 10`.
+pub fn brute_force_optimal(inst: &Instance) -> (Vec<Job>, Time) {
+    assert!(
+        inst.jobs() <= 10,
+        "brute force is only meant for tiny test instances (n <= 10)"
+    );
+    let mut perm: Vec<Job> = (0..inst.jobs()).collect();
+    let mut best_perm = perm.clone();
+    let mut best = makespan(inst, &perm);
+    // Heap's algorithm, iterative.
+    let n = perm.len();
+    let mut c = vec![0usize; n];
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            let val = makespan(inst, &perm);
+            if val < best {
+                best = val;
+                best_perm = perm.clone();
+            }
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    (best_perm, best)
+}
+
+/// Enumerates every permutation and returns all makespans (useful for
+/// distribution-level assertions in tests).
+pub fn all_makespans(inst: &Instance) -> Vec<Time> {
+    assert!(inst.jobs() <= 8, "all_makespans is O(n!)");
+    let mut perm: Vec<Job> = (0..inst.jobs()).collect();
+    let mut out = vec![makespan(inst, &perm)];
+    let n = perm.len();
+    let mut c = vec![0usize; n];
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            out.push(makespan(inst, &perm));
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use crate::schedule::is_permutation;
+
+    #[test]
+    fn brute_force_on_known_toy() {
+        let inst = Instance::from_rows("toy", &[vec![2, 3], vec![4, 1], vec![3, 3]]);
+        let (perm, best) = brute_force_optimal(&inst);
+        assert!(is_permutation(&perm, 3));
+        assert_eq!(best, 10);
+        assert_eq!(makespan(&inst, &perm), 10);
+    }
+
+    #[test]
+    fn brute_force_visits_every_permutation() {
+        let inst = crate::taillard::generate("t", 5, 3, 77);
+        let all = all_makespans(&inst);
+        assert_eq!(all.len(), 120);
+        let (_, best) = brute_force_optimal(&inst);
+        assert_eq!(best, *all.iter().min().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "tiny test instances")]
+    fn brute_force_rejects_large_instances() {
+        let inst = crate::taillard::generate("t", 11, 3, 77);
+        brute_force_optimal(&inst);
+    }
+}

@@ -1,0 +1,206 @@
+//! Flow-Shop problem instances.
+//!
+//! An [`Instance`] is an immutable `n × m` matrix of processing times
+//! `p[j][k]` — the uninterrupted time job `j` needs on machine `k`.
+
+use crate::{Job, Machine, Time};
+use std::fmt;
+
+/// A permutation Flow-Shop instance: `n` jobs × `m` machines of processing
+/// times.
+///
+/// The matrix is stored row-major by job (`p[j * m + k]`), which is also the
+/// layout of the `PTM` matrix that the lower-bound kernel reads
+/// (see [`crate::bound::data::BoundData`]).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Instance {
+    name: String,
+    jobs: usize,
+    machines: usize,
+    /// Row-major `jobs × machines` processing times.
+    pt: Vec<Time>,
+}
+
+impl Instance {
+    /// Builds an instance from a row-major processing-time matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pt.len() != jobs * machines`, if either dimension is zero,
+    /// or if any processing time is zero (Taillard instances use `1..=99`;
+    /// zero-length operations break none of the algorithms but are rejected to
+    /// catch transposed-matrix bugs early).
+    pub fn new(name: impl Into<String>, jobs: usize, machines: usize, pt: Vec<Time>) -> Self {
+        assert!(jobs > 0, "instance must have at least one job");
+        assert!(machines > 0, "instance must have at least one machine");
+        assert_eq!(
+            pt.len(),
+            jobs * machines,
+            "processing-time matrix must be jobs × machines"
+        );
+        assert!(
+            pt.iter().all(|&p| p > 0),
+            "processing times must be strictly positive"
+        );
+        Self {
+            name: name.into(),
+            jobs,
+            machines,
+            pt,
+        }
+    }
+
+    /// Builds an instance from a per-job list of rows (`rows[j][k]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are ragged or empty.
+    pub fn from_rows(name: impl Into<String>, rows: &[Vec<Time>]) -> Self {
+        assert!(!rows.is_empty(), "instance must have at least one job");
+        let machines = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == machines),
+            "all jobs must have the same number of operations"
+        );
+        let pt = rows.iter().flatten().copied().collect();
+        Self::new(name, rows.len(), machines, pt)
+    }
+
+    /// Human-readable instance name (e.g. `"ta021"` or `"rand-50x20-7"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of jobs `n`.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Number of machines `m`.
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// Processing time of `job` on `machine`.
+    #[inline]
+    pub fn pt(&self, job: Job, machine: Machine) -> Time {
+        debug_assert!(job < self.jobs && machine < self.machines);
+        self.pt[job * self.machines + machine]
+    }
+
+    /// The full row of processing times of `job` over all machines.
+    #[inline]
+    pub fn job_row(&self, job: Job) -> &[Time] {
+        &self.pt[job * self.machines..(job + 1) * self.machines]
+    }
+
+    /// Row-major view of the whole processing-time matrix.
+    pub fn raw(&self) -> &[Time] {
+        &self.pt
+    }
+
+    /// Sum of all processing times — a trivial upper bound on the makespan.
+    pub fn total_processing_time(&self) -> Time {
+        self.pt.iter().sum()
+    }
+
+    /// Sum of the processing times of `job` over every machine.
+    pub fn job_total(&self, job: Job) -> Time {
+        self.job_row(job).iter().sum()
+    }
+
+    /// Sum of the processing times on `machine` over every job.
+    pub fn machine_load(&self, machine: Machine) -> Time {
+        (0..self.jobs).map(|j| self.pt(j, machine)).sum()
+    }
+
+    /// A simple per-instance lower bound on the optimal makespan: for each
+    /// machine, its total load plus the smallest head before it and the
+    /// smallest tail after it. Useful as a sanity oracle in tests.
+    pub fn machine_load_bound(&self) -> Time {
+        (0..self.machines)
+            .map(|k| {
+                let head = (0..self.jobs)
+                    .map(|j| (0..k).map(|h| self.pt(j, h)).sum::<Time>())
+                    .min()
+                    .unwrap_or(0);
+                let tail = (0..self.jobs)
+                    .map(|j| (k + 1..self.machines).map(|h| self.pt(j, h)).sum::<Time>())
+                    .min()
+                    .unwrap_or(0);
+                head + self.machine_load(k) + tail
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The `n × m` class label used throughout the paper (e.g. `"200x20"`).
+    pub fn class(&self) -> String {
+        format!("{}x{}", self.jobs, self.machines)
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Instance({}, {} jobs × {} machines)",
+            self.name, self.jobs, self.machines
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Instance {
+        Instance::from_rows("tiny", &[vec![2, 3], vec![4, 1], vec![3, 3]])
+    }
+
+    #[test]
+    fn dimensions_and_accessors() {
+        let inst = tiny();
+        assert_eq!(inst.jobs(), 3);
+        assert_eq!(inst.machines(), 2);
+        assert_eq!(inst.pt(0, 0), 2);
+        assert_eq!(inst.pt(1, 1), 1);
+        assert_eq!(inst.job_row(2), &[3, 3]);
+        assert_eq!(inst.class(), "3x2");
+    }
+
+    #[test]
+    fn totals() {
+        let inst = tiny();
+        assert_eq!(inst.total_processing_time(), 16);
+        assert_eq!(inst.job_total(0), 5);
+        assert_eq!(inst.machine_load(0), 9);
+        assert_eq!(inst.machine_load(1), 7);
+    }
+
+    #[test]
+    fn machine_load_bound_is_sane() {
+        let inst = tiny();
+        // machine 0: head 0, load 9, tail min(3,1,3)=1 -> 10
+        // machine 1: head min(2,4,3)=2, load 7, tail 0 -> 9
+        assert_eq!(inst.machine_load_bound(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "jobs × machines")]
+    fn wrong_matrix_size_panics() {
+        Instance::new("bad", 2, 2, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_processing_time_panics() {
+        Instance::new("bad", 1, 2, vec![0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of operations")]
+    fn ragged_rows_panic() {
+        Instance::from_rows("bad", &[vec![1, 2], vec![3]]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Johnson's algorithm for the two-machine flow shop, and Johnson's rule with
+//! time lags — the building block of the paper's lower bound.
+//!
+//! For `m = 2` the permutation flow shop is solved exactly in `O(n log n)` by
+//! Johnson's rule (S.M. Johnson, 1954): schedule first, in increasing order of
+//! `p1`, the jobs with `p1 < p2`; then, in decreasing order of `p2`, the jobs
+//! with `p1 ≥ p2`.
+//!
+//! The Lageweg–Lenstra–Rinnooy Kan bound relaxes an `m`-machine instance to a
+//! two-machine instance for every machine pair `(k, l)` with `k < l`, where a
+//! job `j` must wait at least its *lag* (the sum of its processing times on
+//! the machines strictly between `k` and `l`) between the two machines.
+//! Johnson's rule applied to the transformed times `(p_jk + lag_j,
+//! lag_j + p_jl)` gives the optimal order of that relaxed problem; this order
+//! is what the paper pre-computes into the `JM` matrix.
+
+use crate::instance::Instance;
+use crate::{Job, Machine, Time};
+
+/// Job order produced by Johnson's rule for two arrays of processing times
+/// `a` (first machine) and `b` (second machine).
+///
+/// Ties are broken by job index so the order is deterministic.
+pub fn johnson_order(a: &[Time], b: &[Time]) -> Vec<Job> {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut first: Vec<Job> = (0..n).filter(|&j| a[j] < b[j]).collect();
+    let mut second: Vec<Job> = (0..n).filter(|&j| a[j] >= b[j]).collect();
+    first.sort_by_key(|&j| (a[j], j));
+    second.sort_by_key(|&j| (std::cmp::Reverse(b[j]), j));
+    first.extend(second);
+    first
+}
+
+/// Makespan of the two-machine flow shop when the jobs are processed in
+/// `order` with processing times `a` on the first machine and `b` on the
+/// second.
+pub fn two_machine_makespan(a: &[Time], b: &[Time], order: &[Job]) -> Time {
+    let mut t1: Time = 0;
+    let mut t2: Time = 0;
+    for &j in order {
+        t1 += a[j];
+        t2 = t2.max(t1) + b[j];
+    }
+    t2
+}
+
+/// Solves the two-machine flow shop exactly: returns the optimal permutation
+/// and its makespan.
+///
+/// # Panics
+///
+/// Panics if `inst` does not have exactly two machines.
+pub fn solve_two_machine(inst: &Instance) -> (Vec<Job>, Time) {
+    assert_eq!(
+        inst.machines(),
+        2,
+        "Johnson's algorithm applies to 2-machine instances"
+    );
+    let n = inst.jobs();
+    let a: Vec<Time> = (0..n).map(|j| inst.pt(j, 0)).collect();
+    let b: Vec<Time> = (0..n).map(|j| inst.pt(j, 1)).collect();
+    let order = johnson_order(&a, &b);
+    let cmax = two_machine_makespan(&a, &b, &order);
+    (order, cmax)
+}
+
+/// The lag of `job` between machines `k` and `l` (with `k < l`): the sum of
+/// its processing times on every machine strictly between the two.
+pub fn lag(inst: &Instance, job: Job, k: Machine, l: Machine) -> Time {
+    debug_assert!(k < l && l < inst.machines());
+    (k + 1..l).map(|h| inst.pt(job, h)).sum()
+}
+
+/// Johnson's rule with lags for the machine pair `(k, l)`: the optimal order
+/// of the relaxed two-machine problem where job `j` takes `p_jk + lag_j` on
+/// the first machine and `lag_j + p_jl` on the second.
+pub fn johnson_order_with_lags(inst: &Instance, k: Machine, l: Machine) -> Vec<Job> {
+    let n = inst.jobs();
+    let a: Vec<Time> = (0..n).map(|j| inst.pt(j, k) + lag(inst, j, k, l)).collect();
+    let b: Vec<Time> = (0..n).map(|j| lag(inst, j, k, l) + inst.pt(j, l)).collect();
+    johnson_order(&a, &b)
+}
+
+/// Two-machine makespan *with lags* of the given job order for machine pair
+/// `(k, l)`, starting the first machine at `release_k` and the second at
+/// `release_l`, considering only the jobs for which `include` returns true.
+///
+/// This is exactly the inner loop of the paper's Figure 2 pseudo-code.
+pub fn two_machine_makespan_with_lags(
+    inst: &Instance,
+    order: &[Job],
+    k: Machine,
+    l: Machine,
+    release_k: Time,
+    release_l: Time,
+    include: impl Fn(Job) -> bool,
+) -> Time {
+    let mut time_on_m1 = release_k;
+    let mut time_on_m2 = release_l;
+    for &job in order {
+        if !include(job) {
+            continue;
+        }
+        time_on_m1 += inst.pt(job, k);
+        let ready_on_m2 = time_on_m1 + lag(inst, job, k, l);
+        time_on_m2 = time_on_m2.max(ready_on_m2) + inst.pt(job, l);
+    }
+    time_on_m2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_optimal;
+    use crate::instance::Instance;
+    use crate::schedule::makespan;
+
+    #[test]
+    fn johnson_textbook_example() {
+        // Classic example: jobs with (a, b) times.
+        let a = vec![3, 5, 1, 6, 7];
+        let b = vec![6, 2, 2, 6, 5];
+        let order = johnson_order(&a, &b);
+        // Jobs with a < b: {0 (3), 2 (1)} sorted by a -> [2, 0]
+        // Jobs with a >= b: {1 (b=2), 3 (b=6), 4 (b=5)} sorted by b desc -> [3, 4, 1]
+        assert_eq!(order, vec![2, 0, 3, 4, 1]);
+    }
+
+    #[test]
+    fn johnson_is_optimal_on_small_random_instances() {
+        for seed in 1..=10 {
+            let inst = crate::taillard::generate(format!("j{seed}"), 7, 2, seed * 17);
+            let (order, cmax) = solve_two_machine(&inst);
+            assert_eq!(makespan(&inst, &order), cmax);
+            let (_, best) = brute_force_optimal(&inst);
+            assert_eq!(cmax, best, "Johnson not optimal for seed {seed}");
+        }
+    }
+
+    #[test]
+    fn two_machine_makespan_matches_full_recurrence() {
+        let inst = crate::taillard::generate("t", 6, 2, 99);
+        let n = inst.jobs();
+        let a: Vec<Time> = (0..n).map(|j| inst.pt(j, 0)).collect();
+        let b: Vec<Time> = (0..n).map(|j| inst.pt(j, 1)).collect();
+        let order: Vec<Job> = (0..n).collect();
+        assert_eq!(
+            two_machine_makespan(&a, &b, &order),
+            makespan(&inst, &order)
+        );
+    }
+
+    #[test]
+    fn lag_is_sum_of_intermediate_machines() {
+        let inst = Instance::from_rows("l", &[vec![1, 2, 3, 4, 5]]);
+        assert_eq!(lag(&inst, 0, 0, 1), 0);
+        assert_eq!(lag(&inst, 0, 0, 2), 2);
+        assert_eq!(lag(&inst, 0, 0, 4), 2 + 3 + 4);
+        assert_eq!(lag(&inst, 0, 2, 4), 4);
+    }
+
+    #[test]
+    fn makespan_with_lags_reduces_to_plain_for_adjacent_machines() {
+        let inst = crate::taillard::generate("t", 8, 2, 4242);
+        let order = johnson_order_with_lags(&inst, 0, 1);
+        let with_lags =
+            two_machine_makespan_with_lags(&inst, &order, 0, 1, 0, 0, |_| true);
+        assert_eq!(with_lags, makespan(&inst, &order));
+    }
+
+    #[test]
+    fn releases_shift_the_makespan() {
+        let inst = crate::taillard::generate("t", 5, 3, 7);
+        let order = johnson_order_with_lags(&inst, 0, 2);
+        let base = two_machine_makespan_with_lags(&inst, &order, 0, 2, 0, 0, |_| true);
+        let shifted = two_machine_makespan_with_lags(&inst, &order, 0, 2, 10, 0, |_| true);
+        assert!(shifted >= base);
+        let shifted_l = two_machine_makespan_with_lags(&inst, &order, 0, 2, 0, 1000, |_| true);
+        assert!(shifted_l >= 1000);
+    }
+
+    #[test]
+    fn include_filter_restricts_jobs() {
+        let inst = crate::taillard::generate("t", 6, 3, 11);
+        let order = johnson_order_with_lags(&inst, 0, 2);
+        let all = two_machine_makespan_with_lags(&inst, &order, 0, 2, 0, 0, |_| true);
+        let none = two_machine_makespan_with_lags(&inst, &order, 0, 2, 3, 5, |_| false);
+        assert_eq!(none, 5);
+        assert!(all > none);
+    }
+
+    #[test]
+    fn johnson_order_is_a_permutation() {
+        let inst = crate::taillard::generate("t", 30, 5, 1234);
+        for k in 0..4 {
+            for l in (k + 1)..5 {
+                let order = johnson_order_with_lags(&inst, k, l);
+                assert!(crate::schedule::is_permutation(&order, 30));
+            }
+        }
+    }
+}

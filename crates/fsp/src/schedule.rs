@@ -1,0 +1,268 @@
+//! Makespan evaluation of complete and partial permutation schedules.
+//!
+//! In a permutation flow shop a schedule is fully described by one permutation
+//! of the jobs: every machine processes the jobs in that order. The makespan
+//! is obtained by the classical completion-time recurrence
+//! `C[j][k] = max(C[j-1][k], C[j][k-1]) + p[π(j)][k]`.
+//!
+//! A *partial* schedule (the B&B tree nodes) is a prefix of a permutation;
+//! its state is summarised by the *front* — the completion time of the prefix
+//! on every machine — which is all the lower bound needs.
+
+use crate::instance::Instance;
+use crate::{Job, Time};
+
+/// Computes the makespan of a complete permutation `perm` on `inst`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `perm` is not a permutation of `0..n`.
+pub fn makespan(inst: &Instance, perm: &[Job]) -> Time {
+    debug_assert_eq!(perm.len(), inst.jobs());
+    debug_assert!(is_permutation(perm, inst.jobs()));
+    let m = inst.machines();
+    let mut completion = vec![0 as Time; m];
+    for &job in perm {
+        let mut prev = 0;
+        for (k, c) in completion.iter_mut().enumerate() {
+            let start = (*c).max(prev);
+            *c = start + inst.pt(job, k);
+            prev = *c;
+        }
+    }
+    completion[m - 1]
+}
+
+/// Computes the *front* of a prefix: element `k` is the completion time of the
+/// last prefix job on machine `k` (all zeros for an empty prefix).
+pub fn makespan_prefix(inst: &Instance, prefix: &[Job]) -> Vec<Time> {
+    let m = inst.machines();
+    let mut completion = vec![0 as Time; m];
+    for &job in prefix {
+        let mut prev = 0;
+        for (k, c) in completion.iter_mut().enumerate() {
+            let start = (*c).max(prev);
+            *c = start + inst.pt(job, k);
+            prev = *c;
+        }
+    }
+    completion
+}
+
+/// Returns `true` when `perm` is a permutation of `0..n`.
+pub fn is_permutation(perm: &[Job], n: usize) -> bool {
+    if perm.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &j in perm {
+        if j >= n || seen[j] {
+            return false;
+        }
+        seen[j] = true;
+    }
+    true
+}
+
+/// A partial schedule: an immutable instance reference plus a scheduled
+/// prefix, maintained incrementally with its front.
+///
+/// This is the CPU-side representation of a B&B node's schedule; pushing a
+/// job is `O(m)`.
+#[derive(Debug, Clone)]
+pub struct PartialSchedule<'a> {
+    inst: &'a Instance,
+    prefix: Vec<Job>,
+    scheduled: Vec<bool>,
+    front: Vec<Time>,
+}
+
+impl<'a> PartialSchedule<'a> {
+    /// Creates an empty partial schedule for `inst`.
+    pub fn new(inst: &'a Instance) -> Self {
+        Self {
+            inst,
+            prefix: Vec::with_capacity(inst.jobs()),
+            scheduled: vec![false; inst.jobs()],
+            front: vec![0; inst.machines()],
+        }
+    }
+
+    /// Creates a partial schedule from an existing prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prefix repeats a job or references a job `>= n`.
+    pub fn from_prefix(inst: &'a Instance, prefix: &[Job]) -> Self {
+        let mut s = Self::new(inst);
+        for &j in prefix {
+            s.push(j);
+        }
+        s
+    }
+
+    /// The instance this schedule belongs to.
+    pub fn instance(&self) -> &'a Instance {
+        self.inst
+    }
+
+    /// The scheduled prefix, in order.
+    pub fn prefix(&self) -> &[Job] {
+        &self.prefix
+    }
+
+    /// Completion times of the prefix on every machine.
+    pub fn front(&self) -> &[Time] {
+        &self.front
+    }
+
+    /// Number of scheduled jobs.
+    pub fn depth(&self) -> usize {
+        self.prefix.len()
+    }
+
+    /// Number of jobs still to schedule (`n'` in the paper's Table I).
+    pub fn remaining(&self) -> usize {
+        self.inst.jobs() - self.prefix.len()
+    }
+
+    /// `true` when every job is scheduled.
+    pub fn is_complete(&self) -> bool {
+        self.prefix.len() == self.inst.jobs()
+    }
+
+    /// `true` when `job` is already in the prefix.
+    pub fn is_scheduled(&self, job: Job) -> bool {
+        self.scheduled[job]
+    }
+
+    /// Iterator over the jobs not yet scheduled, in index order.
+    pub fn unscheduled(&self) -> impl Iterator<Item = Job> + '_ {
+        (0..self.inst.jobs()).filter(move |&j| !self.scheduled[j])
+    }
+
+    /// Appends `job` to the prefix, updating the front in `O(m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is already scheduled or out of range.
+    pub fn push(&mut self, job: Job) {
+        assert!(job < self.inst.jobs(), "job {job} out of range");
+        assert!(!self.scheduled[job], "job {job} already scheduled");
+        self.scheduled[job] = true;
+        self.prefix.push(job);
+        let mut prev = 0;
+        for (k, c) in self.front.iter_mut().enumerate() {
+            let start = (*c).max(prev);
+            *c = start + self.inst.pt(job, k);
+            prev = *c;
+        }
+    }
+
+    /// Removes the last scheduled job and recomputes the front.
+    ///
+    /// Returns the popped job, or `None` if the prefix is empty. The front is
+    /// recomputed from scratch (`O(l·m)`), which is fine for the depth-first
+    /// CPU solver where pops are rare compared to bound evaluations.
+    pub fn pop(&mut self) -> Option<Job> {
+        let job = self.prefix.pop()?;
+        self.scheduled[job] = false;
+        self.front = makespan_prefix(self.inst, &self.prefix);
+        Some(job)
+    }
+
+    /// Makespan of the prefix alone (completion of its last job on the last
+    /// machine). Equals the full makespan when the schedule is complete.
+    pub fn prefix_makespan(&self) -> Time {
+        *self.front.last().expect("at least one machine")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+
+    /// The 3-job, 2-machine toy used below has a known optimal value.
+    fn toy() -> Instance {
+        Instance::from_rows("toy", &[vec![2, 3], vec![4, 1], vec![3, 3]])
+    }
+
+    #[test]
+    fn makespan_matches_hand_computation() {
+        let inst = toy();
+        // order 0,1,2:
+        // M0: 2, 6, 9 ; M1: 5, 7, 12
+        assert_eq!(makespan(&inst, &[0, 1, 2]), 12);
+        // order 0,2,1:
+        // M0: 2, 5, 9 ; M1: 5, 8, 10
+        assert_eq!(makespan(&inst, &[0, 2, 1]), 10);
+    }
+
+    #[test]
+    fn makespan_of_single_job() {
+        let inst = Instance::from_rows("one", &[vec![5, 7, 2]]);
+        assert_eq!(makespan(&inst, &[0]), 14);
+    }
+
+    #[test]
+    fn prefix_front_matches_full_recurrence() {
+        let inst = toy();
+        let front = makespan_prefix(&inst, &[0, 1]);
+        assert_eq!(front, vec![6, 7]);
+        let empty = makespan_prefix(&inst, &[]);
+        assert_eq!(empty, vec![0, 0]);
+    }
+
+    #[test]
+    fn partial_schedule_incremental_equals_batch() {
+        let inst = toy();
+        let mut s = PartialSchedule::new(&inst);
+        s.push(2);
+        s.push(0);
+        assert_eq!(s.front(), makespan_prefix(&inst, &[2, 0]).as_slice());
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.remaining(), 1);
+        assert!(!s.is_complete());
+        assert_eq!(s.unscheduled().collect::<Vec<_>>(), vec![1]);
+        s.push(1);
+        assert!(s.is_complete());
+        assert_eq!(s.prefix_makespan(), makespan(&inst, &[2, 0, 1]));
+    }
+
+    #[test]
+    fn pop_restores_previous_state() {
+        let inst = toy();
+        let mut s = PartialSchedule::from_prefix(&inst, &[1, 0]);
+        let front_before = s.front().to_vec();
+        s.push(2);
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.front(), front_before.as_slice());
+        assert!(!s.is_scheduled(2));
+        assert_eq!(s.prefix(), &[1, 0]);
+    }
+
+    #[test]
+    fn pop_on_empty_returns_none() {
+        let inst = toy();
+        let mut s = PartialSchedule::new(&inst);
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already scheduled")]
+    fn double_push_panics() {
+        let inst = toy();
+        let mut s = PartialSchedule::new(&inst);
+        s.push(0);
+        s.push(0);
+    }
+
+    #[test]
+    fn is_permutation_detects_problems() {
+        assert!(is_permutation(&[2, 0, 1], 3));
+        assert!(!is_permutation(&[0, 0, 1], 3));
+        assert!(!is_permutation(&[0, 1], 3));
+        assert!(!is_permutation(&[0, 1, 3], 3));
+    }
+}

@@ -1,0 +1,157 @@
+//! Device specifications.
+//!
+//! The numbers of the Tesla C2050 preset come from Section IV of the paper
+//! and NVIDIA's Fermi documentation; a smaller "laptop" preset is provided
+//! for tests so that occupancy-related edge cases (few SMs, small shared
+//! memory) are exercised.
+
+use crate::memory::SharedMemoryConfig;
+
+/// Static characteristics of a simulated CUDA device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. `"Tesla C2050"`.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors (SMs).
+    pub multiprocessors: usize,
+    /// CUDA cores per SM.
+    pub cores_per_sm: usize,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: usize,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: usize,
+    /// Maximum threads per block.
+    pub max_threads_per_block: usize,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: usize,
+    /// Size of the global memory in bytes.
+    pub global_memory_bytes: usize,
+    /// Configurable on-chip storage per SM (shared memory + L1), in bytes.
+    pub on_chip_bytes_per_sm: usize,
+    /// Global-memory bandwidth in bytes per second (aggregate).
+    pub memory_bandwidth_bps: f64,
+    /// Theoretical double-precision peak in GFLOPS (used only for the
+    /// "same computational power" comparison of Figure 5).
+    pub peak_gflops: f64,
+}
+
+impl DeviceSpec {
+    /// The NVIDIA Tesla C2050 used in the paper: 14 SMs × 32 cores,
+    /// 1.15 GHz, 2.8 GB global memory (ECC on), 64 KB of configurable
+    /// shared-memory/L1 per SM, 515 GFLOPS double-precision peak.
+    pub fn tesla_c2050() -> Self {
+        Self {
+            name: "Tesla C2050",
+            multiprocessors: 14,
+            cores_per_sm: 32,
+            clock_hz: 1.15e9,
+            warp_size: 32,
+            max_warps_per_sm: 48,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 1024,
+            registers_per_sm: 32_768,
+            global_memory_bytes: 2_800_000_000,
+            on_chip_bytes_per_sm: 64 * 1024,
+            memory_bandwidth_bps: 144.0e9,
+            peak_gflops: 515.0,
+        }
+    }
+
+    /// A deliberately tiny device used by tests to hit occupancy limits with
+    /// small workloads.
+    pub fn tiny_test_device() -> Self {
+        Self {
+            name: "Test-GPU-2SM",
+            multiprocessors: 2,
+            cores_per_sm: 8,
+            clock_hz: 1.0e9,
+            warp_size: 32,
+            max_warps_per_sm: 16,
+            max_blocks_per_sm: 4,
+            max_threads_per_block: 256,
+            registers_per_sm: 8_192,
+            global_memory_bytes: 64 * 1024 * 1024,
+            on_chip_bytes_per_sm: 32 * 1024,
+            memory_bandwidth_bps: 10.0e9,
+            peak_gflops: 10.0,
+        }
+    }
+
+    /// Total CUDA cores of the device.
+    pub fn total_cores(&self) -> usize {
+        self.multiprocessors * self.cores_per_sm
+    }
+
+    /// Shared memory available per SM under `config`.
+    pub fn shared_bytes(&self, config: SharedMemoryConfig) -> usize {
+        config.shared_bytes(self.on_chip_bytes_per_sm)
+    }
+
+    /// L1 cache available per SM under `config`.
+    pub fn l1_bytes(&self, config: SharedMemoryConfig) -> usize {
+        config.l1_bytes(self.on_chip_bytes_per_sm)
+    }
+
+    /// Duration of `cycles` device cycles in seconds.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / self.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c2050_matches_the_paper() {
+        let d = DeviceSpec::tesla_c2050();
+        assert_eq!(d.multiprocessors, 14);
+        assert_eq!(d.cores_per_sm, 32);
+        assert_eq!(d.total_cores(), 448);
+        assert_eq!(d.warp_size, 32);
+        assert!((d.clock_hz - 1.15e9).abs() < 1.0);
+        assert!((d.peak_gflops - 515.0).abs() < f64::EPSILON);
+        assert_eq!(d.on_chip_bytes_per_sm, 65_536);
+    }
+
+    #[test]
+    fn shared_l1_split_covers_the_on_chip_storage() {
+        let d = DeviceSpec::tesla_c2050();
+        for config in [
+            SharedMemoryConfig::PreferShared,
+            SharedMemoryConfig::PreferL1,
+        ] {
+            assert_eq!(
+                d.shared_bytes(config) + d.l1_bytes(config),
+                d.on_chip_bytes_per_sm
+            );
+        }
+        assert_eq!(
+            d.shared_bytes(SharedMemoryConfig::PreferShared),
+            48 * 1024
+        );
+        assert_eq!(d.l1_bytes(SharedMemoryConfig::PreferShared), 16 * 1024);
+        assert_eq!(d.shared_bytes(SharedMemoryConfig::PreferL1), 16 * 1024);
+        assert_eq!(d.l1_bytes(SharedMemoryConfig::PreferL1), 48 * 1024);
+    }
+
+    #[test]
+    fn cycles_to_seconds_uses_the_clock() {
+        let d = DeviceSpec::tesla_c2050();
+        let s = d.cycles_to_seconds(1.15e9);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_device_is_smaller_in_every_dimension() {
+        let big = DeviceSpec::tesla_c2050();
+        let small = DeviceSpec::tiny_test_device();
+        assert!(small.multiprocessors < big.multiprocessors);
+        assert!(small.registers_per_sm < big.registers_per_sm);
+        assert!(small.on_chip_bytes_per_sm < big.on_chip_bytes_per_sm);
+    }
+}

@@ -1,0 +1,83 @@
+//! Launch execution results: functional statistics and timing estimates.
+//!
+//! The actual grid walk lives in [`crate::host::Device::launch`]; this module
+//! defines the result types and the analytic (execution-free) workload
+//! description used when the caller already knows the access counts — the
+//! two paths share [`crate::timing::kernel_cost`], so a launch that is
+//! simulated functionally and one described analytically with the same
+//! counts receive identical timing estimates (tested in `gpu-bnb`).
+
+use crate::occupancy::Occupancy;
+use crate::thread::AccessTally;
+use crate::timing::KernelCost;
+use std::time::Duration;
+
+/// Functional statistics of one kernel launch.
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchStats {
+    /// Per-space access totals over every thread of the grid.
+    pub tally: AccessTally,
+    /// Total threads executed.
+    pub total_threads: usize,
+    /// Blocks in the grid.
+    pub grid_blocks: usize,
+    /// Occupancy achieved on the device.
+    pub occupancy: Occupancy,
+    /// Shared-memory bytes required per block.
+    pub shared_bytes_per_block: usize,
+    /// Bytes of global-resident instance data (footprint used for the L1
+    /// hit-rate estimate).
+    pub global_footprint_bytes: usize,
+}
+
+/// Timing estimate of one kernel launch.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelTiming {
+    /// Component breakdown (compute / latency / bandwidth bounds).
+    pub cost: KernelCost,
+    /// The resulting duration estimate.
+    pub duration: Duration,
+}
+
+impl KernelTiming {
+    /// Builds the timing from a cost breakdown.
+    pub fn from_cost(cost: KernelCost) -> Self {
+        Self {
+            duration: Duration::from_secs_f64(cost.total_seconds),
+            cost,
+        }
+    }
+}
+
+/// An execution-free description of a launch's work, used when the per-space
+/// access counts are already known analytically (e.g. from the Table I
+/// formulas) and only the timing estimate is needed.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyticWorkload {
+    /// Per-space access totals over every thread of the grid (same meaning
+    /// as [`LaunchStats::tally`]).
+    pub tally: AccessTally,
+    /// Total threads the launch would execute.
+    pub total_threads: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::KernelCost;
+
+    #[test]
+    fn timing_duration_matches_cost_total() {
+        let cost = KernelCost {
+            compute_seconds: 0.5,
+            latency_seconds: 0.2,
+            bandwidth_seconds: 0.1,
+            overhead_seconds: 0.01,
+            l1_hit_rate: 0.9,
+            total_seconds: 0.51,
+        };
+        let t = KernelTiming::from_cost(cost);
+        assert!((t.duration.as_secs_f64() - 0.51).abs() < 1e-12);
+        assert_eq!(t.cost.bound_by(), "compute");
+    }
+}

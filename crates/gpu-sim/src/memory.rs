@@ -1,0 +1,175 @@
+//! Memory spaces of the simulated device and the Fermi shared-memory/L1
+//! split.
+//!
+//! The data-placement optimisation of the paper is entirely about choosing,
+//! for every one of the six bound matrices, which of these spaces it lives in
+//! — so the simulator makes the space of every buffer explicit and charges
+//! each access the latency of its space.
+
+/// The memory space a device buffer is bound to for a given kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemorySpace {
+    /// Per-thread registers (modelled implicitly: kernel-local Rust variables).
+    Register,
+    /// Per-thread local memory (register spills, private arrays).
+    Local,
+    /// Per-block on-chip shared memory.
+    Shared,
+    /// Off-chip global memory, cached by the configurable L1.
+    Global,
+    /// Cached, read-only constant memory.
+    Constant,
+    /// Cached, read-only texture memory.
+    Texture,
+}
+
+impl MemorySpace {
+    /// All spaces, in no particular order (useful for iteration in reports).
+    pub const ALL: [MemorySpace; 6] = [
+        MemorySpace::Register,
+        MemorySpace::Local,
+        MemorySpace::Shared,
+        MemorySpace::Global,
+        MemorySpace::Constant,
+        MemorySpace::Texture,
+    ];
+
+    /// `true` for the spaces that live on-chip (low latency).
+    pub fn is_on_chip(&self) -> bool {
+        matches!(self, MemorySpace::Register | MemorySpace::Shared)
+    }
+}
+
+/// The Fermi per-SM 64 KB on-chip storage can be split two ways between
+/// shared memory and L1 cache (Section IV-B of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SharedMemoryConfig {
+    /// 48 KB shared memory + 16 KB L1 — used when the bound matrices are
+    /// staged into shared memory.
+    PreferShared,
+    /// 16 KB shared memory + 48 KB L1 — used when everything stays in global
+    /// memory.
+    PreferL1,
+}
+
+impl SharedMemoryConfig {
+    /// Bytes of shared memory per SM given the total on-chip storage.
+    pub fn shared_bytes(&self, on_chip_total: usize) -> usize {
+        match self {
+            SharedMemoryConfig::PreferShared => on_chip_total * 3 / 4,
+            SharedMemoryConfig::PreferL1 => on_chip_total / 4,
+        }
+    }
+
+    /// Bytes of L1 cache per SM given the total on-chip storage.
+    pub fn l1_bytes(&self, on_chip_total: usize) -> usize {
+        on_chip_total - self.shared_bytes(on_chip_total)
+    }
+}
+
+/// Per-access latencies and throughputs of the memory system, in device
+/// cycles. The defaults model Fermi; they are deliberately kept in one place
+/// so the calibration is auditable (see EXPERIMENTS.md).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryTimings {
+    /// Latency of a register operand (effectively free).
+    pub register_cycles: f64,
+    /// Latency of a shared-memory access without bank conflicts.
+    pub shared_cycles: f64,
+    /// Latency of an L1 hit.
+    pub l1_hit_cycles: f64,
+    /// Latency of a global-memory access that misses L1.
+    pub global_cycles: f64,
+    /// Latency of a constant-cache hit.
+    pub constant_cycles: f64,
+    /// Latency of a texture-cache hit.
+    pub texture_cycles: f64,
+    /// Latency of local memory (off-chip, like global).
+    pub local_cycles: f64,
+    /// Size in bytes of one global-memory transaction.
+    pub transaction_bytes: usize,
+}
+
+impl Default for MemoryTimings {
+    fn default() -> Self {
+        Self {
+            register_cycles: 1.0,
+            shared_cycles: 28.0,
+            l1_hit_cycles: 60.0,
+            global_cycles: 500.0,
+            constant_cycles: 8.0,
+            texture_cycles: 100.0,
+            local_cycles: 500.0,
+            transaction_bytes: 128,
+        }
+    }
+}
+
+impl MemoryTimings {
+    /// Latency in cycles of one access to `space`, given the L1 hit rate used
+    /// for global accesses.
+    pub fn access_latency(&self, space: MemorySpace, l1_hit_rate: f64) -> f64 {
+        match space {
+            MemorySpace::Register => self.register_cycles,
+            MemorySpace::Local => self.local_cycles,
+            MemorySpace::Shared => self.shared_cycles,
+            MemorySpace::Global => {
+                let hit = l1_hit_rate.clamp(0.0, 1.0);
+                hit * self.l1_hit_cycles + (1.0 - hit) * self.global_cycles
+            }
+            MemorySpace::Constant => self.constant_cycles,
+            MemorySpace::Texture => self.texture_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_48_16_on_fermi() {
+        let total = 64 * 1024;
+        assert_eq!(
+            SharedMemoryConfig::PreferShared.shared_bytes(total),
+            48 * 1024
+        );
+        assert_eq!(SharedMemoryConfig::PreferShared.l1_bytes(total), 16 * 1024);
+        assert_eq!(SharedMemoryConfig::PreferL1.shared_bytes(total), 16 * 1024);
+        assert_eq!(SharedMemoryConfig::PreferL1.l1_bytes(total), 48 * 1024);
+    }
+
+    #[test]
+    fn shared_is_faster_than_global() {
+        let t = MemoryTimings::default();
+        assert!(
+            t.access_latency(MemorySpace::Shared, 0.0)
+                < t.access_latency(MemorySpace::Global, 0.0)
+        );
+        assert!(
+            t.access_latency(MemorySpace::Shared, 0.0)
+                < t.access_latency(MemorySpace::Global, 1.0)
+        );
+    }
+
+    #[test]
+    fn l1_hit_rate_interpolates_latency() {
+        let t = MemoryTimings::default();
+        let cold = t.access_latency(MemorySpace::Global, 0.0);
+        let warm = t.access_latency(MemorySpace::Global, 1.0);
+        let half = t.access_latency(MemorySpace::Global, 0.5);
+        assert!(warm < half && half < cold);
+        assert!((half - (warm + cold) / 2.0).abs() < 1e-9);
+        // Out-of-range rates are clamped.
+        assert_eq!(t.access_latency(MemorySpace::Global, 2.0), warm);
+    }
+
+    #[test]
+    fn on_chip_classification() {
+        assert!(MemorySpace::Register.is_on_chip());
+        assert!(MemorySpace::Shared.is_on_chip());
+        assert!(!MemorySpace::Global.is_on_chip());
+        assert!(!MemorySpace::Local.is_on_chip());
+        assert_eq!(MemorySpace::ALL.len(), 6);
+    }
+}

@@ -1,0 +1,167 @@
+//! The CUDA occupancy calculator.
+//!
+//! Occupancy — the number of warps resident on a multiprocessor — determines
+//! how much memory latency the SM can hide. The paper leans on NVIDIA's
+//! occupancy calculator twice: the kernel's 26 registers limit occupancy to
+//! 32 warps when only global memory is used, and the shared-memory footprint
+//! of `JM`+`PTM` further limits it for the large instances. This module
+//! reproduces that computation.
+
+use crate::device::DeviceSpec;
+use crate::memory::SharedMemoryConfig;
+
+/// Result of the occupancy computation for one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Blocks resident per SM.
+    pub blocks_per_sm: usize,
+    /// Warps resident per SM (`blocks_per_sm × warps_per_block`).
+    pub active_warps_per_sm: usize,
+    /// Which resource is the binding constraint.
+    pub limiter: OccupancyLimiter,
+}
+
+/// The resource that limits occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccupancyLimiter {
+    /// The SM's maximum resident warps / blocks.
+    HardwareLimit,
+    /// The register file.
+    Registers,
+    /// Shared memory.
+    SharedMemory,
+}
+
+impl Occupancy {
+    /// Occupancy as a fraction of the SM's maximum resident warps.
+    pub fn fraction(&self, device: &DeviceSpec) -> f64 {
+        self.active_warps_per_sm as f64 / device.max_warps_per_sm as f64
+    }
+}
+
+/// Computes the occupancy of a launch on `device`.
+///
+/// * `block_threads` — threads per block;
+/// * `registers_per_thread` — registers the kernel uses per thread;
+/// * `shared_bytes_per_block` — shared memory statically required per block;
+/// * `config` — the Fermi 48/16 KB split selected for the launch.
+pub fn occupancy(
+    device: &DeviceSpec,
+    block_threads: usize,
+    registers_per_thread: usize,
+    shared_bytes_per_block: usize,
+    config: SharedMemoryConfig,
+) -> Occupancy {
+    assert!(block_threads > 0, "block size must be positive");
+    assert!(
+        block_threads <= device.max_threads_per_block,
+        "block of {block_threads} threads exceeds the device limit of {}",
+        device.max_threads_per_block
+    );
+    let warps_per_block = block_threads.div_ceil(device.warp_size);
+
+    // Hardware limits.
+    let by_warps = device.max_warps_per_sm / warps_per_block;
+    let by_blocks = device.max_blocks_per_sm;
+
+    // Register file.
+    let regs_per_block = registers_per_thread.max(1) * warps_per_block * device.warp_size;
+    let by_registers = device.registers_per_sm / regs_per_block;
+
+    // Shared memory.
+    let shared_per_sm = device.shared_bytes(config);
+    let by_shared = if shared_bytes_per_block == 0 {
+        usize::MAX
+    } else {
+        shared_per_sm / shared_bytes_per_block
+    };
+
+    let hardware = by_warps.min(by_blocks);
+    let blocks = hardware.min(by_registers).min(by_shared);
+    let limiter = if blocks == 0 || by_shared < hardware.min(by_registers) {
+        OccupancyLimiter::SharedMemory
+    } else if by_registers < hardware {
+        OccupancyLimiter::Registers
+    } else {
+        OccupancyLimiter::HardwareLimit
+    };
+
+    Occupancy {
+        blocks_per_sm: blocks,
+        active_warps_per_sm: blocks * warps_per_block,
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c2050() -> DeviceSpec {
+        DeviceSpec::tesla_c2050()
+    }
+
+    #[test]
+    fn paper_configuration_without_shared_memory_gives_32_warps() {
+        // 256-thread blocks, 26 registers, nothing in shared memory: the
+        // register file is the limiter and 32 warps are active — exactly the
+        // figure the paper quotes for the all-global configuration.
+        let occ = occupancy(&c2050(), 256, 26, 0, SharedMemoryConfig::PreferL1);
+        assert_eq!(occ.blocks_per_sm, 4);
+        assert_eq!(occ.active_warps_per_sm, 32);
+        assert_eq!(occ.limiter, OccupancyLimiter::Registers);
+    }
+
+    #[test]
+    fn small_instance_shared_footprint_keeps_32_warps() {
+        // 20×20: JM (3.8 KB as bytes) + PTM (0.4 KB) ≈ 4.2 KB per block —
+        // shared memory is not the limiter, occupancy stays at 32 warps.
+        let occ = occupancy(&c2050(), 256, 26, 4_200, SharedMemoryConfig::PreferShared);
+        assert_eq!(occ.active_warps_per_sm, 32);
+    }
+
+    #[test]
+    fn large_instance_shared_footprint_reduces_occupancy() {
+        // 100×20: JM (19 KB) + PTM (2 KB) = 21 KB per block -> 2 blocks of
+        // 48 KB -> 16 active warps, as reported in the paper for n >= 100.
+        let occ = occupancy(&c2050(), 256, 26, 21_000, SharedMemoryConfig::PreferShared);
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.active_warps_per_sm, 16);
+        assert_eq!(occ.limiter, OccupancyLimiter::SharedMemory);
+
+        // 200×20: 42 KB per block -> a single resident block.
+        let occ = occupancy(&c2050(), 256, 26, 42_000, SharedMemoryConfig::PreferShared);
+        assert_eq!(occ.blocks_per_sm, 1);
+        assert_eq!(occ.active_warps_per_sm, 8);
+    }
+
+    #[test]
+    fn oversized_shared_request_yields_zero_blocks() {
+        let occ = occupancy(&c2050(), 256, 26, 64 * 1024, SharedMemoryConfig::PreferShared);
+        assert_eq!(occ.blocks_per_sm, 0);
+        assert_eq!(occ.limiter, OccupancyLimiter::SharedMemory);
+    }
+
+    #[test]
+    fn hardware_limit_applies_to_small_blocks() {
+        // 32-thread blocks with almost no registers: limited by the
+        // 8-blocks-per-SM hardware cap, not by warps.
+        let occ = occupancy(&c2050(), 32, 4, 0, SharedMemoryConfig::PreferL1);
+        assert_eq!(occ.blocks_per_sm, 8);
+        assert_eq!(occ.active_warps_per_sm, 8);
+        assert_eq!(occ.limiter, OccupancyLimiter::HardwareLimit);
+    }
+
+    #[test]
+    fn fraction_is_relative_to_max_warps() {
+        let occ = occupancy(&c2050(), 256, 26, 0, SharedMemoryConfig::PreferL1);
+        let f = occ.fraction(&c2050());
+        assert!((f - 32.0 / 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the device limit")]
+    fn oversized_block_panics() {
+        occupancy(&c2050(), 2048, 26, 0, SharedMemoryConfig::PreferL1);
+    }
+}

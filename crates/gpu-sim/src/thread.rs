@@ -1,0 +1,217 @@
+//! Per-thread execution context: the only door a kernel has to device memory.
+
+use crate::host::DeviceBuffer;
+use crate::memory::MemorySpace;
+
+/// Identity of the thread a kernel invocation runs as (the simulator's
+/// `blockIdx` / `threadIdx` / global id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadId {
+    /// Index of the thread's block within the grid.
+    pub block: usize,
+    /// Index of the thread within its block.
+    pub thread: usize,
+    /// Global linear index (`block * block_threads + thread`).
+    pub global: usize,
+}
+
+/// Per-memory-space access counters of one kernel launch (read + write).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AccessTally {
+    /// Accesses charged to shared memory.
+    pub shared: u64,
+    /// Accesses charged to global memory (through L1).
+    pub global: u64,
+    /// Accesses charged to constant memory.
+    pub constant: u64,
+    /// Accesses charged to texture memory.
+    pub texture: u64,
+    /// Accesses charged to local memory.
+    pub local: u64,
+    /// Writes to global memory (kernel outputs).
+    pub global_writes: u64,
+}
+
+impl AccessTally {
+    /// Total number of memory accesses of any kind.
+    pub fn total(&self) -> u64 {
+        self.shared + self.global + self.constant + self.texture + self.local + self.global_writes
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &AccessTally) -> AccessTally {
+        AccessTally {
+            shared: self.shared + other.shared,
+            global: self.global + other.global,
+            constant: self.constant + other.constant,
+            texture: self.texture + other.texture,
+            local: self.local + other.local,
+            global_writes: self.global_writes + other.global_writes,
+        }
+    }
+
+    fn bump_read(&mut self, space: MemorySpace) {
+        match space {
+            MemorySpace::Shared => self.shared += 1,
+            MemorySpace::Global => self.global += 1,
+            MemorySpace::Constant => self.constant += 1,
+            MemorySpace::Texture => self.texture += 1,
+            MemorySpace::Local | MemorySpace::Register => self.local += 1,
+        }
+    }
+}
+
+/// The execution context of one simulated GPU thread.
+///
+/// Reads and writes go through this context so that (a) the functional result
+/// is computed against the real device buffers and (b) every access is
+/// tallied against the memory space its buffer is bound to for this launch.
+pub struct ThreadCtx<'a> {
+    id: ThreadId,
+    block_threads: usize,
+    grid_blocks: usize,
+    storage: &'a mut [Vec<u32>],
+    /// `spaces[buffer_id]` = space the buffer is bound to for this launch.
+    spaces: &'a [MemorySpace],
+    tally: &'a mut AccessTally,
+}
+
+impl<'a> ThreadCtx<'a> {
+    /// Creates the context for one thread (called by the executor).
+    pub(crate) fn new(
+        id: ThreadId,
+        block_threads: usize,
+        grid_blocks: usize,
+        storage: &'a mut [Vec<u32>],
+        spaces: &'a [MemorySpace],
+        tally: &'a mut AccessTally,
+    ) -> Self {
+        Self {
+            id,
+            block_threads,
+            grid_blocks,
+            storage,
+            spaces,
+            tally,
+        }
+    }
+
+    /// This thread's identity.
+    pub fn id(&self) -> ThreadId {
+        self.id
+    }
+
+    /// Number of threads per block of the running launch.
+    pub fn block_dim(&self) -> usize {
+        self.block_threads
+    }
+
+    /// Number of blocks of the running launch.
+    pub fn grid_dim(&self) -> usize {
+        self.grid_blocks
+    }
+
+    /// Reads element `index` of `buffer`, charging the buffer's bound space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds — an out-of-bounds device access is
+    /// a kernel bug and must fail loudly in the simulator.
+    #[inline]
+    pub fn read(&mut self, buffer: DeviceBuffer, index: usize) -> u32 {
+        self.tally.bump_read(self.spaces[buffer.id()]);
+        self.storage[buffer.id()][index]
+    }
+
+    /// Writes `value` at `index` of `buffer` (kernel output), charged as a
+    /// global write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[inline]
+    pub fn write(&mut self, buffer: DeviceBuffer, index: usize, value: u32) {
+        self.tally.global_writes += 1;
+        self.storage[buffer.id()][index] = value;
+    }
+
+    /// The memory space `buffer` is bound to for this launch.
+    pub fn space_of(&self, buffer: DeviceBuffer) -> MemorySpace {
+        self.spaces[buffer.id()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_totals_and_addition() {
+        let a = AccessTally {
+            shared: 1,
+            global: 2,
+            constant: 3,
+            texture: 4,
+            local: 5,
+            global_writes: 6,
+        };
+        assert_eq!(a.total(), 21);
+        assert_eq!(a.add(&a).total(), 42);
+    }
+
+    #[test]
+    fn reads_and_writes_hit_storage_and_tally() {
+        let mut storage = vec![vec![10, 20, 30], vec![0, 0]];
+        let spaces = vec![MemorySpace::Shared, MemorySpace::Global];
+        let mut tally = AccessTally::default();
+        let buf0 = DeviceBuffer::for_test(0, 3, 4);
+        let buf1 = DeviceBuffer::for_test(1, 2, 4);
+        {
+            let mut ctx = ThreadCtx::new(
+                ThreadId {
+                    block: 0,
+                    thread: 1,
+                    global: 1,
+                },
+                32,
+                2,
+                &mut storage,
+                &spaces,
+                &mut tally,
+            );
+            assert_eq!(ctx.read(buf0, 1), 20);
+            assert_eq!(ctx.space_of(buf0), MemorySpace::Shared);
+            ctx.write(buf1, 0, 99);
+            assert_eq!(ctx.read(buf1, 0), 99);
+            assert_eq!(ctx.id().global, 1);
+            assert_eq!(ctx.block_dim(), 32);
+            assert_eq!(ctx.grid_dim(), 2);
+        }
+        assert_eq!(tally.shared, 1);
+        assert_eq!(tally.global, 1);
+        assert_eq!(tally.global_writes, 1);
+        assert_eq!(storage[1][0], 99);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let mut storage = vec![vec![1]];
+        let spaces = vec![MemorySpace::Global];
+        let mut tally = AccessTally::default();
+        let buf = DeviceBuffer::for_test(0, 1, 4);
+        let mut ctx = ThreadCtx::new(
+            ThreadId {
+                block: 0,
+                thread: 0,
+                global: 0,
+            },
+            1,
+            1,
+            &mut storage,
+            &spaces,
+            &mut tally,
+        );
+        ctx.read(buf, 5);
+    }
+}

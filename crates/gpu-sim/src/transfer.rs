@@ -1,0 +1,98 @@
+//! The PCIe host↔device transfer model.
+//!
+//! Every B&B iteration off-loads a pool of sub-problems to the device and
+//! reads the lower bounds back; the paper's pool-size study (Table II) is to
+//! a large extent a study of the ratio between this transfer time and the
+//! kernel time, so the transfer cost is modelled explicitly.
+
+use std::time::Duration;
+
+/// Direction of a transfer (kept for reporting; both directions share the
+/// same bandwidth figures on PCIe 2.0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Host to device (the pool of sub-problems).
+    HostToDevice,
+    /// Device to host (the lower bounds).
+    DeviceToHost,
+}
+
+/// A simple latency + bandwidth model of the PCIe link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferModel {
+    /// Fixed per-transfer latency (driver + DMA setup).
+    pub latency: Duration,
+    /// Sustained bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+}
+
+impl Default for TransferModel {
+    fn default() -> Self {
+        // PCIe 2.0 ×16 sustains about 6 GB/s with pinned memory; a copy call
+        // costs roughly 15 µs of fixed overhead.
+        Self {
+            latency: Duration::from_micros(15),
+            bandwidth_bps: 6.0e9,
+        }
+    }
+}
+
+impl TransferModel {
+    /// Estimated duration of transferring `bytes` in one copy.
+    pub fn transfer_time(&self, bytes: usize) -> Duration {
+        self.latency + Duration::from_secs_f64(bytes as f64 / self.bandwidth_bps)
+    }
+
+    /// Estimated duration of a round trip: `up_bytes` to the device and
+    /// `down_bytes` back.
+    pub fn round_trip(&self, up_bytes: usize, down_bytes: usize) -> Duration {
+        self.transfer_time(up_bytes) + self.transfer_time(down_bytes)
+    }
+
+    /// Bytes per second actually achieved for a transfer of `bytes`,
+    /// accounting for the fixed latency (useful to show why small pools are
+    /// transfer-bound).
+    pub fn effective_bandwidth(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.transfer_time(bytes).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_transfers_are_latency_dominated() {
+        let m = TransferModel::default();
+        let tiny = m.transfer_time(64);
+        assert!(tiny >= m.latency);
+        assert!(tiny < m.latency + Duration::from_micros(1));
+        // Effective bandwidth of a tiny transfer is far below the link rate.
+        assert!(m.effective_bandwidth(64) < m.bandwidth_bps / 100.0);
+    }
+
+    #[test]
+    fn large_transfers_approach_link_bandwidth() {
+        let m = TransferModel::default();
+        let eff = m.effective_bandwidth(256 * 1024 * 1024);
+        assert!(eff > m.bandwidth_bps * 0.9);
+    }
+
+    #[test]
+    fn time_is_monotone_in_size() {
+        let m = TransferModel::default();
+        let mut last = Duration::ZERO;
+        for bytes in [0usize, 1_000, 100_000, 10_000_000] {
+            let t = m.transfer_time(bytes);
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn round_trip_is_the_sum_of_both_directions() {
+        let m = TransferModel::default();
+        let rt = m.round_trip(1_000_000, 4_000);
+        assert_eq!(rt, m.transfer_time(1_000_000) + m.transfer_time(4_000));
+    }
+}

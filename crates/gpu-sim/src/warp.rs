@@ -1,0 +1,106 @@
+//! Warp-level memory behaviour: coalescing of global accesses and
+//! bank conflicts of shared accesses.
+//!
+//! The executor's aggregate cost model assumes the favourable case the
+//! bounding kernel actually exhibits (all lanes of a warp read the same
+//! instance-level element, hence one transaction / a broadcast); the helpers
+//! here make that assumption checkable — the ablation benches use them to
+//! quantify what a less friendly layout would cost.
+
+/// Number of global-memory transactions a warp needs to satisfy one access
+/// per lane at the given byte addresses, for a transaction (cache line) size
+/// of `transaction_bytes`.
+pub fn global_transactions(addresses: &[u64], transaction_bytes: usize) -> usize {
+    assert!(transaction_bytes.is_power_of_two(), "transaction size must be a power of two");
+    let mut lines: Vec<u64> = addresses
+        .iter()
+        .map(|&a| a / transaction_bytes as u64)
+        .collect();
+    lines.sort_unstable();
+    lines.dedup();
+    lines.len()
+}
+
+/// Number of serialised shared-memory cycles a warp needs for one access per
+/// lane, given 32 banks of 4-byte words: the maximum number of distinct
+/// *words* mapped to the same bank (accesses to the same word broadcast).
+pub fn shared_bank_conflicts(addresses: &[u64]) -> usize {
+    const BANKS: usize = 32;
+    let mut per_bank: Vec<std::collections::HashSet<u64>> = vec![Default::default(); BANKS];
+    for &a in addresses {
+        let word = a / 4;
+        let bank = (word % BANKS as u64) as usize;
+        per_bank[bank].insert(word);
+    }
+    per_bank.iter().map(|s| s.len()).max().unwrap_or(0).max(1)
+}
+
+/// Fraction of lanes that take the same side of a branch — 1.0 means no
+/// divergence; 0.5 means the warp is split evenly and both paths are
+/// serialised.
+pub fn divergence_efficiency(lane_predicates: &[bool]) -> f64 {
+    if lane_predicates.is_empty() {
+        return 1.0;
+    }
+    let taken = lane_predicates.iter().filter(|&&b| b).count();
+    let majority = taken.max(lane_predicates.len() - taken);
+    majority as f64 / lane_predicates.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_addresses_are_one_transaction() {
+        let addrs = vec![4096u64; 32];
+        assert_eq!(global_transactions(&addrs, 128), 1);
+    }
+
+    #[test]
+    fn consecutive_words_coalesce_into_one_line() {
+        let addrs: Vec<u64> = (0..32).map(|i| 1024 + i * 4).collect();
+        assert_eq!(global_transactions(&addrs, 128), 1);
+    }
+
+    #[test]
+    fn strided_accesses_need_one_transaction_per_lane() {
+        // Stride of one 128-byte line per lane: fully uncoalesced.
+        let addrs: Vec<u64> = (0..32).map(|i| i * 128).collect();
+        assert_eq!(global_transactions(&addrs, 128), 32);
+    }
+
+    #[test]
+    fn same_word_broadcasts_without_bank_conflict() {
+        let addrs = vec![64u64; 32];
+        assert_eq!(shared_bank_conflicts(&addrs), 1);
+    }
+
+    #[test]
+    fn distinct_words_in_one_bank_serialise() {
+        // Words 0, 32, 64, … all map to bank 0.
+        let addrs: Vec<u64> = (0..8).map(|i| i * 32 * 4).collect();
+        assert_eq!(shared_bank_conflicts(&addrs), 8);
+    }
+
+    #[test]
+    fn conflict_free_pattern_is_one_cycle() {
+        let addrs: Vec<u64> = (0..32).map(|i| i * 4).collect();
+        assert_eq!(shared_bank_conflicts(&addrs), 1);
+    }
+
+    #[test]
+    fn divergence_efficiency_bounds() {
+        assert_eq!(divergence_efficiency(&[]), 1.0);
+        assert_eq!(divergence_efficiency(&[true; 32]), 1.0);
+        assert_eq!(divergence_efficiency(&[false; 32]), 1.0);
+        let half: Vec<bool> = (0..32).map(|i| i % 2 == 0).collect();
+        assert!((divergence_efficiency(&half) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_transaction_panics() {
+        global_transactions(&[0], 100);
+    }
+}

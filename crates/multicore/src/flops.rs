@@ -1,0 +1,94 @@
+//! Theoretical peak-GFLOPS bookkeeping used for the "same computational
+//! power" comparison of Figure 5.
+//!
+//! The paper equalises the GPU and the multi-core CPU by their theoretical
+//! double-precision peaks: the Tesla C2050 delivers 515 GFLOPS, each thread
+//! of the Intel i7-970 contributes 76.8 GFLOPS, so 7 CPU threads
+//! (537.6 GFLOPS) are the closest match — the configuration Figure 5 uses.
+
+/// Specification of the multi-core CPU used in Section V.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Physical cores.
+    pub physical_cores: usize,
+    /// Hardware threads (with SMT).
+    pub hardware_threads: usize,
+    /// Theoretical double-precision GFLOPS contributed per thread
+    /// (Table IV's header: 3 threads = 230.4 GFLOPS).
+    pub gflops_per_thread: f64,
+}
+
+impl CpuSpec {
+    /// The Intel Core i7-970 of the paper.
+    pub fn i7_970() -> Self {
+        Self {
+            name: "Intel Core i7-970",
+            physical_cores: 6,
+            hardware_threads: 12,
+            gflops_per_thread: 76.8,
+        }
+    }
+
+    /// Theoretical peak of `threads` B&B threads.
+    pub fn gflops(&self, threads: usize) -> f64 {
+        threads as f64 * self.gflops_per_thread
+    }
+
+    /// Smallest thread count whose theoretical peak reaches `target` GFLOPS
+    /// (clamped to the number of hardware threads).
+    pub fn threads_for_gflops(&self, target: f64) -> usize {
+        let needed = (target / self.gflops_per_thread).ceil() as usize;
+        needed.clamp(1, self.hardware_threads)
+    }
+}
+
+/// Theoretical peaks of the GPU side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuFlops {
+    /// Double-precision peak in GFLOPS.
+    pub peak_gflops: f64,
+}
+
+impl GpuFlops {
+    /// The Tesla C2050 (515 GFLOPS double precision).
+    pub fn tesla_c2050() -> Self {
+        Self { peak_gflops: 515.0 }
+    }
+
+    /// The CPU thread count that matches this GPU's computational power on
+    /// `cpu` — the paper's "same computational power" configuration.
+    pub fn matching_cpu_threads(&self, cpu: &CpuSpec) -> usize {
+        cpu.threads_for_gflops(self.peak_gflops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_four_headers_are_reproduced() {
+        let cpu = CpuSpec::i7_970();
+        let peaks: Vec<f64> = [3, 5, 7, 9, 11].iter().map(|&t| cpu.gflops(t)).collect();
+        let expected = [230.4, 384.0, 537.6, 691.2, 844.8];
+        for (p, e) in peaks.iter().zip(expected) {
+            assert!((p - e).abs() < 1e-9, "{p} vs {e}");
+        }
+    }
+
+    #[test]
+    fn figure_five_uses_seven_threads() {
+        let cpu = CpuSpec::i7_970();
+        let gpu = GpuFlops::tesla_c2050();
+        assert_eq!(gpu.matching_cpu_threads(&cpu), 7);
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_hardware_threads() {
+        let cpu = CpuSpec::i7_970();
+        assert_eq!(cpu.threads_for_gflops(10_000.0), 12);
+        assert_eq!(cpu.threads_for_gflops(1.0), 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! A *high-level* multi-threaded B&B (the paper's Section V distinguishes
+//! low-level thread models such as POSIX threads from high-level ones such as
+//! OpenMP).
+//!
+//! Instead of giving every worker its own exploration loop (the low-level
+//! [`crate::worker::MulticoreSolver`]), this solver keeps the exploration
+//! sequential and parallelises only the bounding of each batch of children —
+//! a fork-join `parallel for`, which is exactly how an OpenMP implementation
+//! of the Type 1 model looks. It is also the CPU twin of the GPU off-load
+//! engine, which makes it the natural baseline for the parallel-bounding
+//! ablation benches.
+
+use crate::parallel_bounding::ParallelBoundingPool;
+use bb::pool::Pool;
+use bb::problem::NodeBound;
+use bb::stats::SolveStats;
+use bb::{BestFirstPool, FspNode, FspProblem, SharedUpperBound};
+use fsp::{Instance, JohnsonLowerBound, Job, Time};
+use std::time::{Duration, Instant};
+
+/// Configuration of the fork-join solver.
+#[derive(Debug, Clone)]
+pub struct ForkJoinConfig {
+    /// Worker threads used for each bounding fork.
+    pub threads: usize,
+    /// Children accumulated before a bounding fork (mirrors the GPU pool
+    /// size).
+    pub batch_size: usize,
+    /// Stop after this many lower-bound evaluations.
+    pub node_limit: Option<u64>,
+    /// Seed the incumbent with NEH.
+    pub use_initial_ub: bool,
+}
+
+impl Default for ForkJoinConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            batch_size: 256,
+            node_limit: None,
+            use_initial_ub: true,
+        }
+    }
+}
+
+/// Result of a fork-join solve.
+#[derive(Debug, Clone)]
+pub struct ForkJoinOutcome {
+    /// Best makespan found.
+    pub best_makespan: Time,
+    /// Schedule achieving it, when known.
+    pub best_schedule: Option<Vec<Job>>,
+    /// Node counters.
+    pub stats: SolveStats,
+    /// Number of bounding forks (parallel-for invocations).
+    pub forks: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+    /// `true` when the tree was exhausted.
+    pub exhausted: bool,
+}
+
+/// Sequential exploration with fork-join parallel bounding.
+pub struct ForkJoinSolver<B = JohnsonLowerBound> {
+    problem: FspProblem<B>,
+    config: ForkJoinConfig,
+}
+
+impl ForkJoinSolver<JohnsonLowerBound> {
+    /// Creates a solver with the paper's Johnson lower bound.
+    pub fn new(inst: Instance, config: ForkJoinConfig) -> Self {
+        Self {
+            problem: FspProblem::new(inst),
+            config,
+        }
+    }
+}
+
+impl<B: NodeBound> ForkJoinSolver<B> {
+    /// Creates a solver from an existing problem.
+    pub fn from_problem(problem: FspProblem<B>, config: ForkJoinConfig) -> Self {
+        Self { problem, config }
+    }
+
+    /// Solves from the root.
+    pub fn solve(&self) -> ForkJoinOutcome {
+        let mut root = self.problem.root();
+        self.problem.bound(&mut root);
+        self.solve_from(vec![root], None, None)
+    }
+
+    /// Solves from an explicit list of pending sub-problems.
+    pub fn solve_from(
+        &self,
+        initial_nodes: Vec<FspNode>,
+        initial_ub: Option<Time>,
+        initial_schedule: Option<Vec<Job>>,
+    ) -> ForkJoinOutcome {
+        let start = Instant::now();
+        let mut stats = SolveStats::default();
+        let mut forks = 0u64;
+
+        let mut best_schedule = initial_schedule;
+        let ub = match initial_ub {
+            Some(v) => SharedUpperBound::new(v),
+            None if self.config.use_initial_ub => {
+                let (perm, value) = self.problem.initial_upper_bound();
+                best_schedule = Some(perm);
+                SharedUpperBound::new(value)
+            }
+            None => SharedUpperBound::unbounded(),
+        };
+
+        let workers = ParallelBoundingPool::new(self.config.threads);
+        let mut pool = BestFirstPool::new();
+        for node in initial_nodes {
+            pool.push(node);
+        }
+        stats.max_pool = pool.len();
+
+        let mut exhausted = true;
+        loop {
+            if let Some(limit) = self.config.node_limit {
+                if stats.bounded >= limit {
+                    exhausted = false;
+                    break;
+                }
+            }
+
+            // Sequential selection + branching into one batch.
+            let mut batch: Vec<FspNode> = Vec::with_capacity(self.config.batch_size);
+            while batch.len() < self.config.batch_size {
+                let Some(node) = pool.pop() else { break };
+                stats.selected += 1;
+                if ub.prunes(node.bound()) {
+                    stats.pruned += 1;
+                    continue;
+                }
+                stats.decomposed += 1;
+                batch.extend(self.problem.branch(&node));
+            }
+            if batch.is_empty() {
+                break;
+            }
+
+            // Fork: parallel bounding of the whole batch.
+            let bounds = workers.bound_batch(&batch, self.problem.bound_fn().as_ref());
+            forks += 1;
+
+            // Join: sequential elimination and incumbent updates.
+            for (mut child, bound) in batch.into_iter().zip(bounds) {
+                child.set_bound(bound);
+                stats.bounded += 1;
+                if self.problem.is_leaf(&child) {
+                    stats.leaves += 1;
+                    let cost = self.problem.leaf_cost(&child);
+                    if ub.try_improve(cost) {
+                        stats.improvements += 1;
+                        best_schedule = Some(child.prefix_vec());
+                    }
+                } else if ub.prunes(bound) {
+                    stats.pruned += 1;
+                } else {
+                    pool.push(child);
+                }
+            }
+            stats.max_pool = stats.max_pool.max(pool.len());
+        }
+
+        ForkJoinOutcome {
+            best_makespan: ub.get(),
+            best_schedule,
+            stats,
+            forks,
+            elapsed: start.elapsed(),
+            exhausted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp::brute::brute_force_optimal;
+    use fsp::taillard::generate;
+
+    #[test]
+    fn fork_join_finds_the_optimum() {
+        for seed in [3, 19] {
+            let inst = generate(format!("fj{seed}"), 7, 4, seed);
+            let (_, expected) = brute_force_optimal(&inst);
+            // Without the NEH seed the solver has to reach leaves itself, so
+            // at least one bounding fork always happens.
+            let config = ForkJoinConfig {
+                use_initial_ub: false,
+                ..Default::default()
+            };
+            let outcome = ForkJoinSolver::new(inst, config).solve();
+            assert!(outcome.exhausted);
+            assert_eq!(outcome.best_makespan, expected, "seed {seed}");
+            assert!(outcome.forks > 0);
+        }
+    }
+
+    #[test]
+    fn fork_join_agrees_with_the_low_level_solver() {
+        let inst = generate("fj-cmp", 8, 5, 77);
+        let low_level = crate::worker::MulticoreSolver::new(
+            inst.clone(),
+            crate::worker::MulticoreConfig {
+                threads: 3,
+                ..Default::default()
+            },
+        )
+        .solve();
+        let high_level = ForkJoinSolver::new(
+            inst,
+            ForkJoinConfig {
+                threads: 3,
+                batch_size: 64,
+                ..Default::default()
+            },
+        )
+        .solve();
+        assert_eq!(low_level.best_makespan, high_level.best_makespan);
+    }
+
+    #[test]
+    fn node_limit_truncates() {
+        let inst = generate("fj-lim", 12, 10, 5);
+        let outcome = ForkJoinSolver::new(
+            inst,
+            ForkJoinConfig {
+                node_limit: Some(500),
+                ..Default::default()
+            },
+        )
+        .solve();
+        assert!(!outcome.exhausted);
+        assert!(outcome.stats.bounded >= 500);
+    }
+
+    #[test]
+    fn batch_size_does_not_change_the_result() {
+        let inst = generate("fj-batch", 8, 4, 11);
+        let (_, expected) = brute_force_optimal(&inst);
+        for batch_size in [1, 16, 1024] {
+            let outcome = ForkJoinSolver::new(
+                inst.clone(),
+                ForkJoinConfig {
+                    batch_size,
+                    threads: 2,
+                    ..Default::default()
+                },
+            )
+            .solve();
+            assert_eq!(outcome.best_makespan, expected, "batch {batch_size}");
+        }
+    }
+}

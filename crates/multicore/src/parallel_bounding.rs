@@ -1,0 +1,117 @@
+//! Multi-threaded *parallel bounding* on the CPU (Type 1 parallelism without
+//! a GPU): the bounds of a batch of sub-problems are evaluated by a pool of
+//! worker threads.
+//!
+//! This is the CPU mirror of the GPU off-load engine — same work split
+//! (selection / branching / elimination stay sequential, bounding fans out) —
+//! and is used by the ablation benches to compare the two Type 1 back-ends.
+
+use bb::problem::NodeBound;
+use bb::FspNode;
+use crossbeam::thread as cb_thread;
+use fsp::Time;
+
+/// A CPU thread pool that evaluates lower bounds of node batches in parallel.
+#[derive(Debug, Clone)]
+pub struct ParallelBoundingPool {
+    threads: usize,
+}
+
+impl ParallelBoundingPool {
+    /// Creates a pool using `threads` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "the bounding pool needs at least one thread");
+        Self { threads }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates the lower bound of every node of `batch`, in input order.
+    pub fn bound_batch<B: NodeBound>(&self, batch: &[FspNode], bound: &B) -> Vec<Time> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        if self.threads == 1 || batch.len() == 1 {
+            return batch.iter().map(|n| bound.bound_node(n)).collect();
+        }
+
+        let chunk = batch.len().div_ceil(self.threads);
+        let mut results = vec![0 as Time; batch.len()];
+        cb_thread::scope(|scope| {
+            for (chunk_index, (nodes, out)) in batch
+                .chunks(chunk)
+                .zip(results.chunks_mut(chunk))
+                .enumerate()
+            {
+                let _ = chunk_index;
+                scope.spawn(move |_| {
+                    for (node, slot) in nodes.iter().zip(out.iter_mut()) {
+                        *slot = bound.bound_node(node);
+                    }
+                });
+            }
+        })
+        .expect("bounding worker panicked");
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb::FspProblem;
+    use fsp::taillard::generate;
+    use fsp::JohnsonLowerBound;
+
+    fn batch(inst: &fsp::Instance, count: usize) -> Vec<FspNode> {
+        let problem = FspProblem::new(inst.clone());
+        bb::frozen_pool(&problem, count).nodes
+    }
+
+    #[test]
+    fn parallel_bounds_match_sequential_bounds() {
+        let inst = generate("t", 14, 6, 17);
+        let lb = JohnsonLowerBound::new(&inst);
+        let nodes = batch(&inst, 64);
+        let sequential: Vec<Time> = nodes.iter().map(|n| {
+            use bb::problem::NodeBound;
+            lb.bound_node(n)
+        }).collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = ParallelBoundingPool::new(threads);
+            assert_eq!(pool.bound_batch(&nodes, &lb), sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let inst = generate("t", 8, 4, 3);
+        let lb = JohnsonLowerBound::new(&inst);
+        let pool = ParallelBoundingPool::new(4);
+        assert!(pool.bound_batch(&[], &lb).is_empty());
+        let one = vec![FspNode::from_prefix(&inst, &[2])];
+        assert_eq!(pool.bound_batch(&one, &lb).len(), 1);
+    }
+
+    #[test]
+    fn more_threads_than_nodes_is_fine() {
+        let inst = generate("t", 8, 4, 3);
+        let lb = JohnsonLowerBound::new(&inst);
+        let nodes: Vec<FspNode> = (0..3).map(|j| FspNode::from_prefix(&inst, &[j])).collect();
+        let pool = ParallelBoundingPool::new(16);
+        assert_eq!(pool.bound_batch(&nodes, &lb).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        ParallelBoundingPool::new(0);
+    }
+}

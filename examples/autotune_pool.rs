@@ -1,0 +1,41 @@
+//! Runtime pool-size auto-tuning (the procedure the paper's conclusion calls
+//! for): probe several pool sizes on a frozen pool and report which one gives
+//! the best modelled throughput for this instance.
+//!
+//! Run with: `cargo run --release --example autotune_pool -- [jobs] [machines]`
+//! (defaults: 50 20).
+
+use flowshop_gpu_bnb::fsp::taillard;
+use flowshop_gpu_bnb::gpu_bnb::autotune::autotune_pool_size;
+use flowshop_gpu_bnb::gpu_bnb::{DataPlacement, GpuSolverConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(50);
+    let machines: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+
+    let inst = taillard::generate(format!("autotune-{jobs}x{machines}"), jobs, machines, 2012);
+    println!("auto-tuning the off-load pool size for {} …", inst.name());
+
+    let base = GpuSolverConfig {
+        placement: DataPlacement::SharedJmPtm,
+        fast_forward: true,
+        ..Default::default()
+    };
+    // Probe scaled-down candidates so the example runs in seconds; pass the
+    // paper's sizes (4096 … 262144) for a full-scale tuning session.
+    let candidates = [256, 512, 1024, 2048, 4096, 8192];
+    let report = autotune_pool_size(&inst, &base, &candidates, 8_192);
+
+    println!("{:>10}  {:>16}  {:>10}", "pool size", "device time/node", "speedup");
+    for m in &report.measurements {
+        println!(
+            "{:>10}  {:>13.3} µs  {:>9.1}x",
+            m.pool_size,
+            m.seconds_per_node * 1e6,
+            m.speedup
+        );
+    }
+    println!("\nbest pool size for this instance: {}", report.best_pool_size);
+    println!("(the paper found 8192 best for 20x20/50x20 and 262144 for 100x20/200x20)");
+}

@@ -1,0 +1,83 @@
+//! The Section V comparison in miniature: GPU-offloaded bounding versus a
+//! multi-threaded CPU B&B versus the serial baseline, all resolving the same
+//! frozen list of sub-problems.
+//!
+//! Run with: `cargo run --release --example gpu_vs_multicore`
+
+use flowshop_gpu_bnb::bb::{frozen_pool, FspProblem, SerialSolver, SolverConfig};
+use flowshop_gpu_bnb::fsp::taillard;
+use flowshop_gpu_bnb::gpu_bnb::{DataPlacement, GpuBnbSolver, GpuSolverConfig};
+use flowshop_gpu_bnb::gpu_sim::HostModel;
+use flowshop_gpu_bnb::multicore_bnb::{CpuSpec, GpuFlops, MulticoreConfig, MulticoreModel, MulticoreSolver};
+
+fn main() {
+    let inst = taillard::generate("compare-20x20", 20, 20, 2012);
+    let problem = FspProblem::new(inst.clone());
+    println!("instance {} — freezing the shared list L …", inst.name());
+    let frozen = frozen_pool(&problem, 1_024);
+    let budget = 15_000u64;
+
+    // Serial baseline.
+    let serial = SerialSolver::new(
+        problem.clone(),
+        SolverConfig {
+            node_limit: Some(budget),
+            ..Default::default()
+        },
+    )
+    .solve_from(frozen.nodes.clone(), Some(frozen.upper_bound), frozen.best_schedule.clone());
+    println!(
+        "serial     : incumbent {}, {} bounds, bounding share {:.1} %",
+        serial.best_makespan,
+        serial.stats.bounded,
+        serial.times.bounding_share() * 100.0
+    );
+
+    // Real multi-threaded CPU solver (limited by this machine's cores).
+    let multicore = MulticoreSolver::from_problem(
+        problem.clone(),
+        MulticoreConfig {
+            threads: 4,
+            node_limit: Some(budget),
+            ..Default::default()
+        },
+    )
+    .solve_from(frozen.nodes.clone(), Some(frozen.upper_bound), frozen.best_schedule.clone());
+    println!(
+        "multi-core : incumbent {}, {} bounds on 4 worker threads (wall {:?})",
+        multicore.best_makespan, multicore.stats.bounded, multicore.elapsed
+    );
+
+    // GPU-accelerated solver (simulated Tesla C2050).
+    let gpu_solver = GpuBnbSolver::from_problem(
+        problem,
+        GpuSolverConfig {
+            pool_size: 2_048,
+            placement: DataPlacement::SharedJmPtm,
+            node_limit: Some(budget),
+            fast_forward: true,
+            ..Default::default()
+        },
+    );
+    let footprint = gpu_solver.matrix_footprint_bytes();
+    let gpu = gpu_solver.solve_from(frozen.nodes, Some(frozen.upper_bound), frozen.best_schedule);
+    let host = HostModel::default();
+    println!(
+        "GPU        : incumbent {}, {} bounds, modelled speedup x{:.1}",
+        gpu.best_makespan,
+        gpu.stats.bounded,
+        gpu.speedup(&host, footprint)
+    );
+
+    // The paper's Figure 5 comparison at equal theoretical GFLOPS.
+    let cpu = CpuSpec::i7_970();
+    let threads = GpuFlops::tesla_c2050().matching_cpu_threads(&cpu);
+    let cpu_model_speedup = MulticoreModel::default().speedup(threads, footprint);
+    println!(
+        "at equal ~515 GFLOPS: GPU model x{:.1} vs {}-thread CPU model x{:.1} (ratio x{:.1})",
+        gpu.speedup(&host, footprint),
+        threads,
+        cpu_model_speedup,
+        gpu.speedup(&host, footprint) / cpu_model_speedup
+    );
+}

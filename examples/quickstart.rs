@@ -1,0 +1,52 @@
+//! Quickstart: generate a small Flow-Shop instance, solve it to optimality
+//! with the serial B&B and with the GPU-accelerated B&B, and compare.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use flowshop_gpu_bnb::bb::{FspProblem, SerialSolver};
+use flowshop_gpu_bnb::fsp::{neh, taillard};
+use flowshop_gpu_bnb::gpu_bnb::{DataPlacement, GpuBnbSolver, GpuSolverConfig};
+use flowshop_gpu_bnb::gpu_sim::HostModel;
+
+fn main() {
+    // A 10-job × 8-machine Taillard-like instance (small enough to solve to
+    // optimality in seconds).
+    let inst = taillard::generate("quickstart-10x8", 10, 8, 20_120_914);
+    println!("instance: {} ({} jobs × {} machines)", inst.name(), inst.jobs(), inst.machines());
+
+    // A good feasible schedule from the NEH heuristic seeds the upper bound.
+    let (neh_schedule, neh_makespan) = neh::neh(&inst);
+    println!("NEH heuristic: makespan {neh_makespan}, schedule {neh_schedule:?}");
+
+    // 1. Serial B&B (the paper's single-CPU-core baseline).
+    let serial = SerialSolver::with_defaults(FspProblem::new(inst.clone())).solve();
+    println!(
+        "serial B&B : optimal makespan {}, {} bounds evaluated, {:.1} % of the time in bounding",
+        serial.best_makespan,
+        serial.stats.bounded,
+        serial.times.bounding_share() * 100.0
+    );
+
+    // 2. GPU-accelerated B&B: bounding off-loaded to the simulated Tesla
+    //    C2050, JM and PTM staged in shared memory.
+    let config = GpuSolverConfig {
+        pool_size: 512,
+        placement: DataPlacement::SharedJmPtm,
+        ..Default::default()
+    };
+    let solver = GpuBnbSolver::new(inst.clone(), config);
+    let footprint = solver.matrix_footprint_bytes();
+    let gpu = solver.solve();
+    println!(
+        "GPU B&B    : optimal makespan {}, {} bounds evaluated on the device in {} kernel launches",
+        gpu.best_makespan, gpu.gpu.nodes_bounded, gpu.gpu.iterations
+    );
+
+    assert_eq!(serial.best_makespan, gpu.best_makespan, "both solvers must agree");
+    let schedule = gpu.best_schedule.clone().expect("an optimal schedule");
+    println!("optimal schedule: {schedule:?}");
+    println!(
+        "modelled speedup over one CPU core (Tesla C2050 model): x{:.1}",
+        gpu.speedup(&HostModel::default(), footprint)
+    );
+}

@@ -1,0 +1,69 @@
+//! Solve (part of) a Taillard-class instance with the GPU-accelerated B&B.
+//!
+//! The hard Taillard instances cannot be solved to optimality in reasonable
+//! time, so this example follows the paper's protocol: freeze a list `L` of
+//! sub-problems, then resolve it under a node budget, reporting the incumbent
+//! and the modelled GPU statistics.
+//!
+//! Run with: `cargo run --release --example solve_taillard -- [jobs] [machines] [seed] [budget]`
+//! (defaults: 50 20 2012 20000).
+
+use flowshop_gpu_bnb::bb::{frozen_pool, FspProblem};
+use flowshop_gpu_bnb::fsp::taillard;
+use flowshop_gpu_bnb::gpu_bnb::{DataPlacement, GpuBnbSolver, GpuSolverConfig};
+use flowshop_gpu_bnb::gpu_sim::HostModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(50);
+    let machines: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let seed: i64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2012);
+    let budget: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+
+    let inst = taillard::generate(format!("ta-like-{jobs}x{machines}"), jobs, machines, seed);
+    println!("instance {} ({jobs} jobs × {machines} machines, seed {seed})", inst.name());
+
+    let problem = FspProblem::new(inst.clone());
+    println!("freezing a pool of sub-problems (the protocol of Mezmaz et al.) …");
+    let frozen = frozen_pool(&problem, 2_048);
+    println!(
+        "frozen list L: {} sub-problems, incumbent (NEH + freezing) = {}",
+        frozen.len(),
+        frozen.upper_bound
+    );
+
+    let config = GpuSolverConfig {
+        pool_size: 4_096,
+        placement: DataPlacement::SharedJmPtm,
+        node_limit: Some(budget),
+        fast_forward: true,
+        ..Default::default()
+    };
+    let solver = GpuBnbSolver::from_problem(problem, config);
+    let footprint = solver.matrix_footprint_bytes();
+    let outcome = solver.solve_from(
+        frozen.nodes.clone(),
+        Some(frozen.upper_bound),
+        frozen.best_schedule.clone(),
+    );
+
+    println!(
+        "after {} bound evaluations ({} kernel launches): best makespan {}{}",
+        outcome.stats.bounded,
+        outcome.gpu.iterations,
+        outcome.best_makespan,
+        if outcome.is_optimal() { " (optimal)" } else { " (budget reached)" }
+    );
+    let host = HostModel::default();
+    println!(
+        "modelled GPU time {:?} (kernels {:?}, transfers {:?}), modelled serial time {:?} -> speedup x{:.1}",
+        outcome.gpu.modeled_gpu_time(&host),
+        outcome.gpu.kernel_time,
+        outcome.gpu.transfer_time,
+        outcome.gpu.modeled_serial_time(&host, footprint),
+        outcome.speedup(&host, footprint)
+    );
+    if let Some(schedule) = &outcome.best_schedule {
+        println!("incumbent schedule (first 20 jobs): {:?}", &schedule[..schedule.len().min(20)]);
+    }
+}

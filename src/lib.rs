@@ -1,0 +1,24 @@
+//! # flowshop-gpu-bnb — facade crate
+//!
+//! Re-exports the workspace crates that make up the reproduction of
+//! *Melab et al., "A GPU-accelerated Branch-and-Bound Algorithm for the
+//! Flow-Shop Scheduling Problem" (IEEE CLUSTER 2012)* under one roof, so the
+//! examples and downstream users need a single dependency:
+//!
+//! * [`fsp`] — the Flow-Shop problem: instances, Taillard generator,
+//!   makespan, Johnson's algorithm, lower bounds;
+//! * [`bb`] — the sequential Branch-and-Bound framework and the frozen-pool
+//!   experimental protocol;
+//! * [`gpu_sim`] — the software SIMT simulator standing in for the Tesla
+//!   C2050 of the paper;
+//! * [`gpu_bnb`] — the paper's contribution: B&B with GPU-offloaded bounding
+//!   and data-placement optimisation;
+//! * [`multicore_bnb`] — the multi-threaded CPU baseline of Section V.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use bb;
+pub use fsp;
+pub use gpu_bnb;
+pub use gpu_sim;
+pub use multicore_bnb;

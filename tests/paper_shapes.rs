@@ -1,0 +1,139 @@
+//! Integration tests asserting the qualitative *shapes* of the paper's
+//! results at reduced scale — the properties EXPERIMENTS.md tracks:
+//!
+//! 1. bounding dominates the serial wall time on m = 20 instances;
+//! 2. the GPU speedup grows with the pool size and with the instance size;
+//! 3. the `PTM`+`JM` shared placement does not hurt, and helps most on the
+//!    largest instances;
+//! 4. the multi-core model scales sub-linearly and saturates beyond the
+//!    physical cores, far below the GPU speedups at equal GFLOPS.
+
+use flowshop_gpu_bnb::bb::{FspProblem, SerialSolver, SolverConfig};
+use flowshop_gpu_bnb::fsp::taillard::{self, InstanceClass};
+use flowshop_gpu_bnb::gpu_bnb::placement::MatrixId;
+use flowshop_gpu_bnb::gpu_bnb::{DataPlacement, GpuBnbSolver, GpuSolverConfig};
+use flowshop_gpu_bnb::gpu_sim::HostModel;
+use flowshop_gpu_bnb::multicore_bnb::MulticoreModel;
+
+fn speedup_for(jobs: usize, machines: usize, pool: usize, placement: DataPlacement) -> f64 {
+    let inst = taillard::generate(format!("shape-{jobs}x{machines}"), jobs, machines, 2012);
+    let problem = FspProblem::new(inst);
+    let frozen = flowshop_gpu_bnb::bb::frozen_pool(&problem, 1_024);
+    let solver = GpuBnbSolver::from_problem(
+        problem,
+        GpuSolverConfig {
+            pool_size: pool,
+            placement,
+            node_limit: Some(6_000),
+            fast_forward: true,
+            ..Default::default()
+        },
+    );
+    let footprint = solver.matrix_footprint_bytes();
+    let outcome = solver.solve_from(
+        frozen.nodes.clone(),
+        Some(frozen.upper_bound),
+        frozen.best_schedule.clone(),
+    );
+    outcome.speedup(&HostModel::default(), footprint)
+}
+
+#[test]
+fn bounding_dominates_serial_time_on_wide_instances() {
+    let inst = taillard::generate("shape-bounding", 16, 20, 7);
+    let outcome = SerialSolver::new(
+        FspProblem::new(inst),
+        SolverConfig {
+            node_limit: Some(2_000),
+            ..Default::default()
+        },
+    )
+    .solve();
+    assert!(
+        outcome.times.bounding_share() > 0.85,
+        "bounding share {:.3} should dominate",
+        outcome.times.bounding_share()
+    );
+}
+
+#[test]
+fn speedup_grows_with_pool_size_and_saturates() {
+    // Table II/III shape: small pools under-utilise the 14 SMs.
+    let small = speedup_for(20, 20, 512, DataPlacement::SharedJmPtm);
+    let large = speedup_for(20, 20, 8_192, DataPlacement::SharedJmPtm);
+    assert!(
+        large > small,
+        "speedup should grow with the pool size: {small:.1} -> {large:.1}"
+    );
+}
+
+#[test]
+fn speedup_grows_with_instance_size() {
+    // Figure 4 / Table II shape: larger instances -> coarser kernels ->
+    // higher efficiency.
+    let s20 = speedup_for(20, 20, 4_096, DataPlacement::SharedJmPtm);
+    let s50 = speedup_for(50, 20, 4_096, DataPlacement::SharedJmPtm);
+    assert!(
+        s50 > s20,
+        "50x20 ({s50:.1}) should out-accelerate 20x20 ({s20:.1})"
+    );
+}
+
+#[test]
+fn shared_placement_never_hurts_and_helps_large_instances() {
+    let g20 = speedup_for(20, 20, 4_096, DataPlacement::AllGlobal);
+    let s20 = speedup_for(20, 20, 4_096, DataPlacement::SharedJmPtm);
+    assert!(s20 >= g20 * 0.95, "20x20: shared {s20:.1} vs global {g20:.1}");
+
+    let g50 = speedup_for(50, 20, 4_096, DataPlacement::AllGlobal);
+    let s50 = speedup_for(50, 20, 4_096, DataPlacement::SharedJmPtm);
+    assert!(s50 >= g50, "50x20: shared {s50:.1} vs global {g50:.1}");
+}
+
+#[test]
+fn speedups_are_in_a_plausible_band() {
+    // The model is calibrated for the paper's orders of magnitude: tens of
+    // times faster than one CPU core, not thousands, not below one.
+    for (jobs, pool) in [(20usize, 4_096usize), (50, 4_096)] {
+        let s = speedup_for(jobs, 20, pool, DataPlacement::SharedJmPtm);
+        assert!(
+            (5.0..=200.0).contains(&s),
+            "{jobs}x20 speedup {s:.1} outside the plausible band"
+        );
+    }
+}
+
+#[test]
+fn multicore_model_stays_an_order_of_magnitude_below_the_gpu() {
+    let model = MulticoreModel::default();
+    let footprint: usize = MatrixId::ALL.iter().map(|m| m.packed_bytes(50, 20)).sum();
+    let cpu = model.speedup(7, footprint);
+    let gpu = speedup_for(50, 20, 8_192, DataPlacement::SharedJmPtm);
+    assert!(cpu < 15.0, "7-thread CPU model should stay near x9, got {cpu:.1}");
+    assert!(
+        gpu / cpu > 2.0,
+        "GPU ({gpu:.1}) should clearly beat 7 CPU threads ({cpu:.1}) at equal GFLOPS"
+    );
+}
+
+#[test]
+fn occupancy_matches_the_papers_figures() {
+    use flowshop_gpu_bnb::gpu_sim::memory::SharedMemoryConfig;
+    use flowshop_gpu_bnb::gpu_sim::occupancy::occupancy;
+    use flowshop_gpu_bnb::gpu_sim::DeviceSpec;
+
+    let device = DeviceSpec::tesla_c2050();
+    // 26 registers, 256-thread blocks, no shared memory: 32 active warps.
+    let all_global = occupancy(&device, 256, 26, 0, SharedMemoryConfig::PreferL1);
+    assert_eq!(all_global.active_warps_per_sm, 32);
+
+    // JM+PTM of 100x20 in shared memory: 16 active warps (the paper's figure
+    // for the large instances).
+    let class = InstanceClass {
+        jobs: 100,
+        machines: 20,
+    };
+    let shared_bytes = DataPlacement::SharedJmPtm.shared_bytes(class.jobs, class.machines);
+    let with_shared = occupancy(&device, 256, 26, shared_bytes, SharedMemoryConfig::PreferShared);
+    assert_eq!(with_shared.active_warps_per_sm, 16);
+}

@@ -1,0 +1,105 @@
+//! Workspace-level property-based tests: invariants that must hold for any
+//! randomly generated instance, prefix or pool.
+
+use flowshop_gpu_bnb::bb::{FspNode, FspProblem};
+use flowshop_gpu_bnb::fsp::bound::LowerBound;
+use flowshop_gpu_bnb::fsp::{makespan, makespan_prefix, taillard, JohnsonLowerBound, OneMachineBound};
+use flowshop_gpu_bnb::gpu_bnb::{BoundingEngine, DataPlacement};
+use proptest::prelude::*;
+
+/// Strategy: a small random instance (3..=8 jobs, 2..=6 machines) plus a seed.
+fn small_instance() -> impl Strategy<Value = (usize, usize, i64)> {
+    (3usize..=8, 2usize..=6, 1i64..1_000_000)
+}
+
+/// Strategy: a permutation prefix of `n` jobs with the given length.
+fn prefix(n: usize, len: usize) -> impl Strategy<Value = Vec<usize>> {
+    Just((0..n).collect::<Vec<_>>()).prop_shuffle().prop_map(move |p| p[..len].to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn makespan_is_permutation_invariant_in_total_work((n, m, seed) in small_instance()) {
+        let inst = taillard::generate("prop", n, m, seed);
+        let identity: Vec<usize> = (0..n).collect();
+        let reversed: Vec<usize> = (0..n).rev().collect();
+        // Any schedule is at least the critical path of a single job and at
+        // least the load of any machine.
+        for perm in [identity, reversed] {
+            let cmax = makespan(&inst, &perm);
+            prop_assert!(cmax >= inst.machine_load_bound());
+            prop_assert!(cmax <= inst.total_processing_time());
+        }
+    }
+
+    #[test]
+    fn bounds_are_admissible_and_ordered((n, m, seed) in small_instance(), len in 0usize..4) {
+        let inst = taillard::generate("prop", n, m, seed);
+        let len = len.min(n);
+        let johnson = JohnsonLowerBound::new(&inst);
+        let one = OneMachineBound::new(&inst);
+
+        // For a random prefix, complete it greedily and check admissibility:
+        // LB(prefix) <= makespan(any completion).
+        let prefix: Vec<usize> = (0..n).take(len).collect();
+        let completion: Vec<usize> = prefix.iter().copied().chain((0..n).filter(|j| !prefix.contains(j))).collect();
+        let full = makespan(&inst, &completion);
+
+        let sched = flowshop_gpu_bnb::fsp::PartialSchedule::from_prefix(&inst, &prefix);
+        let lb_j = johnson.bound(&sched);
+        let lb_1 = one.bound(&sched);
+        prop_assert!(lb_j <= full, "Johnson LB {lb_j} > completion {full}");
+        prop_assert!(lb_1 <= full, "LB1 {lb_1} > completion {full}");
+        // Dominance: the two-machine relaxation is at least as tight.
+        prop_assert!(lb_j >= lb_1);
+    }
+
+    #[test]
+    fn node_front_matches_schedule_recurrence((n, m, seed) in small_instance(), raw in prefix(8, 4)) {
+        let inst = taillard::generate("prop", n, m, seed);
+        let jobs: Vec<usize> = raw.into_iter().filter(|&j| j < n).collect();
+        let mut unique = Vec::new();
+        for j in jobs {
+            if !unique.contains(&j) {
+                unique.push(j);
+            }
+        }
+        let node = FspNode::from_prefix(&inst, &unique);
+        let expected_front = makespan_prefix(&inst, &unique);
+        prop_assert_eq!(node.front(), expected_front.as_slice());
+        prop_assert_eq!(node.depth(), unique.len());
+    }
+
+    #[test]
+    fn gpu_kernel_agrees_with_host_bound_for_random_prefixes((n, m, seed) in small_instance(), len in 0usize..5) {
+        let inst = taillard::generate("prop", n, m, seed);
+        let len = len.min(n.saturating_sub(1));
+        let prefix: Vec<usize> = (0..len).collect();
+        let node = FspNode::from_prefix(&inst, &prefix);
+
+        let problem = FspProblem::new(inst.clone());
+        let host = problem.bound_fn();
+        let mut engine = BoundingEngine::new(host.data(), DataPlacement::SharedJmPtm, 64, 26, 4);
+        let gpu_bound = engine.bound_nodes(std::slice::from_ref(&node)).bounds[0];
+        let host_bound = host.bound_prefix_fn(node.front(), |j| node.is_scheduled(j));
+        prop_assert_eq!(gpu_bound, host_bound);
+    }
+
+    #[test]
+    fn branching_partitions_the_search_space((n, m, seed) in small_instance()) {
+        let inst = taillard::generate("prop", n, m, seed);
+        let problem = FspProblem::new(inst);
+        let root = problem.root();
+        let children = problem.branch(&root);
+        prop_assert_eq!(children.len(), n);
+        // Each child schedules a distinct first job, and each has n-1 jobs left.
+        let mut firsts: Vec<usize> = children.iter().map(|c| c.prefix_vec()[0]).collect();
+        firsts.sort_unstable();
+        prop_assert_eq!(firsts, (0..n).collect::<Vec<_>>());
+        for child in &children {
+            prop_assert_eq!(child.unscheduled().count(), n - 1);
+        }
+    }
+}
