@@ -1,0 +1,147 @@
+//! Satellite test suite: `JobSet` round-trips and pool strategy invariants
+//! (FIFO order, LIFO order, best-first bound ordering) checked over random
+//! operation sequences.
+
+use bb::{BestFirstPool, DepthFirstPool, FifoPool, FspNode, JobSet, Pool, PoolStrategy};
+use fsp::taillard::generate;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// JobSet round-trips
+// ---------------------------------------------------------------------------
+
+#[test]
+fn jobset_insert_iterate_remove_round_trip() {
+    let mut set = JobSet::new(200);
+    let jobs = [0usize, 1, 63, 64, 65, 127, 128, 199];
+    for &j in &jobs {
+        assert!(set.insert(j), "first insert of {j} must report true");
+    }
+    assert_eq!(set.iter().collect::<Vec<_>>(), jobs.to_vec());
+    for &j in &jobs {
+        assert!(set.contains(j));
+        assert!(set.remove(j), "first remove of {j} must report true");
+        assert!(!set.contains(j));
+    }
+    assert!(set.is_empty());
+    assert_eq!(set.iter_absent().count(), 200);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Applying a random insert/remove trace and then removing everything the
+    /// iterator reports must leave the set empty — i.e. `iter` sees exactly
+    /// the live elements and `remove` clears exactly one each.
+    #[test]
+    fn jobset_iterate_then_remove_all_empties_the_set(
+        ops in proptest::collection::vec((0usize..150, any::<bool>()), 0..300)
+    ) {
+        let mut set = JobSet::new(150);
+        for (j, add) in ops {
+            if add {
+                set.insert(j);
+            } else {
+                set.remove(j);
+            }
+        }
+        let live: Vec<usize> = set.iter().collect();
+        prop_assert_eq!(live.len(), set.len());
+        // Iteration order must be strictly increasing.
+        prop_assert!(live.windows(2).all(|w| w[0] < w[1]));
+        for j in live {
+            prop_assert!(set.remove(j));
+        }
+        prop_assert!(set.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pool strategy invariants
+// ---------------------------------------------------------------------------
+
+fn nodes_with_bounds(bounds: &[u32]) -> Vec<FspNode> {
+    let inst = generate("pool-inv", bounds.len().max(2), 3, 7);
+    bounds
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| {
+            let mut node = FspNode::from_prefix(&inst, &[i]);
+            node.set_bound(b);
+            node
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// FIFO: pop order equals push order, for any bound values.
+    #[test]
+    fn fifo_pool_preserves_insertion_order(bounds in proptest::collection::vec(1u32..500, 1..9)) {
+        let nodes = nodes_with_bounds(&bounds);
+        let mut pool = FifoPool::new();
+        let expected: Vec<Vec<usize>> = nodes.iter().map(|n| n.prefix_vec()).collect();
+        for node in nodes {
+            pool.push(node);
+        }
+        let popped: Vec<Vec<usize>> = std::iter::from_fn(|| pool.pop()).map(|n| n.prefix_vec()).collect();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// LIFO (depth-first): pop order is the reverse of push order.
+    #[test]
+    fn depth_first_pool_is_lifo(bounds in proptest::collection::vec(1u32..500, 1..9)) {
+        let nodes = nodes_with_bounds(&bounds);
+        let mut pool = DepthFirstPool::new();
+        let mut expected: Vec<Vec<usize>> = nodes.iter().map(|n| n.prefix_vec()).collect();
+        expected.reverse();
+        for node in nodes {
+            pool.push(node);
+        }
+        let popped: Vec<Vec<usize>> = std::iter::from_fn(|| pool.pop()).map(|n| n.prefix_vec()).collect();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Best-first: popped bounds come out in non-decreasing order, whatever
+    /// the insertion order was.
+    #[test]
+    fn best_first_pool_pops_bounds_sorted(bounds in proptest::collection::vec(1u32..500, 1..9)) {
+        let nodes = nodes_with_bounds(&bounds);
+        let mut pool = BestFirstPool::new();
+        for node in nodes {
+            pool.push(node);
+        }
+        let popped: Vec<u32> = std::iter::from_fn(|| pool.pop()).map(|n| n.bound()).collect();
+        let mut sorted = popped.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(popped, sorted);
+    }
+
+    /// Every strategy conserves nodes: what goes in comes out exactly once,
+    /// whether popped one at a time, in chunks, or drained.
+    #[test]
+    fn pools_conserve_nodes(bounds in proptest::collection::vec(1u32..500, 1..12), chunk in 1usize..5) {
+        for strategy in [PoolStrategy::BestFirst, PoolStrategy::DepthFirst, PoolStrategy::Fifo] {
+            let nodes = nodes_with_bounds(&bounds);
+            let mut expected: Vec<Vec<usize>> = nodes.iter().map(|n| n.prefix_vec()).collect();
+            expected.sort();
+
+            let mut pool = strategy.build();
+            for node in nodes {
+                pool.push(node);
+            }
+            prop_assert_eq!(pool.len(), bounds.len());
+
+            let mut seen: Vec<Vec<usize>> = Vec::new();
+            let first_chunk = pool.pop_many(chunk);
+            prop_assert_eq!(first_chunk.len(), chunk.min(bounds.len()));
+            seen.extend(first_chunk.iter().map(|n| n.prefix_vec()));
+            seen.extend(pool.drain_all().iter().map(|n| n.prefix_vec()));
+            prop_assert!(pool.is_empty());
+
+            seen.sort();
+            prop_assert_eq!(&seen, &expected, "strategy {:?}", strategy);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build image has no network access, so the real proptest cannot be
+//! fetched. This shim implements the subset of its API that the workspace
+//! tests use — `proptest!`, `prop_assert!`, `prop_assert_eq!`, `Strategy`
+//! (ranges, tuples, `Just`, `prop_map`, `prop_shuffle`), and
+//! `ProptestConfig::with_cases` — with a deterministic splitmix64 generator
+//! seeded per test, so failures are reproducible run to run. No shrinking is
+//! performed; a failing case panics with the assertion message directly.
+//!
+//! If the real proptest ever becomes available, delete `crates/compat/` and
+//! point the dev-dependency at crates.io: the test sources need no changes.
+
+pub mod strategy;
+
+pub use strategy::arbitrary;
+pub use strategy::collection;
+pub use strategy::{Just, Strategy};
+
+/// Deterministic splitmix64 generator used to drive all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary string (typically the test name),
+    /// so every test gets a distinct but stable stream.
+    pub fn seeded(name: &str) -> Self {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for byte in name.bytes() {
+            state = state.wrapping_mul(31).wrapping_add(u64::from(byte));
+        }
+        Self { state }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// Runner configuration. Only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// `prop_assert!` — plain `assert!` (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` — plain `assert_eq!` (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// The `proptest! { ... }` block: expands each
+/// `#[test] fn name(pat in strategy, ...) { body }` into an ordinary test
+/// that draws `cases` inputs from the strategies and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr)
+      $(
+          $(#[$meta:meta])*
+          fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::seeded(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..config.cases {
+                    $( let $pat = $crate::Strategy::generate(&($strat), &mut rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}

@@ -14,7 +14,7 @@ use bb::stats::SolveStats;
 use bb::{BestFirstPool, FspNode, FspProblem, SharedUpperBound};
 use fsp::bound::counts::AccessCounts;
 use fsp::{Instance, JohnsonLowerBound, Job, Time};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -79,7 +79,7 @@ impl HybridSolver {
             Some(v) => SharedUpperBound::new(v),
             None if self.config.use_initial_ub => {
                 let (perm, value) = self.problem.initial_upper_bound();
-                *incumbent_schedule.lock() = Some(perm);
+                *incumbent_schedule.lock().unwrap() = Some(perm);
                 SharedUpperBound::new(value)
             }
             None => SharedUpperBound::unbounded(),
@@ -87,7 +87,7 @@ impl HybridSolver {
 
         let pool = Mutex::new(BestFirstPool::new());
         {
-            let mut guard = pool.lock();
+            let mut guard = pool.lock().unwrap();
             for node in initial_nodes {
                 guard.push(node);
             }
@@ -124,7 +124,7 @@ impl HybridSolver {
                         let mut local_stats = SolveStats::default();
                         let mut batch: Vec<FspNode> = Vec::with_capacity(chunk_target + n);
                         {
-                            let mut guard = pool.lock();
+                            let mut guard = pool.lock().unwrap();
                             while batch.len() < chunk_target {
                                 let Some(node) = guard.pop() else { break };
                                 local_stats.selected += 1;
@@ -141,7 +141,7 @@ impl HybridSolver {
                             busy_workers.fetch_sub(1, Ordering::AcqRel);
                             // Termination: nothing pending and nobody else is
                             // producing new nodes.
-                            let pool_empty = pool.lock().is_empty();
+                            let pool_empty = pool.lock().unwrap().is_empty();
                             if pool_empty && busy_workers.load(Ordering::Acquire) == 0 {
                                 break;
                             }
@@ -151,7 +151,7 @@ impl HybridSolver {
 
                         // Bounding through the shared GPU engine.
                         let result = {
-                            let mut engine = engine.lock();
+                            let mut engine = engine.lock().unwrap();
                             if self.config.fast_forward {
                                 engine.bound_nodes_fast(&batch, &host_lb)
                             } else {
@@ -161,7 +161,7 @@ impl HybridSolver {
                         bounded_so_far.fetch_add(batch.len(), Ordering::Relaxed);
 
                         {
-                            let mut g = gpu.lock();
+                            let mut g = gpu.lock().unwrap();
                             g.iterations += 1;
                             g.nodes_bounded += batch.len() as u64;
                             g.kernel_time += result.kernel.duration;
@@ -187,7 +187,13 @@ impl HybridSolver {
                                 let cost = self.problem.leaf_cost(&child);
                                 if ub.try_improve(cost) {
                                     local_stats.improvements += 1;
-                                    *incumbent_schedule.lock() = Some(child.prefix_vec());
+                                    // Re-check under the lock: another worker may
+                                    // have improved past `cost` between the CAS and
+                                    // here, and its schedule must win.
+                                    let mut guard = incumbent_schedule.lock().unwrap();
+                                    if cost <= ub.get() {
+                                        *guard = Some(child.prefix_vec());
+                                    }
                                 }
                             } else if ub.prunes(bound) {
                                 local_stats.pruned += 1;
@@ -196,14 +202,14 @@ impl HybridSolver {
                             }
                         }
                         {
-                            let mut guard = pool.lock();
+                            let mut guard = pool.lock().unwrap();
                             for node in survivors {
                                 guard.push(node);
                             }
                             local_stats.max_pool = guard.len();
                         }
                         {
-                            let mut s = stats.lock();
+                            let mut s = stats.lock().unwrap();
                             *s = s.add(&local_stats);
                         }
                         busy_workers.fetch_sub(1, Ordering::AcqRel);
@@ -212,12 +218,12 @@ impl HybridSolver {
             }
         });
 
-        let mut gpu_stats = gpu.into_inner();
+        let mut gpu_stats = gpu.into_inner().unwrap();
         gpu_stats.wall_time = start.elapsed();
-        let final_stats = stats.into_inner();
+        let final_stats = stats.into_inner().unwrap();
         HybridOutcome {
             best_makespan: ub.get(),
-            best_schedule: incumbent_schedule.into_inner(),
+            best_schedule: incumbent_schedule.into_inner().unwrap(),
             stats: final_stats,
             gpu: gpu_stats,
             workers: self.workers,

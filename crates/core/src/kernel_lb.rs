@@ -74,8 +74,8 @@ impl Kernel for LowerBoundKernel {
         let mut min_head = vec![Time::MAX; m];
         let mut min_tail = vec![Time::MAX; m];
         let mut remaining = 0usize;
-        for job in 0..n {
-            if scheduled[job] {
+        for (job, &done) in scheduled.iter().enumerate().take(n) {
+            if done {
                 continue;
             }
             remaining += 1;

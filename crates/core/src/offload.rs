@@ -488,8 +488,8 @@ mod tests {
         let (engine, _) = engine_for(&inst, DataPlacement::AllGlobal, 8);
         let shallow = FspNode::from_prefix(&inst, &[1]);
         let deep = FspNode::from_prefix(&inst, &[1, 2, 3, 4, 5]);
-        assert_eq!(engine.upload_bytes(&[shallow.clone()]), 4);
-        assert_eq!(engine.upload_bytes(&[deep.clone()]), 12);
+        assert_eq!(engine.upload_bytes(std::slice::from_ref(&shallow)), 4);
+        assert_eq!(engine.upload_bytes(std::slice::from_ref(&deep)), 12);
         assert_eq!(engine.upload_bytes(&[shallow, deep]), 16);
     }
 

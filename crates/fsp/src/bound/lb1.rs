@@ -40,8 +40,8 @@ impl OneMachineBound {
         let mut load = vec![0 as Time; m];
         let mut min_head = vec![Time::MAX; m];
         let mut min_tail = vec![Time::MAX; m];
-        for job in 0..n {
-            if scheduled[job] {
+        for (job, &done) in scheduled.iter().enumerate().take(n) {
+            if done {
                 continue;
             }
             remaining += 1;

@@ -1,0 +1,116 @@
+//! Satellite test suite: Johnson's 2-machine optimality against the brute
+//! oracle, and makespan monotonicity under prefix extension.
+
+use fsp::brute::{all_makespans, brute_force_optimal};
+use fsp::johnson::{johnson_order, solve_two_machine, two_machine_makespan};
+use fsp::schedule::{makespan, makespan_prefix};
+use fsp::taillard;
+
+/// Johnson's rule must match exhaustive enumeration on every tiny 2-machine
+/// instance we throw at it, across sizes and seeds.
+#[test]
+fn johnson_equals_brute_force_on_two_machines() {
+    for jobs in 3..=7 {
+        for seed in [1, 5, 9, 42, 77, 1001, 9999] {
+            let inst = taillard::generate(format!("jopt-{jobs}-{seed}"), jobs, 2, seed);
+            let (order, cmax) = solve_two_machine(&inst);
+            assert_eq!(
+                makespan(&inst, &order),
+                cmax,
+                "reported makespan must match evaluation ({jobs} jobs, seed {seed})"
+            );
+            let (_, best) = brute_force_optimal(&inst);
+            assert_eq!(cmax, best, "Johnson suboptimal on {jobs} jobs, seed {seed}");
+        }
+    }
+}
+
+/// Degenerate two-machine shapes that exercise Johnson's tie-breaking: all
+/// times equal, a == b per job, and second machine dominated by the first.
+#[test]
+fn johnson_handles_tie_heavy_instances() {
+    let cases: [(&[u32], &[u32]); 3] = [
+        (&[5, 5, 5, 5], &[5, 5, 5, 5]),
+        (&[3, 7, 2, 9], &[3, 7, 2, 9]),
+        (&[9, 8, 7, 6], &[1, 1, 1, 1]),
+    ];
+    for (a, b) in cases {
+        let order = johnson_order(a, b);
+        let johnson = two_machine_makespan(a, b, &order);
+        let rows: Vec<Vec<u32>> = a.iter().zip(b).map(|(&x, &y)| vec![x, y]).collect();
+        let inst = fsp::Instance::from_rows("ties", &rows);
+        let (_, best) = brute_force_optimal(&inst);
+        assert_eq!(johnson, best, "ties: a={a:?} b={b:?}");
+    }
+}
+
+/// Extending a prefix by one job never decreases any machine's completion
+/// time, and the last machine's front reaches the full makespan when the
+/// prefix becomes the whole permutation.
+#[test]
+fn front_is_monotone_under_prefix_extension() {
+    let inst = taillard::generate("mono", 7, 4, 321);
+    let n = inst.jobs();
+    for seed in 0..6u64 {
+        // A deterministic pseudo-random permutation per seed.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed.wrapping_mul(0x9e37_79b9).wrapping_add(13);
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            perm.swap(i, (state >> 33) as usize % (i + 1));
+        }
+
+        let mut prev = makespan_prefix(&inst, &[]);
+        for len in 1..=n {
+            let front = makespan_prefix(&inst, &perm[..len]);
+            for k in 0..inst.machines() {
+                assert!(
+                    front[k] >= prev[k],
+                    "front regressed on machine {k} at prefix length {len}"
+                );
+            }
+            prev = front;
+        }
+        assert_eq!(*prev.last().unwrap(), makespan(&inst, &perm));
+    }
+}
+
+/// The prefix front is a valid *optimistic* view: for any prefix of the
+/// optimal permutation, the completion on the last machine never exceeds the
+/// optimal makespan (oracle: brute force).
+#[test]
+fn optimal_prefix_fronts_stay_below_the_optimum() {
+    let inst = taillard::generate("mono-opt", 6, 3, 2024);
+    let (opt_perm, opt) = brute_force_optimal(&inst);
+    for len in 0..=opt_perm.len() {
+        let front = makespan_prefix(&inst, &opt_perm[..len]);
+        assert!(
+            *front.last().unwrap() <= opt,
+            "prefix of the optimum overshoots the optimal makespan"
+        );
+    }
+    // And the optimum is the minimum over all full schedules.
+    let all = all_makespans(&inst);
+    assert_eq!(opt, *all.iter().min().unwrap());
+}
+
+/// Scheduling one more job can only grow the *makespan of the completed
+/// schedule* obtained by any fixed completion rule (here: append remaining
+/// jobs in index order). This is the monotonicity the B&B elimination step
+/// relies on: a child's evaluation never undercuts what its parent already
+/// committed to.
+#[test]
+fn committed_prefix_work_is_irrevocable() {
+    let inst = taillard::generate("mono-commit", 6, 5, 451);
+    let n = inst.jobs();
+    let complete = |prefix: &[usize]| -> u32 {
+        let mut full = prefix.to_vec();
+        full.extend((0..n).filter(|j| !prefix.contains(j)));
+        makespan(&inst, &full)
+    };
+    let (opt_perm, opt) = brute_force_optimal(&inst);
+    for len in 0..n {
+        // Any completion of any prefix is at least the optimum.
+        assert!(complete(&opt_perm[..len]) >= opt);
+    }
+}

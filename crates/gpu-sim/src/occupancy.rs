@@ -70,11 +70,9 @@ pub fn occupancy(
 
     // Shared memory.
     let shared_per_sm = device.shared_bytes(config);
-    let by_shared = if shared_bytes_per_block == 0 {
-        usize::MAX
-    } else {
-        shared_per_sm / shared_bytes_per_block
-    };
+    let by_shared = shared_per_sm
+        .checked_div(shared_bytes_per_block)
+        .unwrap_or(usize::MAX);
 
     let hardware = by_warps.min(by_blocks);
     let blocks = hardware.min(by_registers).min(by_shared);

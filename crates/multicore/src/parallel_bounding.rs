@@ -8,7 +8,6 @@
 
 use bb::problem::NodeBound;
 use bb::FspNode;
-use crossbeam::thread as cb_thread;
 use fsp::Time;
 
 /// A CPU thread pool that evaluates lower bounds of node batches in parallel.
@@ -44,21 +43,15 @@ impl ParallelBoundingPool {
 
         let chunk = batch.len().div_ceil(self.threads);
         let mut results = vec![0 as Time; batch.len()];
-        cb_thread::scope(|scope| {
-            for (chunk_index, (nodes, out)) in batch
-                .chunks(chunk)
-                .zip(results.chunks_mut(chunk))
-                .enumerate()
-            {
-                let _ = chunk_index;
-                scope.spawn(move |_| {
+        std::thread::scope(|scope| {
+            for (nodes, out) in batch.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                scope.spawn(move || {
                     for (node, slot) in nodes.iter().zip(out.iter_mut()) {
                         *slot = bound.bound_node(node);
                     }
                 });
             }
-        })
-        .expect("bounding worker panicked");
+        });
         results
     }
 }

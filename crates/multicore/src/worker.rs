@@ -11,7 +11,7 @@ use bb::stats::SolveStats;
 use bb::{BestFirstPool, FspNode, FspProblem, SharedUpperBound};
 use bb::problem::NodeBound;
 use fsp::{Instance, JohnsonLowerBound, Job, Time};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -131,7 +131,7 @@ impl<B: NodeBound> MulticoreSolver<B> {
             Some(v) => SharedUpperBound::new(v),
             None if self.config.use_initial_ub => {
                 let (perm, value) = self.problem.initial_upper_bound();
-                *incumbent_schedule.lock() = Some(perm);
+                *incumbent_schedule.lock().unwrap() = Some(perm);
                 SharedUpperBound::new(value)
             }
             None => SharedUpperBound::unbounded(),
@@ -139,7 +139,7 @@ impl<B: NodeBound> MulticoreSolver<B> {
 
         let pool = Mutex::new(BestFirstPool::new());
         {
-            let mut guard = pool.lock();
+            let mut guard = pool.lock().unwrap();
             for node in initial_nodes {
                 guard.push(node);
             }
@@ -168,10 +168,10 @@ impl<B: NodeBound> MulticoreSolver<B> {
                         }
 
                         busy_workers.fetch_add(1, Ordering::AcqRel);
-                        let node = pool.lock().pop();
+                        let node = pool.lock().unwrap().pop();
                         let Some(node) = node else {
                             busy_workers.fetch_sub(1, Ordering::AcqRel);
-                            if pool.lock().is_empty()
+                            if pool.lock().unwrap().is_empty()
                                 && busy_workers.load(Ordering::Acquire) == 0
                             {
                                 break;
@@ -197,7 +197,13 @@ impl<B: NodeBound> MulticoreSolver<B> {
                                     let cost = self.problem.leaf_cost(&child);
                                     if ub.try_improve(cost) {
                                         local.improvements += 1;
-                                        *incumbent_schedule.lock() = Some(child.prefix_vec());
+                                        // Re-check under the lock: another worker
+                                        // may have improved past `cost` between the
+                                        // CAS and here, and its schedule must win.
+                                        let mut guard = incumbent_schedule.lock().unwrap();
+                                        if cost <= ub.get() {
+                                            *guard = Some(child.prefix_vec());
+                                        }
                                     }
                                 } else if ub.prunes(child.bound()) {
                                     local.pruned += 1;
@@ -206,14 +212,14 @@ impl<B: NodeBound> MulticoreSolver<B> {
                                 }
                             }
                             bounded_total.fetch_add(local.bounded, Ordering::Relaxed);
-                            let mut guard = pool.lock();
+                            let mut guard = pool.lock().unwrap();
                             for child in survivors {
                                 guard.push(child);
                             }
                             local.max_pool = guard.len();
                         }
                         {
-                            let mut s = stats.lock();
+                            let mut s = stats.lock().unwrap();
                             *s = s.add(&local);
                         }
                         busy_workers.fetch_sub(1, Ordering::AcqRel);
@@ -225,8 +231,8 @@ impl<B: NodeBound> MulticoreSolver<B> {
         let exhausted = truncated.load(Ordering::Relaxed) == 0;
         MulticoreOutcome::new(
             ub.get(),
-            incumbent_schedule.into_inner(),
-            stats.into_inner(),
+            incumbent_schedule.into_inner().unwrap(),
+            stats.into_inner().unwrap(),
             start.elapsed(),
             self.config.threads,
             exhausted,

@@ -1,0 +1,157 @@
+//! Smoke tests mirroring the core path of each of the four `examples/` entry
+//! points on tiny instances, so the examples cannot silently rot: if an API
+//! they depend on changes shape or behaviour, these tests break alongside the
+//! example sources.
+
+use flowshop_gpu_bnb::bb::{frozen_pool, FspProblem, SerialSolver, SolverConfig};
+use flowshop_gpu_bnb::fsp::{makespan, neh, taillard};
+use flowshop_gpu_bnb::gpu_bnb::autotune::autotune_pool_size;
+use flowshop_gpu_bnb::gpu_bnb::{DataPlacement, GpuBnbSolver, GpuSolverConfig};
+use flowshop_gpu_bnb::gpu_sim::HostModel;
+use flowshop_gpu_bnb::multicore_bnb::{
+    CpuSpec, GpuFlops, MulticoreConfig, MulticoreModel, MulticoreSolver,
+};
+
+/// `examples/quickstart.rs`: NEH seed, serial and GPU solvers agree, and the
+/// modelled speedup is a sane positive number.
+#[test]
+fn quickstart_core_path() {
+    let inst = taillard::generate("smoke-quickstart", 8, 5, 20_120_914);
+
+    let (neh_schedule, neh_makespan) = neh::neh(&inst);
+    assert_eq!(makespan(&inst, &neh_schedule), neh_makespan);
+
+    let serial = SerialSolver::with_defaults(FspProblem::new(inst.clone())).solve();
+    assert!(serial.best_makespan <= neh_makespan, "B&B can't be worse than its seed");
+    assert!(serial.times.bounding_share() > 0.0);
+
+    let config = GpuSolverConfig {
+        pool_size: 64,
+        placement: DataPlacement::SharedJmPtm,
+        ..Default::default()
+    };
+    let solver = GpuBnbSolver::new(inst.clone(), config);
+    let footprint = solver.matrix_footprint_bytes();
+    let gpu = solver.solve();
+    assert_eq!(serial.best_makespan, gpu.best_makespan);
+    assert!(gpu.gpu.nodes_bounded > 0);
+
+    let schedule = gpu.best_schedule.clone().expect("an optimal schedule");
+    assert_eq!(makespan(&inst, &schedule), gpu.best_makespan);
+
+    let speedup = gpu.speedup(&HostModel::default(), footprint);
+    assert!(speedup.is_finite() && speedup > 0.0);
+}
+
+/// `examples/solve_taillard.rs`: freeze a pool, resolve it under a node
+/// budget, and report a coherent outcome.
+#[test]
+fn solve_taillard_core_path() {
+    let inst = taillard::generate("smoke-ta", 10, 6, 2012);
+    let problem = FspProblem::new(inst.clone());
+    let frozen = frozen_pool(&problem, 64);
+    assert!(!frozen.is_empty());
+    assert!(frozen.upper_bound > 0);
+
+    let config = GpuSolverConfig {
+        pool_size: 128,
+        placement: DataPlacement::SharedJmPtm,
+        node_limit: Some(2_000),
+        fast_forward: true,
+        ..Default::default()
+    };
+    let solver = GpuBnbSolver::from_problem(problem, config);
+    let footprint = solver.matrix_footprint_bytes();
+    let outcome = solver.solve_from(
+        frozen.nodes.clone(),
+        Some(frozen.upper_bound),
+        frozen.best_schedule.clone(),
+    );
+
+    assert!(outcome.best_makespan <= frozen.upper_bound);
+    assert!(outcome.stats.bounded > 0);
+    let host = HostModel::default();
+    let speedup = outcome.speedup(&host, footprint);
+    assert!(speedup.is_finite() && speedup > 0.0);
+}
+
+/// `examples/gpu_vs_multicore.rs`: the three solvers resolve one shared
+/// frozen list under the same budget, and the Figure 5 model comparison
+/// produces finite numbers.
+#[test]
+fn gpu_vs_multicore_core_path() {
+    let inst = taillard::generate("smoke-compare", 9, 6, 2012);
+    let problem = FspProblem::new(inst.clone());
+    let frozen = frozen_pool(&problem, 48);
+    let budget = 3_000u64;
+
+    let serial = SerialSolver::new(
+        problem.clone(),
+        SolverConfig {
+            node_limit: Some(budget),
+            ..Default::default()
+        },
+    )
+    .solve_from(frozen.nodes.clone(), Some(frozen.upper_bound), frozen.best_schedule.clone());
+
+    let multicore = MulticoreSolver::from_problem(
+        problem.clone(),
+        MulticoreConfig {
+            threads: 2,
+            node_limit: Some(budget),
+            ..Default::default()
+        },
+    )
+    .solve_from(frozen.nodes.clone(), Some(frozen.upper_bound), frozen.best_schedule.clone());
+
+    let gpu_solver = GpuBnbSolver::from_problem(
+        problem,
+        GpuSolverConfig {
+            pool_size: 96,
+            placement: DataPlacement::SharedJmPtm,
+            node_limit: Some(budget),
+            fast_forward: true,
+            ..Default::default()
+        },
+    );
+    let footprint = gpu_solver.matrix_footprint_bytes();
+    let gpu = gpu_solver.solve_from(frozen.nodes, Some(frozen.upper_bound), frozen.best_schedule);
+
+    // All three resolve the same list seeded with the same incumbent, so they
+    // can only improve on it — and on a 9-job instance they all finish the
+    // list and agree on the optimum.
+    assert!(serial.best_makespan <= frozen.upper_bound);
+    assert_eq!(serial.best_makespan, multicore.best_makespan);
+    assert_eq!(serial.best_makespan, gpu.best_makespan);
+
+    let host = HostModel::default();
+    let cpu = CpuSpec::i7_970();
+    let threads = GpuFlops::tesla_c2050().matching_cpu_threads(&cpu);
+    assert!(threads > 0);
+    let cpu_model_speedup = MulticoreModel::default().speedup(threads, footprint);
+    let gpu_speedup = gpu.speedup(&host, footprint);
+    assert!(cpu_model_speedup.is_finite() && cpu_model_speedup > 0.0);
+    assert!(gpu_speedup.is_finite() && gpu_speedup > 0.0);
+}
+
+/// `examples/autotune_pool.rs`: probing candidate pool sizes yields one
+/// measurement per candidate and picks the best among them.
+#[test]
+fn autotune_pool_core_path() {
+    let inst = taillard::generate("smoke-autotune", 16, 8, 2012);
+    let base = GpuSolverConfig {
+        placement: DataPlacement::SharedJmPtm,
+        fast_forward: true,
+        ..Default::default()
+    };
+    let candidates = [64usize, 128, 256];
+    let report = autotune_pool_size(&inst, &base, &candidates, 512);
+
+    assert_eq!(report.measurements.len(), candidates.len());
+    assert!(candidates.contains(&report.best_pool_size));
+    for m in &report.measurements {
+        assert!(candidates.contains(&m.pool_size));
+        assert!(m.seconds_per_node > 0.0);
+        assert!(m.speedup.is_finite() && m.speedup > 0.0);
+    }
+}
