@@ -42,7 +42,11 @@ impl JobSet {
     ///
     /// Panics if `job >= capacity`.
     pub fn insert(&mut self, job: usize) -> bool {
-        assert!(job < self.capacity, "job {job} out of capacity {}", self.capacity);
+        assert!(
+            job < self.capacity,
+            "job {job} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (job / 64, job % 64);
         let was = self.words[w] & (1 << b) != 0;
         self.words[w] |= 1 << b;
@@ -51,7 +55,11 @@ impl JobSet {
 
     /// Removes `job`; returns `true` if it was present.
     pub fn remove(&mut self, job: usize) -> bool {
-        assert!(job < self.capacity, "job {job} out of capacity {}", self.capacity);
+        assert!(
+            job < self.capacity,
+            "job {job} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (job / 64, job % 64);
         let was = self.words[w] & (1 << b) != 0;
         self.words[w] &= !(1 << b);

@@ -171,7 +171,10 @@ mod tests {
     #[test]
     fn child_front_matches_schedule_recurrence() {
         let inst = generate("t", 8, 4, 7);
-        let node = FspNode::root(&inst).child(&inst, 3).child(&inst, 0).child(&inst, 5);
+        let node = FspNode::root(&inst)
+            .child(&inst, 3)
+            .child(&inst, 0)
+            .child(&inst, 5);
         assert_eq!(node.front(), makespan_prefix(&inst, &[3, 0, 5]).as_slice());
         assert_eq!(node.prefix_vec(), vec![3, 0, 5]);
         assert_eq!(node.depth(), 3);

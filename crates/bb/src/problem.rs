@@ -31,12 +31,7 @@ impl NodeBound for JohnsonLowerBound {
 
 impl NodeBound for OneMachineBound {
     fn bound_node(&self, node: &FspNode) -> Time {
-        let n = node.scheduled().capacity();
-        let mut scheduled = vec![false; n];
-        for j in node.prefix() {
-            scheduled[j] = true;
-        }
-        self.bound_prefix(node.front(), &scheduled)
+        self.bound_prefix_fn(node.front(), |j| node.is_scheduled(j))
     }
 
     fn bound_name(&self) -> &'static str {
@@ -107,9 +102,17 @@ impl<B: NodeBound> FspProblem<B> {
     /// The **branching** operator: one child per unscheduled job, scheduled
     /// next. Children inherit the parent's bound and must be re-bounded.
     pub fn branch(&self, node: &FspNode) -> Vec<FspNode> {
-        node.unscheduled()
-            .map(|job| node.child(&self.inst, job))
-            .collect()
+        let mut children = Vec::new();
+        self.branch_into(node, &mut children);
+        children
+    }
+
+    /// [`Self::branch`] into a caller-owned buffer, so batch loops (the
+    /// serial solver's iteration, the off-load engines' pool filling) reuse
+    /// one allocation across iterations. Children are appended; the buffer is
+    /// not cleared.
+    pub fn branch_into(&self, node: &FspNode, out: &mut Vec<FspNode>) {
+        out.extend(node.unscheduled().map(|job| node.child(&self.inst, job)));
     }
 
     /// The **bounding** operator: evaluates and records the node's lower
@@ -197,8 +200,7 @@ mod tests {
         let prob = FspProblem::new(inst.clone());
         let node = FspNode::from_prefix(prob.instance(), &[4, 1, 7]);
         let via_node = prob.bound_value(&node);
-        let via_sched =
-            bound_via_partial_schedule(&inst, prob.bound_fn().as_ref(), &[4, 1, 7]);
+        let via_sched = bound_via_partial_schedule(&inst, prob.bound_fn().as_ref(), &[4, 1, 7]);
         assert_eq!(via_node, via_sched);
     }
 

@@ -170,7 +170,11 @@ mod tests {
         let problem = FspProblem::new(generate("t", 20, 10, 4));
         for strategy in [PoolStrategy::BestFirst, PoolStrategy::Fifo] {
             let frozen = frozen_pool_with_strategy(&problem, 128, strategy);
-            assert!(frozen.len() >= 128, "{strategy:?} froze only {}", frozen.len());
+            assert!(
+                frozen.len() >= 128,
+                "{strategy:?} froze only {}",
+                frozen.len()
+            );
             assert!(
                 frozen
                     .nodes

@@ -144,6 +144,7 @@ impl<B: NodeBound> SerialSolver<B> {
         stats.max_pool = pool.len();
 
         let mut stop = StopReason::Exhausted;
+        let mut children: Vec<FspNode> = Vec::new();
         loop {
             if let Some(limit) = self.config.node_limit {
                 if stats.bounded >= limit {
@@ -177,14 +178,15 @@ impl<B: NodeBound> SerialSolver<B> {
                 continue;
             }
 
-            // Branching.
+            // Branching (into the reused buffer).
             let t0 = Instant::now();
-            let children = self.problem.branch(&node);
+            children.clear();
+            self.problem.branch_into(&node, &mut children);
             times.branching += t0.elapsed();
             stats.decomposed += 1;
 
             // Bounding + elimination of the children.
-            for mut child in children {
+            for mut child in children.drain(..) {
                 let t0 = Instant::now();
                 self.problem.bound(&mut child);
                 times.bounding += t0.elapsed();

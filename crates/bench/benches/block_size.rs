@@ -21,13 +21,8 @@ fn bench_block_sizes(c: &mut Criterion) {
 
     eprintln!("modelled kernel time for one 2048-node pool (50x20), per block size:");
     for block in [64usize, 128, 256, 512] {
-        let mut engine = BoundingEngine::new(
-            host_lb.data(),
-            DataPlacement::SharedJmPtm,
-            block,
-            26,
-            2048,
-        );
+        let mut engine =
+            BoundingEngine::new(host_lb.data(), DataPlacement::SharedJmPtm, block, 26, 2048);
         let result = engine.bound_nodes_fast(&chunk, &host_lb);
         eprintln!(
             "  block {block:>4}: kernel {:>10.3?}  occupancy {:>2} warps/SM",
@@ -39,13 +34,8 @@ fn bench_block_sizes(c: &mut Criterion) {
     group.sample_size(10);
     for block in [64usize, 128, 256, 512] {
         group.bench_with_input(BenchmarkId::from_parameter(block), &chunk, |b, chunk| {
-            let mut engine = BoundingEngine::new(
-                host_lb.data(),
-                DataPlacement::SharedJmPtm,
-                block,
-                26,
-                2048,
-            );
+            let mut engine =
+                BoundingEngine::new(host_lb.data(), DataPlacement::SharedJmPtm, block, 26, 2048);
             b.iter(|| std::hint::black_box(engine.bound_nodes_fast(chunk, &host_lb).bounds.len()))
         });
     }

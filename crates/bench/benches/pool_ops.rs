@@ -1,10 +1,13 @@
 //! Micro-benchmark of the pending-pool implementations (the selection
-//! operator's data structure): best-first heap vs depth-first stack vs FIFO.
+//! operator's data structure): best-first heap vs depth-first stack vs FIFO —
+//! plus the `PartialSchedule` push/pop pair, whose pop must stay `O(m)` at
+//! every depth (per-depth front snapshots, not a prefix replay).
 
 use bb::pool::PoolStrategy;
 use bb::FspNode;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fsp::taillard::generate;
+use fsp::PartialSchedule;
 
 fn nodes_for_bench(count: usize) -> Vec<FspNode> {
     let inst = generate("pool-bench", 20, 10, 99);
@@ -48,5 +51,35 @@ fn bench_pools(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pools);
+/// Times one `push`/`pop` pair at the bottom of an existing prefix of the
+/// given depth. Before the per-depth front snapshots, `pop` replayed the
+/// whole prefix (`O(l·m)`) and this benchmark's cost grew linearly with
+/// `depth`; now every row should cost the same.
+fn bench_schedule_pops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_ops");
+    group.sample_size(20);
+
+    let inst = generate("sched-bench", 500, 20, 7);
+    for depth in [10usize, 100, 250, 450] {
+        let prefix: Vec<usize> = (0..depth).collect();
+        group.bench_with_input(
+            BenchmarkId::new("schedule_push_pop_at_depth", depth),
+            &prefix,
+            |b, prefix| {
+                let mut sched = PartialSchedule::from_prefix(&inst, prefix);
+                b.iter(|| {
+                    for job in 460..500 {
+                        sched.push(job);
+                        std::hint::black_box(sched.front().last());
+                        sched.pop();
+                    }
+                    std::hint::black_box(sched.depth())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pools, bench_schedule_pops);
 criterion_main!(benches);

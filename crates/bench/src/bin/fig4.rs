@@ -30,8 +30,14 @@ fn main() {
         "Figure 4 — average parallel efficiency per instance, pool size = {pool_size} ({}x256)",
         pool_size.div_ceil(256)
     );
-    println!("{}", series_to_text("All Matrices on Global Memory", &global_series));
-    println!("{}", series_to_text("PTM and JM on Shared Memory", &shared_series));
+    println!(
+        "{}",
+        series_to_text("All Matrices on Global Memory", &global_series)
+    );
+    println!(
+        "{}",
+        series_to_text("PTM and JM on Shared Memory", &shared_series)
+    );
 
     println!("Improvement from the data-access optimisation:");
     for ((label, g), (_, s)) in global_series.iter().zip(&shared_series) {

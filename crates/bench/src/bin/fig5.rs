@@ -47,7 +47,10 @@ fn main() {
         "Figure 5 — GPU vs multi-threaded B&B at equal computational power (~{:.0} GFLOPS, {} CPU threads)",
         gpu_flops.peak_gflops, cpu_threads
     );
-    println!("{}", series_to_text("GPU-based Branch and Bound", &gpu_series));
+    println!(
+        "{}",
+        series_to_text("GPU-based Branch and Bound", &gpu_series)
+    );
     println!(
         "{}",
         series_to_text("Multithreaded-based Branch and Bound", &cpu_series)

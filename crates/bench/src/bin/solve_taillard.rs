@@ -1,0 +1,425 @@
+//! Solves a Taillard Flow-Shop instance — a real `ta*` benchmark file read
+//! through `fsp::io`, or a generated Taillard-like instance — and emits a
+//! machine-readable JSON performance report: nodes bounded per second, the
+//! bounding share, the best makespan found.
+//!
+//! The report is the contract of the `bench-smoke` CI job: a run on a small
+//! frozen workload is compared against the committed `BENCH_baseline.json`
+//! and the job fails when the nodes/sec throughput regresses by more than the
+//! configured fraction.
+//!
+//! ```text
+//! solve_taillard --smoke --baseline BENCH_baseline.json
+//! solve_taillard --file instances/ta021 --mode serial --node-limit 200000
+//! solve_taillard --jobs 20 --machines 20 --seed 2012 --mode gpu-fast --json out.json
+//! ```
+
+use bb::{frozen_pool, FrozenPool, FspProblem, SerialSolver, SolverConfig};
+use fsp::taillard;
+use gpu_bnb::{DataPlacement, GpuBnbSolver, GpuSolverConfig};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// How the instance is bounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// The single-core CPU baseline.
+    Serial,
+    /// GPU off-load with the functional SIMT simulation.
+    Gpu,
+    /// GPU off-load in fast-forward (host bound + analytic timing).
+    GpuFast,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Serial => "serial",
+            Mode::Gpu => "gpu",
+            Mode::GpuFast => "gpu-fast",
+        }
+    }
+}
+
+/// Everything one run measures — serialised as the JSON report.
+struct Report {
+    instance: String,
+    jobs: usize,
+    machines: usize,
+    mode: Mode,
+    pool_size: usize,
+    reps: usize,
+    nodes_bounded: u64,
+    elapsed_seconds: f64,
+    nodes_per_sec: f64,
+    bounding_share: f64,
+    makespan: u32,
+    optimal: bool,
+}
+
+/// Escapes a string for embedding in a JSON string literal (instance labels
+/// can be user-supplied file paths).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Report {
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"flowshop-bnb-perf-report/v1\",");
+        let _ = writeln!(out, "  \"instance\": \"{}\",", json_escape(&self.instance));
+        let _ = writeln!(out, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(out, "  \"machines\": {},", self.machines);
+        let _ = writeln!(out, "  \"mode\": \"{}\",", self.mode.name());
+        let _ = writeln!(out, "  \"pool_size\": {},", self.pool_size);
+        let _ = writeln!(out, "  \"reps\": {},", self.reps);
+        let _ = writeln!(out, "  \"nodes_bounded\": {},", self.nodes_bounded);
+        let _ = writeln!(out, "  \"elapsed_seconds\": {:.6},", self.elapsed_seconds);
+        let _ = writeln!(out, "  \"nodes_per_sec\": {:.1},", self.nodes_per_sec);
+        let _ = writeln!(out, "  \"bounding_share\": {:.4},", self.bounding_share);
+        let _ = writeln!(out, "  \"makespan\": {},", self.makespan);
+        let _ = writeln!(out, "  \"optimal\": {}", self.optimal);
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+struct Options {
+    file: Option<String>,
+    jobs: usize,
+    machines: usize,
+    seed: i64,
+    mode: Mode,
+    pool_size: usize,
+    node_limit: Option<u64>,
+    frozen: Option<usize>,
+    reps: usize,
+    json: Option<String>,
+    baseline: Option<String>,
+    max_regression: f64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            file: None,
+            jobs: 20,
+            machines: 20,
+            seed: 2012,
+            mode: Mode::GpuFast,
+            pool_size: 4_096,
+            node_limit: None,
+            frozen: None,
+            reps: 1,
+            json: None,
+            baseline: None,
+            max_regression: 0.25,
+        }
+    }
+}
+
+/// The frozen smoke workload the CI perf gate runs: small enough to finish in
+/// seconds, large enough that nodes/sec is dominated by the bounding hot path.
+fn apply_smoke_preset(opts: &mut Options) {
+    opts.jobs = 20;
+    opts.machines = 20;
+    opts.seed = 2012;
+    opts.mode = Mode::GpuFast;
+    opts.pool_size = 4_096;
+    opts.node_limit = Some(60_000);
+    opts.frozen = Some(512);
+    opts.reps = 3;
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--smoke" => apply_smoke_preset(&mut opts),
+            "--file" => opts.file = Some(value(&args, &mut i, flag)?),
+            "--jobs" => {
+                opts.jobs = value(&args, &mut i, flag)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--machines" => {
+                opts.machines = value(&args, &mut i, flag)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--seed" => {
+                opts.seed = value(&args, &mut i, flag)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--mode" => {
+                opts.mode = match value(&args, &mut i, flag)?.as_str() {
+                    "serial" => Mode::Serial,
+                    "gpu" => Mode::Gpu,
+                    "gpu-fast" => Mode::GpuFast,
+                    other => return Err(format!("unknown mode `{other}`")),
+                }
+            }
+            "--pool-size" => {
+                opts.pool_size = value(&args, &mut i, flag)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--node-limit" => {
+                opts.node_limit = Some(
+                    value(&args, &mut i, flag)?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--frozen" => {
+                opts.frozen = Some(
+                    value(&args, &mut i, flag)?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--reps" => {
+                opts.reps = value(&args, &mut i, flag)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--json" => opts.json = Some(value(&args, &mut i, flag)?),
+            "--baseline" => opts.baseline = Some(value(&args, &mut i, flag)?),
+            "--max-regression" => {
+                opts.max_regression = value(&args, &mut i, flag)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "solve_taillard — solve a Taillard FSP instance and emit a JSON perf report\n\n\
+                     input:    --file <ta-file> | --jobs N --machines M --seed S\n\
+                     solve:    --mode serial|gpu|gpu-fast  --pool-size P  --node-limit N  --frozen K  --reps R\n\
+                     output:   --json <path>\n\
+                     CI gate:  --smoke  --baseline <BENCH_baseline.json>  --max-regression 0.25"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+        i += 1;
+    }
+    if opts.reps == 0 {
+        return Err("--reps must be at least 1".into());
+    }
+    Ok(opts)
+}
+
+/// One timed solve over an already-prepared (deterministic) frozen pool.
+/// Returns (nodes bounded, elapsed, bounding share, makespan, optimal).
+fn run_once(
+    opts: &Options,
+    problem: &FspProblem,
+    frozen: Option<&FrozenPool>,
+) -> (u64, Duration, f64, u32, bool) {
+    let frozen = frozen.cloned();
+    match opts.mode {
+        Mode::Serial => {
+            let solver = SerialSolver::new(
+                problem.clone(),
+                SolverConfig {
+                    node_limit: opts.node_limit,
+                    ..Default::default()
+                },
+            );
+            let outcome = match frozen {
+                Some(f) => solver.solve_from(f.nodes, Some(f.upper_bound), f.best_schedule),
+                None => solver.solve(),
+            };
+            (
+                outcome.stats.bounded,
+                outcome.elapsed,
+                outcome.times.bounding_share(),
+                outcome.best_makespan,
+                outcome.is_optimal(),
+            )
+        }
+        Mode::Gpu | Mode::GpuFast => {
+            let solver = GpuBnbSolver::from_problem(
+                problem.clone(),
+                GpuSolverConfig {
+                    pool_size: opts.pool_size,
+                    placement: DataPlacement::SharedJmPtm,
+                    node_limit: opts.node_limit,
+                    fast_forward: opts.mode == Mode::GpuFast,
+                    ..Default::default()
+                },
+            );
+            let outcome = match frozen {
+                Some(f) => solver.solve_from(f.nodes, Some(f.upper_bound), f.best_schedule),
+                None => solver.solve(),
+            };
+            // Share of the modelled device time spent in the kernel (the
+            // rest is PCIe transfer) — the device-side analogue of the
+            // serial solver's bounding share.
+            let device = outcome.gpu.kernel_time + outcome.gpu.transfer_time;
+            let share = if device.is_zero() {
+                0.0
+            } else {
+                outcome.gpu.kernel_time.as_secs_f64() / device.as_secs_f64()
+            };
+            (
+                outcome.stats.bounded,
+                outcome.gpu.wall_time,
+                share,
+                outcome.best_makespan,
+                outcome.is_optimal(),
+            )
+        }
+    }
+}
+
+/// Pulls `"nodes_per_sec": <number>` out of a report previously written by
+/// this binary (a full JSON parser is not warranted for our own format).
+fn baseline_nodes_per_sec(text: &str) -> Option<f64> {
+    let key = "\"nodes_per_sec\":";
+    let start = text.find(key)? + key.len();
+    let rest = text[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (inst, label) = match &opts.file {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(err) => {
+                    eprintln!("error: cannot read {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match fsp::io::parse_taillard(path, &text) {
+                Ok((inst, _header)) => (inst, path.clone()),
+                Err(err) => {
+                    eprintln!("error: cannot parse {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => {
+            let label = format!("rand-{}x{}-s{}", opts.jobs, opts.machines, opts.seed);
+            (
+                taillard::generate(label.clone(), opts.jobs, opts.machines, opts.seed),
+                label,
+            )
+        }
+    };
+
+    let jobs = inst.jobs();
+    let machines = inst.machines();
+    let problem = FspProblem::new(inst);
+    // Freezing is deterministic and untimed setup — do it once, not per rep.
+    let frozen = opts.frozen.map(|target| frozen_pool(&problem, target));
+
+    // Best-of-N: throughput gates must not fail on one noisy sample.
+    let mut best: Option<(u64, Duration, f64, u32, bool)> = None;
+    for _ in 0..opts.reps {
+        let run = run_once(&opts, &problem, frozen.as_ref());
+        let better = match &best {
+            Some((nodes, elapsed, ..)) => {
+                run.0 as f64 / run.1.as_secs_f64().max(1e-9)
+                    > *nodes as f64 / elapsed.as_secs_f64().max(1e-9)
+            }
+            None => true,
+        };
+        if better {
+            best = Some(run);
+        }
+    }
+    let (nodes_bounded, elapsed, bounding_share, makespan, optimal) =
+        best.expect("at least one rep");
+
+    let report = Report {
+        instance: label,
+        jobs,
+        machines,
+        mode: opts.mode,
+        pool_size: opts.pool_size,
+        reps: opts.reps,
+        nodes_bounded,
+        elapsed_seconds: elapsed.as_secs_f64(),
+        nodes_per_sec: nodes_bounded as f64 / elapsed.as_secs_f64().max(1e-9),
+        bounding_share,
+        makespan,
+        optimal,
+    };
+
+    let json = report.to_json();
+    print!("{json}");
+    if let Some(path) = &opts.json {
+        if let Err(err) = std::fs::write(path, &json) {
+            eprintln!("error: cannot write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(path) = &opts.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("error: cannot read baseline {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(baseline) = baseline_nodes_per_sec(&text) else {
+            eprintln!("error: no nodes_per_sec in baseline {path}");
+            return ExitCode::FAILURE;
+        };
+        let floor = baseline * (1.0 - opts.max_regression);
+        eprintln!(
+            "perf gate: {:.0} nodes/s vs baseline {:.0} (floor {:.0}, max regression {:.0} %)",
+            report.nodes_per_sec,
+            baseline,
+            floor,
+            opts.max_regression * 100.0
+        );
+        if report.nodes_per_sec < floor {
+            eprintln!("perf gate: FAIL — nodes/sec regressed past the floor");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("perf gate: ok");
+    }
+    ExitCode::SUCCESS
+}

@@ -22,7 +22,5 @@ fn main() {
     println!("CSV:\n{}", table.to_csv());
     let evaluated: u64 = cells.iter().map(|c| c.nodes_bounded).sum();
     println!("# total sub-problems bounded on the (simulated) GPU: {evaluated}");
-    println!(
-        "# paper reference (Table II): 200x20 row 46.63 -> 77.46, average row 44.52 -> 60.64"
-    );
+    println!("# paper reference (Table II): 200x20 row 46.63 -> 77.46, average row 44.52 -> 60.64");
 }

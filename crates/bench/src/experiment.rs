@@ -125,9 +125,7 @@ pub fn run_speedup_cell(
     );
     let host = HostModel::default();
     let gpu_time = outcome.gpu.modeled_gpu_time(&host);
-    let serial_time = outcome
-        .gpu
-        .modeled_serial_time(&host, prep.footprint_bytes);
+    let serial_time = outcome.gpu.modeled_serial_time(&host, prep.footprint_bytes);
     eprintln!(
         "    [cell] {} pool={pool_size} {}: {} nodes in {} launches, kernel {:?}, transfer {:?}, gpu total {:?}, serial {:?}, speedup {:.2}",
         prep.label(),
@@ -169,7 +167,11 @@ pub fn run_speedup_table(
     let mut cells = Vec::new();
 
     // The paper lists the largest class first (200×20 … 20×20).
-    for (i, class) in crate::workloads::paper_classes().into_iter().rev().enumerate() {
+    for (i, class) in crate::workloads::paper_classes()
+        .into_iter()
+        .rev()
+        .enumerate()
+    {
         eprintln!("[{}] preparing {} …", title, class.label());
         let prep = PreparedInstance::prepare(class, cfg.seed + i as i64, cfg.frozen_target);
         let mut row = Vec::with_capacity(pool_sizes.len());

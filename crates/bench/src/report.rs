@@ -117,7 +117,12 @@ impl Table {
 pub fn series_to_text(name: &str, points: &[(String, f64)]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# {name}");
-    let width = points.iter().map(|(x, _)| x.len()).max().unwrap_or(4).max(4);
+    let width = points
+        .iter()
+        .map(|(x, _)| x.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
     for (x, y) in points {
         let _ = writeln!(out, "{:<width$}  {:>10.2}", x, y, width = width);
     }

@@ -100,7 +100,11 @@ pub fn autotune_pool_size(
         let serial = host_model
             .bounding_time(serial_accesses, take as u64, footprint)
             .as_secs_f64();
-        let speedup = if device_time > 0.0 { serial / device_time } else { 0.0 };
+        let speedup = if device_time > 0.0 {
+            serial / device_time
+        } else {
+            0.0
+        };
 
         measurements.push(PoolSizeMeasurement {
             pool_size,

@@ -13,9 +13,9 @@ use bb::pool::Pool;
 use bb::stats::SolveStats;
 use bb::{BestFirstPool, FspNode, FspProblem, SharedUpperBound};
 use fsp::bound::counts::AccessCounts;
-use fsp::{Instance, JohnsonLowerBound, Job, Time};
-use std::sync::Mutex;
+use fsp::{Instance, Job, JohnsonLowerBound, Time};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Result of a hybrid (multi-core exploration + GPU bounding) solve.
@@ -133,7 +133,7 @@ impl HybridSolver {
                                     continue;
                                 }
                                 local_stats.decomposed += 1;
-                                batch.extend(self.problem.branch(&node));
+                                self.problem.branch_into(&node, &mut batch);
                             }
                         }
 

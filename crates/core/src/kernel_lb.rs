@@ -43,8 +43,30 @@ pub struct LowerBoundKernel {
     pub out: DeviceBuffer,
 }
 
+/// Per-thread working arrays of the bounding kernel, allocated once per
+/// launch and reset per thread (the simulator's equivalent of the `__local__`
+/// arrays a CUDA implementation would declare).
+#[derive(Debug)]
+pub struct LowerBoundScratch {
+    scheduled: Vec<bool>,
+    front: Vec<Time>,
+    min_head: Vec<Time>,
+    min_tail: Vec<Time>,
+}
+
 impl Kernel for LowerBoundKernel {
-    fn run(&self, ctx: &mut ThreadCtx<'_>) {
+    type Scratch = LowerBoundScratch;
+
+    fn new_scratch(&self) -> LowerBoundScratch {
+        LowerBoundScratch {
+            scheduled: vec![false; self.jobs],
+            front: vec![0; self.machines],
+            min_head: vec![Time::MAX; self.machines],
+            min_tail: vec![Time::MAX; self.machines],
+        }
+    }
+
+    fn run(&self, ctx: &mut ThreadCtx<'_>, scratch: &mut LowerBoundScratch) {
         let tid = ctx.id().global;
         if tid >= self.num_nodes {
             return;
@@ -57,8 +79,10 @@ impl Kernel for LowerBoundKernel {
         // per-machine completion times of the prefix (recomputed from PTM, as
         // the CUDA implementation would — the host only ships the prefix).
         let depth = ctx.read(self.pool, base) as usize;
-        let mut scheduled = vec![false; n];
-        let mut front = vec![0 as Time; m];
+        let scheduled = &mut scratch.scheduled[..n];
+        let front = &mut scratch.front[..m];
+        scheduled.fill(false);
+        front.fill(0);
         for p in 0..depth {
             let job = ctx.read(self.pool, base + 1 + p) as usize;
             scheduled[job] = true;
@@ -71,10 +95,12 @@ impl Kernel for LowerBoundKernel {
         }
 
         // Per-machine minimum head and tail over the remaining jobs.
-        let mut min_head = vec![Time::MAX; m];
-        let mut min_tail = vec![Time::MAX; m];
+        let min_head = &mut scratch.min_head[..m];
+        let min_tail = &mut scratch.min_tail[..m];
+        min_head.fill(Time::MAX);
+        min_tail.fill(Time::MAX);
         let mut remaining = 0usize;
-        for (job, &done) in scheduled.iter().enumerate().take(n) {
+        for (job, &done) in scheduled.iter().enumerate() {
             if done {
                 continue;
             }
@@ -97,21 +123,26 @@ impl Kernel for LowerBoundKernel {
         }
 
         // The Figure 2 loop over machine pairs.
+        let pairs = self.num_pairs;
         let mut lb: Time = 0;
-        for pair in 0..self.num_pairs {
+        for pair in 0..pairs {
             let m1 = ctx.read(self.mm, pair * 2) as usize;
             let m2 = ctx.read(self.mm, pair * 2 + 1) as usize;
 
             let mut time_on_m1 = front[m1].max(min_head[m1]);
             let mut time_on_m2 = front[m2].max(min_head[m2]);
 
-            for pos in 0..n {
-                let job = ctx.read(self.jm, pos * self.num_pairs + pair) as usize;
+            // JM is position-major: walking one pair's Johnson order visits
+            // `pair`, `pair + pairs`, … — kept as a running index.
+            let mut jm_idx = pair;
+            for _pos in 0..n {
+                let job = ctx.read(self.jm, jm_idx) as usize;
+                jm_idx += pairs;
                 if scheduled[job] {
                     continue;
                 }
                 time_on_m1 += ctx.read(self.ptm, job * m + m1);
-                let lag = ctx.read(self.lm, job * self.num_pairs + pair);
+                let lag = ctx.read(self.lm, job * pairs + pair);
                 let ready_on_m2 = time_on_m1 + lag;
                 let p2 = ctx.read(self.ptm, job * m + m2);
                 if time_on_m2 > ready_on_m2 {

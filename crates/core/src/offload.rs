@@ -6,7 +6,7 @@ use crate::kernel_lb::LowerBoundKernel;
 use crate::placement::{DataPlacement, MatrixId};
 use bb::FspNode;
 use fsp::bound::counts::AccessCounts;
-use fsp::{BoundData, JohnsonLowerBound, Time};
+use fsp::{BoundData, BoundScratch, JohnsonLowerBound, Time};
 use gpu_sim::host::BufferKind;
 use gpu_sim::thread::AccessTally;
 use gpu_sim::{AnalyticWorkload, Device, DeviceBuffer, KernelTiming, LaunchConfig, LaunchStats};
@@ -56,6 +56,12 @@ pub struct BoundingEngine {
     mm: DeviceBuffer,
     pool_buf: DeviceBuffer,
     out_buf: DeviceBuffer,
+    /// Reusable staging buffer for the flat pool encoding (grown once to the
+    /// engine's capacity, reused by every [`BoundingEngine::bound_nodes`]).
+    encode_buf: Vec<u32>,
+    /// Per-engine scratch for the host-side reference bound (fast-forward
+    /// mode bounds whole pools without a single allocation).
+    scratch: BoundScratch,
 }
 
 impl BoundingEngine {
@@ -147,6 +153,8 @@ impl BoundingEngine {
             mm,
             pool_buf,
             out_buf,
+            encode_buf: Vec::new(),
+            scratch: BoundScratch::new(),
         }
     }
 
@@ -206,9 +214,12 @@ impl BoundingEngine {
         nodes.iter().map(|n| (1 + n.depth()) * 2).sum()
     }
 
-    /// Encodes `nodes` into the flat pool layout read by the kernel.
-    fn encode(&self, nodes: &[FspNode]) -> Vec<u32> {
-        let mut flat = vec![0u32; nodes.len() * self.node_stride];
+    /// Encodes `nodes` into the flat pool layout read by the kernel, staged
+    /// in the engine's reusable buffer.
+    fn encode(&mut self, nodes: &[FspNode]) {
+        let flat = &mut self.encode_buf;
+        flat.clear();
+        flat.resize(nodes.len() * self.node_stride, 0);
         for (i, node) in nodes.iter().enumerate() {
             let base = i * self.node_stride;
             flat[base] = node.depth() as u32;
@@ -216,7 +227,6 @@ impl BoundingEngine {
                 flat[base + 1 + p] = job as u32;
             }
         }
-        flat
     }
 
     fn kernel(&self, num_nodes: usize) -> LowerBoundKernel {
@@ -253,13 +263,15 @@ impl BoundingEngine {
         if nodes.is_empty() {
             return self.empty_result();
         }
-        let encoded = self.encode(nodes);
-        self.device.upload(self.pool_buf, &encoded);
+        self.encode(nodes);
+        self.device.upload(self.pool_buf, &self.encode_buf);
         let config = self.launch_config(nodes.len());
         let kernel = self.kernel(nodes.len());
         let result = self.device.launch(&kernel, &config);
-        let out = self.device.download(self.out_buf);
-        let bounds = out[..nodes.len()].to_vec();
+        let bounds = self
+            .device
+            .download_prefix(self.out_buf, nodes.len())
+            .to_vec();
         self.finish(nodes, bounds, result.timing, result.stats)
     }
 
@@ -282,10 +294,14 @@ impl BoundingEngine {
         if nodes.is_empty() {
             return self.empty_result();
         }
-        let bounds: Vec<Time> = nodes
-            .iter()
-            .map(|node| host_bound.bound_prefix_fn(node.front(), |j| node.is_scheduled(j)))
-            .collect();
+        let mut bounds: Vec<Time> = Vec::with_capacity(nodes.len());
+        for node in nodes {
+            bounds.push(
+                host_bound.bound_prefix_fn_with(&mut self.scratch, node.front(), |j| {
+                    node.is_scheduled(j)
+                }),
+            );
+        }
         let workload = AnalyticWorkload {
             tally: self.analytic_tally(nodes),
             total_threads: nodes.len(),
@@ -419,7 +435,12 @@ mod tests {
         assert_eq!(result.bounds.len(), nodes.len());
         for (node, &gpu_bound) in nodes.iter().zip(&result.bounds) {
             let host = lb.bound_prefix_fn(node.front(), |j| node.is_scheduled(j));
-            assert_eq!(gpu_bound, host, "mismatch for prefix {:?}", node.prefix_vec());
+            assert_eq!(
+                gpu_bound,
+                host,
+                "mismatch for prefix {:?}",
+                node.prefix_vec()
+            );
         }
     }
 

@@ -243,9 +243,8 @@ mod tests {
         // The placement rationale: per byte of footprint, JM and PTM are the
         // most frequently accessed of the three large matrices.
         let (n, m, np) = (200, 20, 190);
-        let density = |mat: MatrixId| {
-            mat.accesses_per_bound(n, m, np) as f64 / mat.packed_bytes(n, m) as f64
-        };
+        let density =
+            |mat: MatrixId| mat.accesses_per_bound(n, m, np) as f64 / mat.packed_bytes(n, m) as f64;
         assert!(density(MatrixId::Ptm) > density(MatrixId::Lm));
         assert!(density(MatrixId::Jm) > density(MatrixId::Lm));
     }

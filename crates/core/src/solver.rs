@@ -11,11 +11,11 @@ use crate::offload::BoundingEngine;
 use crate::placement::MatrixId;
 use crate::stats::GpuRunStats;
 use bb::pool::Pool;
-use bb::{BestFirstPool, FspNode, FspProblem, SharedUpperBound};
-use bb::stats::SolveStats;
 use bb::solver::StopReason;
+use bb::stats::SolveStats;
+use bb::{BestFirstPool, FspNode, FspProblem, SharedUpperBound};
 use fsp::bound::counts::AccessCounts;
-use fsp::{Instance, JohnsonLowerBound, Job, Time};
+use fsp::{Instance, Job, JohnsonLowerBound, Time};
 use gpu_sim::HostModel;
 use std::time::Instant;
 
@@ -165,7 +165,7 @@ impl GpuBnbSolver {
                     continue;
                 }
                 stats.decomposed += 1;
-                batch.extend(self.problem.branch(&node));
+                self.problem.branch_into(&node, &mut batch);
             }
             if batch.is_empty() {
                 if pool.is_empty() {
@@ -249,7 +249,8 @@ mod tests {
         for seed in 1..=5 {
             let inst = generate(format!("t{seed}"), 7, 4, seed * 37);
             let (_, expected) = brute_force_optimal(&inst);
-            let solver = GpuBnbSolver::new(inst.clone(), config(64, DataPlacement::SharedJmPtm, false));
+            let solver =
+                GpuBnbSolver::new(inst.clone(), config(64, DataPlacement::SharedJmPtm, false));
             let outcome = solver.solve();
             assert!(outcome.is_optimal());
             assert_eq!(outcome.best_makespan, expected, "seed {seed}");
@@ -269,7 +270,8 @@ mod tests {
     #[test]
     fn fast_forward_gives_identical_results() {
         let inst = generate("t", 8, 4, 77);
-        let slow = GpuBnbSolver::new(inst.clone(), config(48, DataPlacement::SharedJmPtm, false)).solve();
+        let slow =
+            GpuBnbSolver::new(inst.clone(), config(48, DataPlacement::SharedJmPtm, false)).solve();
         let fast = GpuBnbSolver::new(inst, config(48, DataPlacement::SharedJmPtm, true)).solve();
         assert_eq!(slow.best_makespan, fast.best_makespan);
         assert_eq!(slow.stats.bounded, fast.stats.bounded);
@@ -281,8 +283,7 @@ mod tests {
         let inst = generate("t", 9, 5, 11);
         let all_global =
             GpuBnbSolver::new(inst.clone(), config(64, DataPlacement::AllGlobal, false)).solve();
-        let shared =
-            GpuBnbSolver::new(inst, config(64, DataPlacement::SharedJmPtm, false)).solve();
+        let shared = GpuBnbSolver::new(inst, config(64, DataPlacement::SharedJmPtm, false)).solve();
         assert_eq!(all_global.best_makespan, shared.best_makespan);
         assert_eq!(all_global.stats.bounded, shared.stats.bounded);
         // Timing estimates may differ (that is the point of the placement).
@@ -296,7 +297,8 @@ mod tests {
         let (_, expected) = brute_force_optimal(&inst);
         let problem = FspProblem::new(inst.clone());
         let frozen = bb::frozen_pool(&problem, 32);
-        let solver = GpuBnbSolver::from_problem(problem, config(16, DataPlacement::SharedJmPtm, false));
+        let solver =
+            GpuBnbSolver::from_problem(problem, config(16, DataPlacement::SharedJmPtm, false));
         let outcome = solver.solve_from(
             frozen.nodes.clone(),
             Some(frozen.upper_bound),
@@ -304,8 +306,11 @@ mod tests {
         );
         assert_eq!(outcome.best_makespan, expected);
         // The serial reference over the same frozen pool agrees.
-        let serial = SerialSolver::new(FspProblem::new(inst), SolverConfig::default())
-            .solve_from(frozen.nodes, Some(frozen.upper_bound), frozen.best_schedule);
+        let serial = SerialSolver::new(FspProblem::new(inst), SolverConfig::default()).solve_from(
+            frozen.nodes,
+            Some(frozen.upper_bound),
+            frozen.best_schedule,
+        );
         assert_eq!(serial.best_makespan, outcome.best_makespan);
     }
 

@@ -36,7 +36,9 @@ pub struct GpuRunStats {
 impl GpuRunStats {
     /// Modelled CPU time of the operators that remain on the host.
     pub fn host_ops_time(&self, host: &HostModel) -> Duration {
-        Duration::from_secs_f64(self.nodes_bounded as f64 * HOST_OPS_CYCLES_PER_NODE / host.clock_hz)
+        Duration::from_secs_f64(
+            self.nodes_bounded as f64 * HOST_OPS_CYCLES_PER_NODE / host.clock_hz,
+        )
     }
 
     /// Modelled total time of the GPU-accelerated run: kernels + transfers +
@@ -60,7 +62,9 @@ impl GpuRunStats {
         if gpu == 0.0 {
             return 0.0;
         }
-        self.modeled_serial_time(host, footprint_bytes).as_secs_f64() / gpu
+        self.modeled_serial_time(host, footprint_bytes)
+            .as_secs_f64()
+            / gpu
     }
 
     /// Average nodes bounded per iteration.

@@ -111,7 +111,10 @@ mod tests {
             }
             let (_, counts) = lb.bound_prefix_counted(sched.front(), &scheduled);
             let expected = AccessCounts::impl_expected(n, m, n - prefix_len);
-            assert_eq!(counts, expected, "mismatch for {n}x{m}, prefix {prefix_len}");
+            assert_eq!(
+                counts, expected,
+                "mismatch for {n}x{m}, prefix {prefix_len}"
+            );
         }
     }
 

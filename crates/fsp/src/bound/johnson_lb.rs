@@ -16,7 +16,7 @@
 
 use super::counts::AccessCounts;
 use super::data::BoundData;
-use super::LowerBound;
+use super::{with_thread_scratch, BoundScratch, LowerBound};
 use crate::schedule::PartialSchedule;
 use crate::{Job, Time};
 
@@ -49,27 +49,48 @@ impl JohnsonLowerBound {
     /// membership array.
     ///
     /// This is the host-side reference of the GPU kernel: same algorithm,
-    /// same data structures.
+    /// same data structures. Uses the thread-local [`BoundScratch`]; batch
+    /// callers should prefer [`Self::bound_prefix_with`].
     pub fn bound_prefix(&self, front: &[Time], scheduled: &[bool]) -> Time {
-        self.bound_prefix_impl(front, |j| scheduled[j], None)
+        with_thread_scratch(|s| self.bound_prefix_impl(front, |j| scheduled[j], None, s))
     }
 
     /// Like [`Self::bound_prefix`] but with scheduled-set membership supplied
     /// as a predicate (avoids materialising a `Vec<bool>` for callers that
     /// keep the set as a bitset, such as the B&B node type).
     pub fn bound_prefix_fn(&self, front: &[Time], is_scheduled: impl Fn(Job) -> bool) -> Time {
-        self.bound_prefix_impl(front, is_scheduled, None)
+        with_thread_scratch(|s| self.bound_prefix_impl(front, is_scheduled, None, s))
+    }
+
+    /// Like [`Self::bound_prefix`] with an explicit, caller-owned scratch —
+    /// the batch entry point: allocate the scratch once, reuse it for every
+    /// sub-problem of every pool.
+    pub fn bound_prefix_with(
+        &self,
+        scratch: &mut BoundScratch,
+        front: &[Time],
+        scheduled: &[bool],
+    ) -> Time {
+        self.bound_prefix_impl(front, |j| scheduled[j], None, scratch)
+    }
+
+    /// Predicate variant of [`Self::bound_prefix_with`].
+    pub fn bound_prefix_fn_with(
+        &self,
+        scratch: &mut BoundScratch,
+        front: &[Time],
+        is_scheduled: impl Fn(Job) -> bool,
+    ) -> Time {
+        self.bound_prefix_impl(front, is_scheduled, None, scratch)
     }
 
     /// Same as [`Self::bound_prefix`] but records how many times each of the
     /// six matrices is read (used to validate Table I).
-    pub fn bound_prefix_counted(
-        &self,
-        front: &[Time],
-        scheduled: &[bool],
-    ) -> (Time, AccessCounts) {
+    pub fn bound_prefix_counted(&self, front: &[Time], scheduled: &[bool]) -> (Time, AccessCounts) {
         let mut counts = AccessCounts::default();
-        let lb = self.bound_prefix_impl(front, |j| scheduled[j], Some(&mut counts));
+        let lb = with_thread_scratch(|s| {
+            self.bound_prefix_impl(front, |j| scheduled[j], Some(&mut counts), s)
+        });
         (lb, counts)
     }
 
@@ -78,6 +99,7 @@ impl JohnsonLowerBound {
         front: &[Time],
         scheduled: impl Fn(Job) -> bool,
         mut counts: Option<&mut AccessCounts>,
+        scratch: &mut BoundScratch,
     ) -> Time {
         let data = &self.data;
         let n = data.jobs();
@@ -95,8 +117,7 @@ impl JohnsonLowerBound {
         // Per-machine earliest start (head) and smallest tail over the
         // remaining jobs. Computed once per sub-problem; reads RM and QM
         // n' × m times in total.
-        let mut min_head = vec![Time::MAX; m];
-        let mut min_tail = vec![Time::MAX; m];
+        let (min_head, min_tail) = scratch.heads_tails(m);
         let mut remaining = 0usize;
         for job in 0..n {
             if scheduled(job) {

@@ -7,9 +7,9 @@
 //! `O(m²·n)` for the Johnson bound) but prunes far less.
 
 use super::data::BoundData;
-use super::LowerBound;
+use super::{with_thread_scratch, BoundScratch, LowerBound};
 use crate::schedule::PartialSchedule;
-use crate::Time;
+use crate::{Job, Time};
 
 /// The single-machine (machine-load) lower bound.
 #[derive(Debug, Clone)]
@@ -31,17 +31,42 @@ impl OneMachineBound {
     }
 
     /// Bound of a sub-problem given its per-machine front and scheduled set.
+    /// Uses the thread-local [`BoundScratch`]; batch callers should prefer
+    /// [`Self::bound_prefix_with`].
     pub fn bound_prefix(&self, front: &[Time], scheduled: &[bool]) -> Time {
+        with_thread_scratch(|s| self.bound_prefix_impl(front, |j| scheduled[j], s))
+    }
+
+    /// Like [`Self::bound_prefix`] but with scheduled-set membership supplied
+    /// as a predicate (for callers that keep the set as a bitset).
+    pub fn bound_prefix_fn(&self, front: &[Time], is_scheduled: impl Fn(Job) -> bool) -> Time {
+        with_thread_scratch(|s| self.bound_prefix_impl(front, is_scheduled, s))
+    }
+
+    /// Like [`Self::bound_prefix`] with an explicit, caller-owned scratch.
+    pub fn bound_prefix_with(
+        &self,
+        scratch: &mut BoundScratch,
+        front: &[Time],
+        scheduled: &[bool],
+    ) -> Time {
+        self.bound_prefix_impl(front, |j| scheduled[j], scratch)
+    }
+
+    fn bound_prefix_impl(
+        &self,
+        front: &[Time],
+        scheduled: impl Fn(Job) -> bool,
+        scratch: &mut BoundScratch,
+    ) -> Time {
         let data = &self.data;
         let n = data.jobs();
         let m = data.machines();
 
         let mut remaining = 0usize;
-        let mut load = vec![0 as Time; m];
-        let mut min_head = vec![Time::MAX; m];
-        let mut min_tail = vec![Time::MAX; m];
-        for (job, &done) in scheduled.iter().enumerate().take(n) {
-            if done {
+        let (min_head, min_tail, load) = scratch.heads_tails_load(m);
+        for job in 0..n {
+            if scheduled(job) {
                 continue;
             }
             remaining += 1;

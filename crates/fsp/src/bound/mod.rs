@@ -17,6 +17,66 @@ pub mod lb1;
 
 use crate::schedule::PartialSchedule;
 use crate::Time;
+use std::cell::RefCell;
+
+/// Reusable per-machine working arrays for the host-side bounds.
+///
+/// Every bound evaluation needs the per-machine minima (heads/tails, and the
+/// remaining load for [`lb1::OneMachineBound`]) over the unscheduled jobs.
+/// Allocating them per call dominates the cost of bounding small batches, so
+/// callers that bound many sub-problems — the off-load engine's fast-forward
+/// path, the serial solver — hold one `BoundScratch` and pass it to the
+/// `*_with` bound entry points. The buffers are (re)sized and reset on every
+/// use, so one scratch can serve instances of different machine counts; the
+/// convenience entry points without an explicit scratch fall back to a
+/// thread-local one and stay allocation-free after the first call.
+#[derive(Debug, Default)]
+pub struct BoundScratch {
+    pub(crate) min_head: Vec<Time>,
+    pub(crate) min_tail: Vec<Time>,
+    pub(crate) load: Vec<Time>,
+}
+
+impl BoundScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets and returns the head/tail minima buffers sized for `m`
+    /// machines, initialised to `Time::MAX`.
+    pub(crate) fn heads_tails(&mut self, m: usize) -> (&mut [Time], &mut [Time]) {
+        reset(&mut self.min_head, m, Time::MAX);
+        reset(&mut self.min_tail, m, Time::MAX);
+        (&mut self.min_head, &mut self.min_tail)
+    }
+
+    /// Like [`Self::heads_tails`] plus the per-machine load buffer reset to
+    /// zero (the one-machine bound's accumulator).
+    pub(crate) fn heads_tails_load(&mut self, m: usize) -> (&mut [Time], &mut [Time], &mut [Time]) {
+        reset(&mut self.min_head, m, Time::MAX);
+        reset(&mut self.min_tail, m, Time::MAX);
+        reset(&mut self.load, m, 0);
+        (&mut self.min_head, &mut self.min_tail, &mut self.load)
+    }
+}
+
+fn reset(buf: &mut Vec<Time>, m: usize, value: Time) {
+    buf.clear();
+    buf.resize(m, value);
+}
+
+thread_local! {
+    static THREAD_SCRATCH: RefCell<BoundScratch> = RefCell::new(BoundScratch::new());
+}
+
+/// Runs `f` with the thread-local scratch (fresh fallback if re-entered).
+pub(crate) fn with_thread_scratch<R>(f: impl FnOnce(&mut BoundScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut BoundScratch::new()),
+    })
+}
 
 /// A lower bound on the best makespan reachable from a partial schedule.
 ///

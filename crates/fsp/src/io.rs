@@ -78,7 +78,10 @@ pub fn parse_taillard(name: &str, text: &str) -> Result<(Instance, TaillardHeade
     let numbers: Vec<i64> = text
         .split(|c: char| !c.is_ascii_digit() && c != '-')
         .filter(|tok| !tok.is_empty() && tok.chars().any(|c| c.is_ascii_digit()))
-        .map(|tok| tok.parse::<i64>().map_err(|_| ParseError::BadNumber(tok.to_string())))
+        .map(|tok| {
+            tok.parse::<i64>()
+                .map_err(|_| ParseError::BadNumber(tok.to_string()))
+        })
         .collect::<Result<_, _>>()?;
 
     if numbers.len() < 5 {
@@ -151,7 +154,8 @@ mod tests {
     use super::*;
     use crate::taillard;
 
-    const SAMPLE: &str = "number of jobs, number of machines, initial seed, upper bound and lower bound :\n\
+    const SAMPLE: &str =
+        "number of jobs, number of machines, initial seed, upper bound and lower bound :\n\
                           3 2 12345 99 90\n\
                           processing times :\n\
                           2 4 3\n\
@@ -204,7 +208,10 @@ mod tests {
     fn truncated_matrix_is_rejected() {
         let bad = "2 2 0 0 0\nprocessing times:\n1 2\n3\n";
         match parse_taillard("bad", bad) {
-            Err(ParseError::WrongMatrixSize { expected: 4, found: 3 }) => {}
+            Err(ParseError::WrongMatrixSize {
+                expected: 4,
+                found: 3,
+            }) => {}
             other => panic!("unexpected result: {other:?}"),
         }
     }

@@ -164,8 +164,7 @@ mod tests {
     fn makespan_with_lags_reduces_to_plain_for_adjacent_machines() {
         let inst = crate::taillard::generate("t", 8, 2, 4242);
         let order = johnson_order_with_lags(&inst, 0, 1);
-        let with_lags =
-            two_machine_makespan_with_lags(&inst, &order, 0, 1, 0, 0, |_| true);
+        let with_lags = two_machine_makespan_with_lags(&inst, &order, 0, 1, 0, 0, |_| true);
         assert_eq!(with_lags, makespan(&inst, &order));
     }
 

@@ -36,7 +36,7 @@ pub mod bound;
 pub use bound::data::BoundData;
 pub use bound::johnson_lb::JohnsonLowerBound;
 pub use bound::lb1::OneMachineBound;
-pub use bound::LowerBound;
+pub use bound::{BoundScratch, LowerBound};
 pub use instance::Instance;
 pub use schedule::{makespan, makespan_prefix, PartialSchedule};
 

@@ -67,14 +67,20 @@ pub fn is_permutation(perm: &[Job], n: usize) -> bool {
 /// A partial schedule: an immutable instance reference plus a scheduled
 /// prefix, maintained incrementally with its front.
 ///
-/// This is the CPU-side representation of a B&B node's schedule; pushing a
-/// job is `O(m)`.
+/// This is the CPU-side representation of a B&B node's schedule. Both
+/// `push` and `pop` are `O(m)`: every push snapshots the previous front onto
+/// a per-depth stack, so a pop restores it by copy instead of replaying the
+/// whole prefix through the completion-time recurrence.
 #[derive(Debug, Clone)]
 pub struct PartialSchedule<'a> {
     inst: &'a Instance,
     prefix: Vec<Job>,
     scheduled: Vec<bool>,
     front: Vec<Time>,
+    /// Front snapshots of every shallower depth, flattened: entry `d` of the
+    /// stack (`m` values starting at `d * m`) is the front *before* the job
+    /// at depth `d` was pushed.
+    front_stack: Vec<Time>,
 }
 
 impl<'a> PartialSchedule<'a> {
@@ -85,6 +91,7 @@ impl<'a> PartialSchedule<'a> {
             prefix: Vec::with_capacity(inst.jobs()),
             scheduled: vec![false; inst.jobs()],
             front: vec![0; inst.machines()],
+            front_stack: Vec::new(),
         }
     }
 
@@ -151,6 +158,7 @@ impl<'a> PartialSchedule<'a> {
         assert!(!self.scheduled[job], "job {job} already scheduled");
         self.scheduled[job] = true;
         self.prefix.push(job);
+        self.front_stack.extend_from_slice(&self.front);
         let mut prev = 0;
         for (k, c) in self.front.iter_mut().enumerate() {
             let start = (*c).max(prev);
@@ -159,15 +167,20 @@ impl<'a> PartialSchedule<'a> {
         }
     }
 
-    /// Removes the last scheduled job and recomputes the front.
+    /// Removes the last scheduled job and restores the previous front.
     ///
     /// Returns the popped job, or `None` if the prefix is empty. The front is
-    /// recomputed from scratch (`O(l·m)`), which is fine for the depth-first
-    /// CPU solver where pops are rare compared to bound evaluations.
+    /// restored from the per-depth snapshot taken by [`Self::push`] in
+    /// `O(m)` — the depth-first solver and every bound-through-schedule path
+    /// pop constantly, so replaying the prefix (`O(l·m)`) here would make the
+    /// pop cost grow with the depth.
     pub fn pop(&mut self) -> Option<Job> {
         let job = self.prefix.pop()?;
         self.scheduled[job] = false;
-        self.front = makespan_prefix(self.inst, &self.prefix);
+        let m = self.front.len();
+        let base = self.front_stack.len() - m;
+        self.front.copy_from_slice(&self.front_stack[base..]);
+        self.front_stack.truncate(base);
         Some(job)
     }
 

@@ -56,7 +56,9 @@ fn front_is_monotone_under_prefix_extension() {
         let mut perm: Vec<usize> = (0..n).collect();
         let mut state = seed.wrapping_mul(0x9e37_79b9).wrapping_add(13);
         for i in (1..n).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             perm.swap(i, (state >> 33) as usize % (i + 1));
         }
 

@@ -1,0 +1,86 @@
+//! Property tests for the incremental `PartialSchedule`: after **any**
+//! interleaving of `push` and `pop`, the schedule must be bit-identical to
+//! one rebuilt from scratch — same prefix, same scheduled set, and the same
+//! front as the full completion-time recurrence. This pins down the
+//! per-depth front-snapshot optimisation (`pop` restores in `O(m)` instead
+//! of replaying the prefix): any drift between the snapshot stack and the
+//! recurrence shows up immediately.
+
+use fsp::schedule::makespan_prefix;
+use fsp::{taillard, PartialSchedule};
+use proptest::prelude::*;
+
+/// Strategy: a small random instance (2..=10 jobs, 1..=8 machines).
+fn instance_shape() -> impl Strategy<Value = (usize, usize, i64)> {
+    (2usize..=10, 1usize..=8, 1i64..1_000_000)
+}
+
+/// Asserts that `sched` is indistinguishable from a schedule rebuilt from
+/// scratch over the same prefix.
+fn assert_matches_rebuild(inst: &fsp::Instance, sched: &PartialSchedule<'_>) {
+    let prefix: Vec<usize> = sched.prefix().to_vec();
+    let rebuilt = PartialSchedule::from_prefix(inst, &prefix);
+    assert_eq!(sched.prefix(), rebuilt.prefix());
+    assert_eq!(
+        sched.front(),
+        rebuilt.front(),
+        "front deviates from a from-scratch rebuild at prefix {prefix:?}"
+    );
+    assert_eq!(
+        sched.front(),
+        makespan_prefix(inst, &prefix).as_slice(),
+        "front deviates from the completion-time recurrence at prefix {prefix:?}"
+    );
+    for job in 0..inst.jobs() {
+        assert_eq!(sched.is_scheduled(job), prefix.contains(&job));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_push_pop_sequence_matches_a_from_scratch_recompute(
+        (n, m, seed) in instance_shape(),
+        ops in proptest::collection::vec(0u32..100, 0..64),
+    ) {
+        let inst = taillard::generate("sched-prop", n, m, seed);
+        let mut sched = PartialSchedule::new(&inst);
+        for op in ops {
+            // Bias 60/40 toward pushes so sequences reach real depths, and
+            // use the op value to pick which unscheduled job goes next.
+            let push = op % 10 < 6;
+            if push && !sched.is_complete() {
+                let remaining: Vec<usize> = sched.unscheduled().collect();
+                sched.push(remaining[op as usize % remaining.len()]);
+            } else if sched.depth() > 0 {
+                let before = sched.prefix().to_vec();
+                let popped = sched.pop();
+                prop_assert_eq!(popped, before.last().copied());
+            } else {
+                prop_assert_eq!(sched.pop(), None);
+            }
+            assert_matches_rebuild(&inst, &sched);
+        }
+    }
+
+    #[test]
+    fn drain_to_empty_restores_the_zero_front(
+        (n, m, seed) in instance_shape(),
+    ) {
+        let inst = taillard::generate("sched-drain", n, m, seed);
+        let mut sched = PartialSchedule::new(&inst);
+        for job in 0..n {
+            sched.push(job);
+        }
+        prop_assert!(sched.is_complete());
+        while sched.pop().is_some() {
+            assert_matches_rebuild(&inst, &sched);
+        }
+        prop_assert_eq!(sched.depth(), 0);
+        prop_assert_eq!(sched.front(), vec![0; m].as_slice());
+        // A drained schedule is reusable: push again and stay consistent.
+        sched.push(n - 1);
+        assert_matches_rebuild(&inst, &sched);
+    }
+}

@@ -130,10 +130,7 @@ mod tests {
                 d.on_chip_bytes_per_sm
             );
         }
-        assert_eq!(
-            d.shared_bytes(SharedMemoryConfig::PreferShared),
-            48 * 1024
-        );
+        assert_eq!(d.shared_bytes(SharedMemoryConfig::PreferShared), 48 * 1024);
         assert_eq!(d.l1_bytes(SharedMemoryConfig::PreferShared), 16 * 1024);
         assert_eq!(d.shared_bytes(SharedMemoryConfig::PreferL1), 16 * 1024);
         assert_eq!(d.l1_bytes(SharedMemoryConfig::PreferL1), 48 * 1024);

@@ -11,7 +11,7 @@ use crate::executor::{AnalyticWorkload, KernelTiming, LaunchStats};
 use crate::kernel::{Kernel, LaunchConfig};
 use crate::memory::{MemorySpace, SharedMemoryConfig};
 use crate::occupancy::occupancy;
-use crate::thread::{AccessTally, ThreadCtx, ThreadId};
+use crate::thread::{AccessTally, BufferCell, ThreadCtx, ThreadId};
 use crate::timing::{kernel_cost, CostModel, KernelCostInputs};
 use crate::transfer::TransferModel;
 use std::time::Duration;
@@ -64,7 +64,11 @@ impl DeviceBuffer {
     /// Test-only constructor (the executor normally hands these out).
     #[doc(hidden)]
     pub fn for_test(id: usize, len: usize, elem_bytes: usize) -> Self {
-        Self { id, len, elem_bytes }
+        Self {
+            id,
+            len,
+            elem_bytes,
+        }
     }
 }
 
@@ -151,7 +155,12 @@ impl Device {
     /// instance-level matrices are copied once before the exploration starts,
     /// which the paper excludes from the per-iteration cost. Use
     /// [`Device::htod_time`] to price recurring copies.
-    pub fn alloc_init(&mut self, data: Vec<u32>, elem_bytes: usize, kind: BufferKind) -> DeviceBuffer {
+    pub fn alloc_init(
+        &mut self,
+        data: Vec<u32>,
+        elem_bytes: usize,
+        kind: BufferKind,
+    ) -> DeviceBuffer {
         let bytes = data.len() * elem_bytes;
         assert!(
             self.allocated_bytes + bytes <= self.spec.global_memory_bytes,
@@ -169,7 +178,11 @@ impl Device {
             space: MemorySpace::Global,
         });
         self.allocated_bytes += bytes;
-        DeviceBuffer { id, len, elem_bytes }
+        DeviceBuffer {
+            id,
+            len,
+            elem_bytes,
+        }
     }
 
     /// Overwrites the contents of an existing buffer (recurring host→device
@@ -192,6 +205,17 @@ impl Device {
     /// Reads a buffer back to the host (`cudaMemcpy` device→host).
     pub fn download(&self, buffer: DeviceBuffer) -> Vec<u32> {
         self.allocations[buffer.id].data.clone()
+    }
+
+    /// Borrows the first `len` elements of a buffer (a device→host copy whose
+    /// destination the caller owns — avoids cloning the whole allocation when
+    /// only a prefix of an output buffer is live).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the buffer length.
+    pub fn download_prefix(&self, buffer: DeviceBuffer, len: usize) -> &[u32] {
+        &self.allocations[buffer.id].data[..len]
     }
 
     /// Estimated duration of copying `bytes` host→device (or device→host —
@@ -218,35 +242,49 @@ impl Device {
         let spaces = self.bind_spaces(config);
 
         // Functional execution: every thread of every block, sequentially.
-        let mut tally = AccessTally::default();
-        let mut storage: Vec<Vec<u32>> = self
+        // The allocations are moved (not cloned) into per-buffer execution
+        // cells — data plus flat access counters, attributed to memory
+        // spaces once after the grid walk — and moved back afterwards; one
+        // kernel scratch serves every thread of the launch.
+        let mut cells: Vec<BufferCell> = self
             .allocations
-            .iter()
-            .map(|a| std::mem::take(&mut a.data.clone()))
+            .iter_mut()
+            .map(|a| BufferCell {
+                data: std::mem::take(&mut a.data),
+                ..BufferCell::default()
+            })
             .collect();
-        for block in 0..config.grid_blocks {
-            for thread in 0..config.block_threads {
-                let id = ThreadId {
-                    block,
-                    thread,
-                    global: block * config.block_threads + thread,
-                };
-                let mut ctx = ThreadCtx::new(
-                    id,
-                    config.block_threads,
-                    config.grid_blocks,
-                    &mut storage,
-                    &spaces,
-                    &mut tally,
-                );
-                kernel.run(&mut ctx);
+        let mut scratch = kernel.new_scratch();
+        let walk = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for block in 0..config.grid_blocks {
+                for thread in 0..config.block_threads {
+                    let id = ThreadId {
+                        block,
+                        thread,
+                        global: block * config.block_threads + thread,
+                    };
+                    let mut ctx = ThreadCtx::new(
+                        id,
+                        config.block_threads,
+                        config.grid_blocks,
+                        &mut cells,
+                        &spaces,
+                    );
+                    kernel.run(&mut ctx, &mut scratch);
+                }
             }
+        }));
+        let tally = AccessTally::from_buffer_cells(&cells, &spaces);
+        // Commit writes back to the device allocations — also when a kernel
+        // panicked (an out-of-bounds access failing loudly), so the device
+        // keeps its buffers (with any writes completed so far, as on real
+        // hardware) instead of being left with moved-out empty allocations.
+        for (alloc, cell) in self.allocations.iter_mut().zip(cells) {
+            alloc.data = cell.data;
         }
-        // Commit writes back to the device allocations.
-        for (alloc, data) in self.allocations.iter_mut().zip(storage) {
-            alloc.data = data;
+        if let Err(payload) = walk {
+            std::panic::resume_unwind(payload);
         }
-
         let stats = self.build_stats(config, tally, shared_config);
         let timing = self.time_stats(&stats, config, shared_config);
         LaunchResult { stats, timing }
@@ -275,11 +313,7 @@ impl Device {
     }
 
     fn bind_spaces(&self, config: &LaunchConfig) -> Vec<MemorySpace> {
-        let mut spaces: Vec<MemorySpace> = self
-            .allocations
-            .iter()
-            .map(|a| a.space)
-            .collect();
+        let mut spaces: Vec<MemorySpace> = self.allocations.iter().map(|a| a.space).collect();
         for buf in &config.shared_buffers {
             spaces[buf.id] = MemorySpace::Shared;
         }
@@ -350,7 +384,9 @@ mod tests {
     }
 
     impl Kernel for DoubleKernel {
-        fn run(&self, ctx: &mut ThreadCtx<'_>) {
+        type Scratch = ();
+        fn new_scratch(&self) -> Self::Scratch {}
+        fn run(&self, ctx: &mut ThreadCtx<'_>, _scratch: &mut ()) {
             let i = ctx.id().global;
             if i < self.len {
                 let v = ctx.read(self.input, i);
@@ -394,7 +430,9 @@ mod tests {
             output: DeviceBuffer,
         }
         impl Kernel for ReadTable {
-            fn run(&self, ctx: &mut ThreadCtx<'_>) {
+            type Scratch = ();
+            fn new_scratch(&self) -> Self::Scratch {}
+            fn run(&self, ctx: &mut ThreadCtx<'_>, _scratch: &mut ()) {
                 let i = ctx.id().global;
                 let v = ctx.read(self.table, i % self.table.len());
                 ctx.write(self.output, i % self.output.len(), v);
@@ -450,6 +488,32 @@ mod tests {
         let back = dev.download(buf);
         assert_eq!(&back[..3], &[1, 2, 3]);
         assert_eq!(back.len(), 8);
+    }
+
+    #[test]
+    fn panicking_kernel_leaves_device_buffers_intact() {
+        struct OobKernel {
+            buf: DeviceBuffer,
+        }
+        impl Kernel for OobKernel {
+            type Scratch = ();
+            fn new_scratch(&self) -> Self::Scratch {}
+            fn run(&self, ctx: &mut ThreadCtx<'_>, _scratch: &mut ()) {
+                ctx.read(self.buf, usize::MAX); // kernel bug: fails loudly
+            }
+        }
+        let mut dev = Device::tesla_c2050();
+        let buf = dev.alloc_init(vec![1, 2, 3], 4, BufferKind::Stream);
+        let config = LaunchConfig::for_threads(1, 1);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.launch(&OobKernel { buf }, &config)
+        }));
+        assert!(caught.is_err(), "the out-of-bounds read must panic");
+        // The device survives: the buffer still holds its data and accepts
+        // new uploads.
+        assert_eq!(dev.download(buf), vec![1, 2, 3]);
+        dev.upload(buf, &[9, 9, 9]);
+        assert_eq!(dev.download(buf), vec![9, 9, 9]);
     }
 
     #[test]

@@ -7,9 +7,22 @@ use crate::host::DeviceBuffer;
 /// Kernels read and write device memory exclusively through the
 /// [`crate::thread::ThreadCtx`] handed to them, which is what lets the
 /// simulator attribute every access to a memory space and price it.
+///
+/// The executor allocates one [`Kernel::Scratch`] per launch and hands the
+/// same instance to every thread in turn, so per-thread working storage
+/// (local arrays a CUDA kernel would keep in registers or local memory) is
+/// allocated once per launch instead of once per thread. A kernel must
+/// therefore reset whatever scratch state it reads before writing it —
+/// exactly the discipline an uninitialised `__local__` array demands.
 pub trait Kernel: Sync {
+    /// Reusable per-thread working storage, allocated once per launch.
+    type Scratch;
+
+    /// Allocates the scratch sized for this kernel's dimensions.
+    fn new_scratch(&self) -> Self::Scratch;
+
     /// Executes the kernel body for one thread.
-    fn run(&self, ctx: &mut crate::thread::ThreadCtx<'_>);
+    fn run(&self, ctx: &mut crate::thread::ThreadCtx<'_>, scratch: &mut Self::Scratch);
 
     /// Human-readable kernel name (for reports).
     fn name(&self) -> &str {

@@ -143,12 +143,10 @@ mod tests {
     fn shared_is_faster_than_global() {
         let t = MemoryTimings::default();
         assert!(
-            t.access_latency(MemorySpace::Shared, 0.0)
-                < t.access_latency(MemorySpace::Global, 0.0)
+            t.access_latency(MemorySpace::Shared, 0.0) < t.access_latency(MemorySpace::Global, 0.0)
         );
         assert!(
-            t.access_latency(MemorySpace::Shared, 0.0)
-                < t.access_latency(MemorySpace::Global, 1.0)
+            t.access_latency(MemorySpace::Shared, 0.0) < t.access_latency(MemorySpace::Global, 1.0)
         );
     }
 

@@ -135,7 +135,13 @@ mod tests {
 
     #[test]
     fn oversized_shared_request_yields_zero_blocks() {
-        let occ = occupancy(&c2050(), 256, 26, 64 * 1024, SharedMemoryConfig::PreferShared);
+        let occ = occupancy(
+            &c2050(),
+            256,
+            26,
+            64 * 1024,
+            SharedMemoryConfig::PreferShared,
+        );
         assert_eq!(occ.blocks_per_sm, 0);
         assert_eq!(occ.limiter, OccupancyLimiter::SharedMemory);
     }

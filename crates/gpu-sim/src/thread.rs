@@ -50,15 +50,37 @@ impl AccessTally {
         }
     }
 
-    fn bump_read(&mut self, space: MemorySpace) {
-        match space {
-            MemorySpace::Shared => self.shared += 1,
-            MemorySpace::Global => self.global += 1,
-            MemorySpace::Constant => self.constant += 1,
-            MemorySpace::Texture => self.texture += 1,
-            MemorySpace::Local | MemorySpace::Register => self.local += 1,
+    /// Folds the per-buffer access counters accumulated during a launch into
+    /// per-space totals using the space each buffer was bound to. The
+    /// executor counts flat per-buffer (one unconditional increment on the
+    /// hot path) and attributes spaces once per launch here, instead of per
+    /// access.
+    pub(crate) fn from_buffer_cells(cells: &[BufferCell], spaces: &[MemorySpace]) -> AccessTally {
+        let mut tally = AccessTally::default();
+        for (cell, &space) in cells.iter().zip(spaces) {
+            match space {
+                MemorySpace::Shared => tally.shared += cell.reads,
+                MemorySpace::Global => tally.global += cell.reads,
+                MemorySpace::Constant => tally.constant += cell.reads,
+                MemorySpace::Texture => tally.texture += cell.reads,
+                MemorySpace::Local | MemorySpace::Register => tally.local += cell.reads,
+            }
+            // Kernel outputs are charged as global writes irrespective of the
+            // buffer's read binding, as before.
+            tally.global_writes += cell.writes;
         }
+        tally
     }
+}
+
+/// One device allocation as seen by the executor during a launch: the moved
+/// functional storage plus its access counters. Keeping the counters next to
+/// the data pointer makes the hot `read`/`write` path a single indexed lookup.
+#[derive(Debug, Default)]
+pub(crate) struct BufferCell {
+    pub(crate) data: Vec<u32>,
+    pub(crate) reads: u64,
+    pub(crate) writes: u64,
 }
 
 /// The execution context of one simulated GPU thread.
@@ -70,10 +92,11 @@ pub struct ThreadCtx<'a> {
     id: ThreadId,
     block_threads: usize,
     grid_blocks: usize,
-    storage: &'a mut [Vec<u32>],
+    /// `cells[buffer_id]` = the buffer's functional storage plus its flat
+    /// access counters, folded into an [`AccessTally`] once per launch.
+    cells: &'a mut [BufferCell],
     /// `spaces[buffer_id]` = space the buffer is bound to for this launch.
     spaces: &'a [MemorySpace],
-    tally: &'a mut AccessTally,
 }
 
 impl<'a> ThreadCtx<'a> {
@@ -82,17 +105,15 @@ impl<'a> ThreadCtx<'a> {
         id: ThreadId,
         block_threads: usize,
         grid_blocks: usize,
-        storage: &'a mut [Vec<u32>],
+        cells: &'a mut [BufferCell],
         spaces: &'a [MemorySpace],
-        tally: &'a mut AccessTally,
     ) -> Self {
         Self {
             id,
             block_threads,
             grid_blocks,
-            storage,
+            cells,
             spaces,
-            tally,
         }
     }
 
@@ -117,10 +138,11 @@ impl<'a> ThreadCtx<'a> {
     ///
     /// Panics if `index` is out of bounds — an out-of-bounds device access is
     /// a kernel bug and must fail loudly in the simulator.
-    #[inline]
+    #[inline(always)]
     pub fn read(&mut self, buffer: DeviceBuffer, index: usize) -> u32 {
-        self.tally.bump_read(self.spaces[buffer.id()]);
-        self.storage[buffer.id()][index]
+        let cell = &mut self.cells[buffer.id()];
+        cell.reads += 1;
+        cell.data[index]
     }
 
     /// Writes `value` at `index` of `buffer` (kernel output), charged as a
@@ -129,10 +151,11 @@ impl<'a> ThreadCtx<'a> {
     /// # Panics
     ///
     /// Panics if `index` is out of bounds.
-    #[inline]
+    #[inline(always)]
     pub fn write(&mut self, buffer: DeviceBuffer, index: usize, value: u32) {
-        self.tally.global_writes += 1;
-        self.storage[buffer.id()][index] = value;
+        let cell = &mut self.cells[buffer.id()];
+        cell.writes += 1;
+        cell.data[index] = value;
     }
 
     /// The memory space `buffer` is bound to for this launch.
@@ -159,11 +182,20 @@ mod tests {
         assert_eq!(a.add(&a).total(), 42);
     }
 
+    fn cells_of(datas: Vec<Vec<u32>>) -> Vec<BufferCell> {
+        datas
+            .into_iter()
+            .map(|data| BufferCell {
+                data,
+                ..BufferCell::default()
+            })
+            .collect()
+    }
+
     #[test]
     fn reads_and_writes_hit_storage_and_tally() {
-        let mut storage = vec![vec![10, 20, 30], vec![0, 0]];
+        let mut cells = cells_of(vec![vec![10, 20, 30], vec![0, 0]]);
         let spaces = vec![MemorySpace::Shared, MemorySpace::Global];
-        let mut tally = AccessTally::default();
         let buf0 = DeviceBuffer::for_test(0, 3, 4);
         let buf1 = DeviceBuffer::for_test(1, 2, 4);
         {
@@ -175,9 +207,8 @@ mod tests {
                 },
                 32,
                 2,
-                &mut storage,
+                &mut cells,
                 &spaces,
-                &mut tally,
             );
             assert_eq!(ctx.read(buf0, 1), 20);
             assert_eq!(ctx.space_of(buf0), MemorySpace::Shared);
@@ -187,18 +218,42 @@ mod tests {
             assert_eq!(ctx.block_dim(), 32);
             assert_eq!(ctx.grid_dim(), 2);
         }
+        let tally = AccessTally::from_buffer_cells(&cells, &spaces);
         assert_eq!(tally.shared, 1);
         assert_eq!(tally.global, 1);
         assert_eq!(tally.global_writes, 1);
-        assert_eq!(storage[1][0], 99);
+        assert_eq!(cells[1].data[0], 99);
+    }
+
+    #[test]
+    fn buffer_counts_fold_into_every_space() {
+        let mut cells = cells_of(vec![Vec::new(); 5]);
+        for (i, cell) in cells.iter_mut().enumerate() {
+            cell.reads = (i + 1) as u64;
+        }
+        cells[2].writes = 7;
+        cells[4].writes = 1;
+        let spaces = [
+            MemorySpace::Shared,
+            MemorySpace::Global,
+            MemorySpace::Constant,
+            MemorySpace::Texture,
+            MemorySpace::Local,
+        ];
+        let tally = AccessTally::from_buffer_cells(&cells, &spaces);
+        assert_eq!(tally.shared, 1);
+        assert_eq!(tally.global, 2);
+        assert_eq!(tally.constant, 3);
+        assert_eq!(tally.texture, 4);
+        assert_eq!(tally.local, 5);
+        assert_eq!(tally.global_writes, 8);
     }
 
     #[test]
     #[should_panic]
     fn out_of_bounds_read_panics() {
-        let mut storage = vec![vec![1]];
+        let mut cells = cells_of(vec![vec![1]]);
         let spaces = vec![MemorySpace::Global];
-        let mut tally = AccessTally::default();
         let buf = DeviceBuffer::for_test(0, 1, 4);
         let mut ctx = ThreadCtx::new(
             ThreadId {
@@ -208,9 +263,8 @@ mod tests {
             },
             1,
             1,
-            &mut storage,
+            &mut cells,
             &spaces,
-            &mut tally,
         );
         ctx.read(buf, 5);
     }

@@ -125,9 +125,15 @@ impl KernelCost {
 }
 
 /// Estimates the duration of a kernel launch on `device` under `model`.
-pub fn kernel_cost(device: &DeviceSpec, model: &CostModel, inputs: &KernelCostInputs) -> KernelCost {
+pub fn kernel_cost(
+    device: &DeviceSpec,
+    model: &CostModel,
+    inputs: &KernelCostInputs,
+) -> KernelCost {
     let threads = inputs.total_threads.max(1) as f64;
-    let warps_total = (inputs.total_threads as f64 / device.warp_size as f64).ceil().max(1.0);
+    let warps_total = (inputs.total_threads as f64 / device.warp_size as f64)
+        .ceil()
+        .max(1.0);
 
     // Per-thread averages (lanes of a warp run in lockstep, so the per-warp
     // instruction count equals the per-thread access count).
@@ -160,25 +166,22 @@ pub fn kernel_cost(device: &DeviceSpec, model: &CostModel, inputs: &KernelCostIn
     // Latency is hidden by the warps actually resident on the SM (bounded by
     // the occupancy limit and by how many warps the grid supplies) times the
     // per-warp memory-level parallelism.
-    let resident_warps = (inputs.occupancy.active_warps_per_sm.max(1) as f64)
-        .min(warps_on_busiest_sm.max(1.0));
+    let resident_warps =
+        (inputs.occupancy.active_warps_per_sm.max(1) as f64).min(warps_on_busiest_sm.max(1.0));
     let hiding = resident_warps * model.memory_level_parallelism.max(1.0);
     let latency_cycles = warps_on_busiest_sm * latency_per_warp / hiding;
 
     // 3. DRAM bandwidth bound (device-wide). Lanes of a warp read the same
     //    instance-level element, so one warp access misses at most once.
     let warp_global_accesses = per_thread_global * warps_total;
-    let miss_bytes =
-        warp_global_accesses * (1.0 - hit) * model.memory.transaction_bytes as f64;
+    let miss_bytes = warp_global_accesses * (1.0 - hit) * model.memory.transaction_bytes as f64;
     let bandwidth_seconds = miss_bytes / device.memory_bandwidth_bps;
 
     let compute_seconds = device.cycles_to_seconds(compute_cycles);
     let latency_seconds = device.cycles_to_seconds(latency_cycles);
     let overhead_seconds = model.launch_overhead.as_secs_f64();
-    let total_seconds = compute_seconds
-        .max(latency_seconds)
-        .max(bandwidth_seconds)
-        + overhead_seconds;
+    let total_seconds =
+        compute_seconds.max(latency_seconds).max(bandwidth_seconds) + overhead_seconds;
 
     KernelCost {
         compute_seconds,
@@ -285,7 +288,11 @@ mod tests {
         let device = DeviceSpec::tesla_c2050();
         let model = CostModel::default();
         let small = kernel_cost(&device, &model, &inputs(tally(1000, 0, 4096), 4096, 0));
-        let large = kernel_cost(&device, &model, &inputs(tally(1000, 0, 262_144), 262_144, 0));
+        let large = kernel_cost(
+            &device,
+            &model,
+            &inputs(tally(1000, 0, 262_144), 262_144, 0),
+        );
         assert!(large.total_seconds > small.total_seconds);
     }
 
@@ -297,8 +304,16 @@ mod tests {
         let model = CostModel::default();
         let small_pool = 16 * 256;
         let large_pool = 1024 * 256;
-        let a = kernel_cost(&device, &model, &inputs(tally(1000, 0, small_pool as u64), small_pool, 0));
-        let b = kernel_cost(&device, &model, &inputs(tally(1000, 0, large_pool as u64), large_pool, 0));
+        let a = kernel_cost(
+            &device,
+            &model,
+            &inputs(tally(1000, 0, small_pool as u64), small_pool, 0),
+        );
+        let b = kernel_cost(
+            &device,
+            &model,
+            &inputs(tally(1000, 0, large_pool as u64), large_pool, 0),
+        );
         let per_thread_a = a.total_seconds / small_pool as f64;
         let per_thread_b = b.total_seconds / large_pool as f64;
         assert!(per_thread_b < per_thread_a);

@@ -11,7 +11,10 @@
 /// per lane at the given byte addresses, for a transaction (cache line) size
 /// of `transaction_bytes`.
 pub fn global_transactions(addresses: &[u64], transaction_bytes: usize) -> usize {
-    assert!(transaction_bytes.is_power_of_two(), "transaction size must be a power of two");
+    assert!(
+        transaction_bytes.is_power_of_two(),
+        "transaction size must be a power of two"
+    );
     let mut lines: Vec<u64> = addresses
         .iter()
         .map(|&a| a / transaction_bytes as u64)

@@ -15,7 +15,7 @@ use bb::pool::Pool;
 use bb::problem::NodeBound;
 use bb::stats::SolveStats;
 use bb::{BestFirstPool, FspNode, FspProblem, SharedUpperBound};
-use fsp::{Instance, JohnsonLowerBound, Job, Time};
+use fsp::{Instance, Job, JohnsonLowerBound, Time};
 use std::time::{Duration, Instant};
 
 /// Configuration of the fork-join solver.

@@ -74,8 +74,7 @@ impl MulticoreModel {
     /// `footprint_bytes` (1.0 for tiny instances, `1 − penalty` at
     /// saturation).
     pub fn memory_factor(&self, footprint_bytes: usize) -> f64 {
-        let pressure =
-            (footprint_bytes as f64 / self.memory_pressure_footprint as f64).min(1.0);
+        let pressure = (footprint_bytes as f64 / self.memory_pressure_footprint as f64).min(1.0);
         1.0 - self.memory_pressure_penalty * pressure
     }
 

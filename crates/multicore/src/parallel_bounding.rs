@@ -73,13 +73,20 @@ mod tests {
         let inst = generate("t", 14, 6, 17);
         let lb = JohnsonLowerBound::new(&inst);
         let nodes = batch(&inst, 64);
-        let sequential: Vec<Time> = nodes.iter().map(|n| {
-            use bb::problem::NodeBound;
-            lb.bound_node(n)
-        }).collect();
+        let sequential: Vec<Time> = nodes
+            .iter()
+            .map(|n| {
+                use bb::problem::NodeBound;
+                lb.bound_node(n)
+            })
+            .collect();
         for threads in [1, 2, 3, 8] {
             let pool = ParallelBoundingPool::new(threads);
-            assert_eq!(pool.bound_batch(&nodes, &lb), sequential, "{threads} threads");
+            assert_eq!(
+                pool.bound_batch(&nodes, &lb),
+                sequential,
+                "{threads} threads"
+            );
         }
     }
 

@@ -7,12 +7,12 @@
 //! the pool is a mutex-protected best-first heap.
 
 use bb::pool::Pool;
+use bb::problem::NodeBound;
 use bb::stats::SolveStats;
 use bb::{BestFirstPool, FspNode, FspProblem, SharedUpperBound};
-use bb::problem::NodeBound;
-use fsp::{Instance, JohnsonLowerBound, Job, Time};
-use std::sync::Mutex;
+use fsp::{Instance, Job, JohnsonLowerBound, Time};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Configuration of a multi-threaded CPU solve.
@@ -123,7 +123,10 @@ impl<B: NodeBound> MulticoreSolver<B> {
         initial_ub: Option<Time>,
         initial_schedule: Option<Vec<Job>>,
     ) -> MulticoreOutcome {
-        assert!(self.config.threads > 0, "at least one worker thread is required");
+        assert!(
+            self.config.threads > 0,
+            "at least one worker thread is required"
+        );
         let start = Instant::now();
 
         let incumbent_schedule = Mutex::new(initial_schedule);
@@ -268,7 +271,10 @@ mod tests {
         let serial = bb::SerialSolver::with_defaults(FspProblem::new(inst.clone())).solve();
         for threads in [2, 4, 8] {
             let outcome = MulticoreSolver::new(inst.clone(), config(threads)).solve();
-            assert_eq!(outcome.best_makespan, serial.best_makespan, "{threads} threads");
+            assert_eq!(
+                outcome.best_makespan, serial.best_makespan,
+                "{threads} threads"
+            );
             assert_eq!(outcome.threads, threads);
             let sched = outcome.best_schedule.expect("schedule");
             assert_eq!(fsp::makespan(&inst, &sched), outcome.best_makespan);
@@ -282,11 +288,8 @@ mod tests {
         let problem = FspProblem::new(inst);
         let frozen = bb::frozen_pool(&problem, 32);
         let solver = MulticoreSolver::from_problem(problem, config(3));
-        let outcome = solver.solve_from(
-            frozen.nodes,
-            Some(frozen.upper_bound),
-            frozen.best_schedule,
-        );
+        let outcome =
+            solver.solve_from(frozen.nodes, Some(frozen.upper_bound), frozen.best_schedule);
         assert_eq!(outcome.best_makespan, expected);
     }
 

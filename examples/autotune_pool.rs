@@ -27,7 +27,10 @@ fn main() {
     let candidates = [256, 512, 1024, 2048, 4096, 8192];
     let report = autotune_pool_size(&inst, &base, &candidates, 8_192);
 
-    println!("{:>10}  {:>16}  {:>10}", "pool size", "device time/node", "speedup");
+    println!(
+        "{:>10}  {:>16}  {:>10}",
+        "pool size", "device time/node", "speedup"
+    );
     for m in &report.measurements {
         println!(
             "{:>10}  {:>13.3} µs  {:>9.1}x",
@@ -36,6 +39,9 @@ fn main() {
             m.speedup
         );
     }
-    println!("\nbest pool size for this instance: {}", report.best_pool_size);
+    println!(
+        "\nbest pool size for this instance: {}",
+        report.best_pool_size
+    );
     println!("(the paper found 8192 best for 20x20/50x20 and 262144 for 100x20/200x20)");
 }

@@ -8,7 +8,9 @@ use flowshop_gpu_bnb::bb::{frozen_pool, FspProblem, SerialSolver, SolverConfig};
 use flowshop_gpu_bnb::fsp::taillard;
 use flowshop_gpu_bnb::gpu_bnb::{DataPlacement, GpuBnbSolver, GpuSolverConfig};
 use flowshop_gpu_bnb::gpu_sim::HostModel;
-use flowshop_gpu_bnb::multicore_bnb::{CpuSpec, GpuFlops, MulticoreConfig, MulticoreModel, MulticoreSolver};
+use flowshop_gpu_bnb::multicore_bnb::{
+    CpuSpec, GpuFlops, MulticoreConfig, MulticoreModel, MulticoreSolver,
+};
 
 fn main() {
     let inst = taillard::generate("compare-20x20", 20, 20, 2012);
@@ -25,7 +27,11 @@ fn main() {
             ..Default::default()
         },
     )
-    .solve_from(frozen.nodes.clone(), Some(frozen.upper_bound), frozen.best_schedule.clone());
+    .solve_from(
+        frozen.nodes.clone(),
+        Some(frozen.upper_bound),
+        frozen.best_schedule.clone(),
+    );
     println!(
         "serial     : incumbent {}, {} bounds, bounding share {:.1} %",
         serial.best_makespan,
@@ -42,7 +48,11 @@ fn main() {
             ..Default::default()
         },
     )
-    .solve_from(frozen.nodes.clone(), Some(frozen.upper_bound), frozen.best_schedule.clone());
+    .solve_from(
+        frozen.nodes.clone(),
+        Some(frozen.upper_bound),
+        frozen.best_schedule.clone(),
+    );
     println!(
         "multi-core : incumbent {}, {} bounds on 4 worker threads (wall {:?})",
         multicore.best_makespan, multicore.stats.bounded, multicore.elapsed

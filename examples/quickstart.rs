@@ -12,7 +12,12 @@ fn main() {
     // A 10-job × 8-machine Taillard-like instance (small enough to solve to
     // optimality in seconds).
     let inst = taillard::generate("quickstart-10x8", 10, 8, 20_120_914);
-    println!("instance: {} ({} jobs × {} machines)", inst.name(), inst.jobs(), inst.machines());
+    println!(
+        "instance: {} ({} jobs × {} machines)",
+        inst.name(),
+        inst.jobs(),
+        inst.machines()
+    );
 
     // A good feasible schedule from the NEH heuristic seeds the upper bound.
     let (neh_schedule, neh_makespan) = neh::neh(&inst);
@@ -42,7 +47,10 @@ fn main() {
         gpu.best_makespan, gpu.gpu.nodes_bounded, gpu.gpu.iterations
     );
 
-    assert_eq!(serial.best_makespan, gpu.best_makespan, "both solvers must agree");
+    assert_eq!(
+        serial.best_makespan, gpu.best_makespan,
+        "both solvers must agree"
+    );
     let schedule = gpu.best_schedule.clone().expect("an optimal schedule");
     println!("optimal schedule: {schedule:?}");
     println!(

@@ -21,7 +21,10 @@ fn main() {
     let budget: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(20_000);
 
     let inst = taillard::generate(format!("ta-like-{jobs}x{machines}"), jobs, machines, seed);
-    println!("instance {} ({jobs} jobs × {machines} machines, seed {seed})", inst.name());
+    println!(
+        "instance {} ({jobs} jobs × {machines} machines, seed {seed})",
+        inst.name()
+    );
 
     let problem = FspProblem::new(inst.clone());
     println!("freezing a pool of sub-problems (the protocol of Mezmaz et al.) …");
@@ -52,7 +55,11 @@ fn main() {
         outcome.stats.bounded,
         outcome.gpu.iterations,
         outcome.best_makespan,
-        if outcome.is_optimal() { " (optimal)" } else { " (budget reached)" }
+        if outcome.is_optimal() {
+            " (optimal)"
+        } else {
+            " (budget reached)"
+        }
     );
     let host = HostModel::default();
     println!(
@@ -64,6 +71,9 @@ fn main() {
         outcome.speedup(&host, footprint)
     );
     if let Some(schedule) = &outcome.best_schedule {
-        println!("incumbent schedule (first 20 jobs): {:?}", &schedule[..schedule.len().min(20)]);
+        println!(
+            "incumbent schedule (first 20 jobs): {:?}",
+            &schedule[..schedule.len().min(20)]
+        );
     }
 }

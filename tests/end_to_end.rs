@@ -27,9 +27,14 @@ fn all_four_solvers_agree_with_brute_force() {
         let serial = SerialSolver::with_defaults(FspProblem::new(inst.clone())).solve();
         assert_eq!(serial.best_makespan, expected, "serial, seed {seed}");
 
-        let multicore =
-            MulticoreSolver::new(inst.clone(), MulticoreConfig { threads: 3, ..Default::default() })
-                .solve();
+        let multicore = MulticoreSolver::new(
+            inst.clone(),
+            MulticoreConfig {
+                threads: 3,
+                ..Default::default()
+            },
+        )
+        .solve();
         assert_eq!(multicore.best_makespan, expected, "multicore, seed {seed}");
 
         let gpu = GpuBnbSolver::new(inst.clone(), gpu_config(64)).solve();

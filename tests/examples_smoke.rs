@@ -22,7 +22,10 @@ fn quickstart_core_path() {
     assert_eq!(makespan(&inst, &neh_schedule), neh_makespan);
 
     let serial = SerialSolver::with_defaults(FspProblem::new(inst.clone())).solve();
-    assert!(serial.best_makespan <= neh_makespan, "B&B can't be worse than its seed");
+    assert!(
+        serial.best_makespan <= neh_makespan,
+        "B&B can't be worse than its seed"
+    );
     assert!(serial.times.bounding_share() > 0.0);
 
     let config = GpuSolverConfig {
@@ -92,7 +95,11 @@ fn gpu_vs_multicore_core_path() {
             ..Default::default()
         },
     )
-    .solve_from(frozen.nodes.clone(), Some(frozen.upper_bound), frozen.best_schedule.clone());
+    .solve_from(
+        frozen.nodes.clone(),
+        Some(frozen.upper_bound),
+        frozen.best_schedule.clone(),
+    );
 
     let multicore = MulticoreSolver::from_problem(
         problem.clone(),
@@ -102,7 +109,11 @@ fn gpu_vs_multicore_core_path() {
             ..Default::default()
         },
     )
-    .solve_from(frozen.nodes.clone(), Some(frozen.upper_bound), frozen.best_schedule.clone());
+    .solve_from(
+        frozen.nodes.clone(),
+        Some(frozen.upper_bound),
+        frozen.best_schedule.clone(),
+    );
 
     let gpu_solver = GpuBnbSolver::from_problem(
         problem,

@@ -8,19 +8,42 @@
 //! 4. the multi-core model scales sub-linearly and saturates beyond the
 //!    physical cores, far below the GPU speedups at equal GFLOPS.
 
-use flowshop_gpu_bnb::bb::{FspProblem, SerialSolver, SolverConfig};
+use flowshop_gpu_bnb::bb::{FrozenPool, FspProblem, SerialSolver, SolverConfig};
 use flowshop_gpu_bnb::fsp::taillard::{self, InstanceClass};
 use flowshop_gpu_bnb::gpu_bnb::placement::MatrixId;
 use flowshop_gpu_bnb::gpu_bnb::{DataPlacement, GpuBnbSolver, GpuSolverConfig};
 use flowshop_gpu_bnb::gpu_sim::HostModel;
 use flowshop_gpu_bnb::multicore_bnb::MulticoreModel;
+use std::sync::OnceLock;
+
+/// One frozen workload shared by every test case of its instance class —
+/// resolving the pool (the expensive part of this suite) happens once per
+/// class instead of once per case.
+struct SharedWorkload {
+    problem: FspProblem,
+    frozen: FrozenPool,
+}
+
+fn workload(jobs: usize, machines: usize) -> &'static SharedWorkload {
+    static W20X20: OnceLock<SharedWorkload> = OnceLock::new();
+    static W50X20: OnceLock<SharedWorkload> = OnceLock::new();
+    let cell = match (jobs, machines) {
+        (20, 20) => &W20X20,
+        (50, 20) => &W50X20,
+        other => panic!("no shared workload prepared for {other:?}"),
+    };
+    cell.get_or_init(|| {
+        let inst = taillard::generate(format!("shape-{jobs}x{machines}"), jobs, machines, 2012);
+        let problem = FspProblem::new(inst);
+        let frozen = flowshop_gpu_bnb::bb::frozen_pool(&problem, 1_024);
+        SharedWorkload { problem, frozen }
+    })
+}
 
 fn speedup_for(jobs: usize, machines: usize, pool: usize, placement: DataPlacement) -> f64 {
-    let inst = taillard::generate(format!("shape-{jobs}x{machines}"), jobs, machines, 2012);
-    let problem = FspProblem::new(inst);
-    let frozen = flowshop_gpu_bnb::bb::frozen_pool(&problem, 1_024);
+    let shared = workload(jobs, machines);
     let solver = GpuBnbSolver::from_problem(
-        problem,
+        shared.problem.clone(),
         GpuSolverConfig {
             pool_size: pool,
             placement,
@@ -31,9 +54,9 @@ fn speedup_for(jobs: usize, machines: usize, pool: usize, placement: DataPlaceme
     );
     let footprint = solver.matrix_footprint_bytes();
     let outcome = solver.solve_from(
-        frozen.nodes.clone(),
-        Some(frozen.upper_bound),
-        frozen.best_schedule.clone(),
+        shared.frozen.nodes.clone(),
+        Some(shared.frozen.upper_bound),
+        shared.frozen.best_schedule.clone(),
     );
     outcome.speedup(&HostModel::default(), footprint)
 }
@@ -57,6 +80,10 @@ fn bounding_dominates_serial_time_on_wide_instances() {
 }
 
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "resolves 1k-node frozen pools; run in release (CI paper-shapes job)"
+)]
 fn speedup_grows_with_pool_size_and_saturates() {
     // Table II/III shape: small pools under-utilise the 14 SMs.
     let small = speedup_for(20, 20, 512, DataPlacement::SharedJmPtm);
@@ -68,6 +95,10 @@ fn speedup_grows_with_pool_size_and_saturates() {
 }
 
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "resolves 1k-node frozen pools; run in release (CI paper-shapes job)"
+)]
 fn speedup_grows_with_instance_size() {
     // Figure 4 / Table II shape: larger instances -> coarser kernels ->
     // higher efficiency.
@@ -80,10 +111,17 @@ fn speedup_grows_with_instance_size() {
 }
 
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "resolves 1k-node frozen pools; run in release (CI paper-shapes job)"
+)]
 fn shared_placement_never_hurts_and_helps_large_instances() {
     let g20 = speedup_for(20, 20, 4_096, DataPlacement::AllGlobal);
     let s20 = speedup_for(20, 20, 4_096, DataPlacement::SharedJmPtm);
-    assert!(s20 >= g20 * 0.95, "20x20: shared {s20:.1} vs global {g20:.1}");
+    assert!(
+        s20 >= g20 * 0.95,
+        "20x20: shared {s20:.1} vs global {g20:.1}"
+    );
 
     let g50 = speedup_for(50, 20, 4_096, DataPlacement::AllGlobal);
     let s50 = speedup_for(50, 20, 4_096, DataPlacement::SharedJmPtm);
@@ -91,6 +129,10 @@ fn shared_placement_never_hurts_and_helps_large_instances() {
 }
 
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "resolves 1k-node frozen pools; run in release (CI paper-shapes job)"
+)]
 fn speedups_are_in_a_plausible_band() {
     // The model is calibrated for the paper's orders of magnitude: tens of
     // times faster than one CPU core, not thousands, not below one.
@@ -104,12 +146,19 @@ fn speedups_are_in_a_plausible_band() {
 }
 
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "resolves 1k-node frozen pools; run in release (CI paper-shapes job)"
+)]
 fn multicore_model_stays_an_order_of_magnitude_below_the_gpu() {
     let model = MulticoreModel::default();
     let footprint: usize = MatrixId::ALL.iter().map(|m| m.packed_bytes(50, 20)).sum();
     let cpu = model.speedup(7, footprint);
     let gpu = speedup_for(50, 20, 8_192, DataPlacement::SharedJmPtm);
-    assert!(cpu < 15.0, "7-thread CPU model should stay near x9, got {cpu:.1}");
+    assert!(
+        cpu < 15.0,
+        "7-thread CPU model should stay near x9, got {cpu:.1}"
+    );
     assert!(
         gpu / cpu > 2.0,
         "GPU ({gpu:.1}) should clearly beat 7 CPU threads ({cpu:.1}) at equal GFLOPS"
@@ -134,6 +183,12 @@ fn occupancy_matches_the_papers_figures() {
         machines: 20,
     };
     let shared_bytes = DataPlacement::SharedJmPtm.shared_bytes(class.jobs, class.machines);
-    let with_shared = occupancy(&device, 256, 26, shared_bytes, SharedMemoryConfig::PreferShared);
+    let with_shared = occupancy(
+        &device,
+        256,
+        26,
+        shared_bytes,
+        SharedMemoryConfig::PreferShared,
+    );
     assert_eq!(with_shared.active_warps_per_sm, 16);
 }

@@ -3,7 +3,9 @@
 
 use flowshop_gpu_bnb::bb::{FspNode, FspProblem};
 use flowshop_gpu_bnb::fsp::bound::LowerBound;
-use flowshop_gpu_bnb::fsp::{makespan, makespan_prefix, taillard, JohnsonLowerBound, OneMachineBound};
+use flowshop_gpu_bnb::fsp::{
+    makespan, makespan_prefix, taillard, JohnsonLowerBound, OneMachineBound,
+};
 use flowshop_gpu_bnb::gpu_bnb::{BoundingEngine, DataPlacement};
 use proptest::prelude::*;
 
@@ -14,7 +16,9 @@ fn small_instance() -> impl Strategy<Value = (usize, usize, i64)> {
 
 /// Strategy: a permutation prefix of `n` jobs with the given length.
 fn prefix(n: usize, len: usize) -> impl Strategy<Value = Vec<usize>> {
-    Just((0..n).collect::<Vec<_>>()).prop_shuffle().prop_map(move |p| p[..len].to_vec())
+    Just((0..n).collect::<Vec<_>>())
+        .prop_shuffle()
+        .prop_map(move |p| p[..len].to_vec())
 }
 
 proptest! {
