@@ -46,6 +46,47 @@ impl FrozenPool {
     }
 }
 
+/// Below this many children a wave is bounded inline: the per-spawn cost of
+/// scoped worker threads outweighs the bounding work.
+const PARALLEL_BOUND_THRESHOLD: usize = 96;
+
+/// Upper limit on the worker threads the freeze uses (the freeze is setup
+/// work shared by every experiment, not a measured quantity, so grabbing
+/// every core is unnecessary).
+const MAX_FREEZE_THREADS: usize = 8;
+
+/// Number of pending nodes selected per wave of the freeze.
+const WAVE_PARENTS: usize = 32;
+
+/// Bounds every node of `children` in place, fanning the work out over scoped
+/// worker threads when the wave is large enough to amortise the spawns.
+///
+/// Determinism: the lower bound is a pure function of the node, every node is
+/// bounded exactly once, and the caller consumes the slice in its original
+/// order — so the parallel schedule cannot change any observable result.
+fn bound_wave<B: NodeBound>(problem: &FspProblem<B>, children: &mut [FspNode]) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_FREEZE_THREADS);
+    if threads < 2 || children.len() < PARALLEL_BOUND_THRESHOLD {
+        for child in children {
+            problem.bound(child);
+        }
+        return;
+    }
+    let chunk = children.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for part in children.chunks_mut(chunk) {
+            scope.spawn(move || {
+                for child in part {
+                    problem.bound(child);
+                }
+            });
+        }
+    });
+}
+
 /// Explores `problem` with a best-first sequential B&B (seeded with the NEH
 /// incumbent) until the pending pool holds at least `target_size`
 /// sub-problems, then freezes and returns it.
@@ -57,6 +98,14 @@ pub fn frozen_pool<B: NodeBound>(problem: &FspProblem<B>, target_size: usize) ->
 }
 
 /// Same as [`frozen_pool`] but with an explicit selection strategy.
+///
+/// The freeze dominates the wall time of the paper-shape experiments, so the
+/// bounding operator — by far its hottest part — runs wave-parallel: a wave
+/// of pending nodes is selected, their children are generated,
+/// the whole wave of children is bounded on worker threads, and elimination /
+/// incumbent updates are applied **sequentially in generation order**. The
+/// bound is pure, so the exploration (and thus the frozen list) is exactly as
+/// deterministic as the old one-node-at-a-time loop.
 pub fn frozen_pool_with_strategy<B: NodeBound>(
     problem: &FspProblem<B>,
     target_size: usize,
@@ -71,15 +120,42 @@ pub fn frozen_pool_with_strategy<B: NodeBound>(
     problem.bound(&mut root);
     pool.push(root);
 
-    while pool.len() < target_size {
-        let Some(node) = pool.pop() else {
-            break;
-        };
-        if ub.prunes(node.bound()) {
-            continue;
+    let mut frozen: Vec<FspNode> = Vec::new();
+    let mut parents: Vec<FspNode> = Vec::with_capacity(WAVE_PARENTS);
+    let mut children: Vec<FspNode> = Vec::new();
+    // Net pool growth per decomposed node is bounded by the branching factor;
+    // sizing each wave against the remaining deficit keeps the frozen list
+    // close to the target (a full wave near the target could overshoot it
+    // several-fold).
+    let branching = problem.instance().jobs().max(2);
+    loop {
+        // Selection: pop a wave of survivors (the same pruning test the
+        // sequential loop applies at pop time).
+        parents.clear();
+        let deficit = target_size.saturating_sub(pool.len());
+        let wave = deficit.div_ceil(branching - 1).clamp(1, WAVE_PARENTS);
+        while parents.len() < wave && pool.len() + parents.len() < target_size {
+            let Some(node) = pool.pop() else { break };
+            if ub.prunes(node.bound()) {
+                continue;
+            }
+            parents.push(node);
         }
-        for mut child in problem.branch(&node) {
-            problem.bound(&mut child);
+        if parents.is_empty() {
+            break;
+        }
+
+        // Branching (cheap, sequential), then bounding (the hot part) over
+        // the whole wave in parallel.
+        children.clear();
+        for parent in &parents {
+            problem.branch_into(parent, &mut children);
+        }
+        bound_wave(problem, &mut children);
+
+        // Elimination and incumbent updates, sequentially in generation
+        // order — identical on every run.
+        for child in children.drain(..) {
             if problem.is_leaf(&child) {
                 let cost = problem.leaf_cost(&child);
                 if ub.try_improve(cost) {
@@ -89,10 +165,29 @@ pub fn frozen_pool_with_strategy<B: NodeBound>(
                 pool.push(child);
             }
         }
+
+        if pool.len() >= target_size {
+            // Freeze. Nodes that became prunable while they waited in the
+            // pool (the incumbent kept improving) carry no work for any
+            // solver — drop them, and keep exploring if that leaves the
+            // list short of the target.
+            frozen = pool.drain_all();
+            frozen.retain(|n| !ub.prunes(n.bound()));
+            if frozen.len() >= target_size {
+                break;
+            }
+            for node in frozen.drain(..) {
+                pool.push(node);
+            }
+        }
+    }
+    if frozen.is_empty() {
+        frozen = pool.drain_all();
+        frozen.retain(|n| !ub.prunes(n.bound()));
     }
 
     FrozenPool {
-        nodes: pool.drain_all(),
+        nodes: frozen,
         upper_bound: ub.get(),
         best_schedule,
     }

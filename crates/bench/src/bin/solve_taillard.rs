@@ -6,17 +6,19 @@
 //! The report is the contract of the `bench-smoke` CI job: a run on a small
 //! frozen workload is compared against the committed `BENCH_baseline.json`
 //! and the job fails when the nodes/sec throughput regresses by more than the
-//! configured fraction.
+//! configured fraction. `--smoke` runs the workload once per gated backend
+//! (the plain GPU off-load and its stream-pipelined variant) and emits one
+//! report row per backend.
 //!
 //! ```text
 //! solve_taillard --smoke --baseline BENCH_baseline.json
 //! solve_taillard --file instances/ta021 --mode serial --node-limit 200000
-//! solve_taillard --jobs 20 --machines 20 --seed 2012 --mode gpu-fast --json out.json
+//! solve_taillard --jobs 20 --machines 20 --seed 2012 --backend gpu-pipelined --json out.json
 //! ```
 
 use bb::{frozen_pool, FrozenPool, FspProblem, SerialSolver, SolverConfig};
 use fsp::taillard;
-use gpu_bnb::{DataPlacement, GpuBnbSolver, GpuSolverConfig};
+use gpu_bnb::{BackendKind, DataPlacement, GpuBnbSolver, GpuSolverConfig};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -24,25 +26,63 @@ use std::time::Duration;
 /// How the instance is bounded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
-    /// The single-core CPU baseline.
+    /// The single-core CPU baseline (the serial solver, not a backend).
     Serial,
-    /// GPU off-load with the functional SIMT simulation.
-    Gpu,
-    /// GPU off-load in fast-forward (host bound + analytic timing).
-    GpuFast,
+    /// A bounding backend driven by the GPU-offload solver loop, with the
+    /// functional SIMT simulation for the GPU kinds.
+    Backend(BackendKind),
+    /// A bounding backend in fast-forward (host bound + analytic timing).
+    BackendFast(BackendKind),
 }
 
 impl Mode {
+    /// The driver-loop label: "gpu"/"gpu-fast" for the GPU backends (the
+    /// historical mode names), "offload"/"offload-fast" when a CPU backend
+    /// drives the same loop — a CPU run must not be labelled as a GPU mode.
     fn name(self) -> &'static str {
         match self {
             Mode::Serial => "serial",
-            Mode::Gpu => "gpu",
-            Mode::GpuFast => "gpu-fast",
+            Mode::Backend(BackendKind::Gpu | BackendKind::GpuPipelined) => "gpu",
+            Mode::Backend(_) => "offload",
+            Mode::BackendFast(BackendKind::Gpu | BackendKind::GpuPipelined) => "gpu-fast",
+            Mode::BackendFast(_) => "offload-fast",
+        }
+    }
+
+    fn backend_name(self) -> &'static str {
+        match self {
+            Mode::Serial => "serial",
+            Mode::Backend(kind) | Mode::BackendFast(kind) => kind.name(),
+        }
+    }
+
+    fn with_backend(self, kind: BackendKind) -> Mode {
+        match self {
+            // `--backend` on the serial mode means: drive the backend from
+            // the off-load solver loop, fast-forward.
+            Mode::Serial | Mode::BackendFast(_) => Mode::BackendFast(kind),
+            Mode::Backend(_) => Mode::Backend(kind),
         }
     }
 }
 
-/// Everything one run measures — serialised as the JSON report.
+/// What one timed run measured.
+struct RunMetrics {
+    nodes_bounded: u64,
+    elapsed: Duration,
+    bounding_share: f64,
+    makespan: u32,
+    optimal: bool,
+    /// Modelled kernel time (zero for the serial solver).
+    kernel_seconds: f64,
+    /// Modelled PCIe transfer time.
+    transfer_seconds: f64,
+    /// Modelled wall time of the device schedule (overlapped when the
+    /// backend pipelines; `kernel + transfer` otherwise).
+    device_seconds: f64,
+}
+
+/// Everything one run reports — serialised as one JSON row.
 struct Report {
     instance: String,
     jobs: usize,
@@ -50,12 +90,7 @@ struct Report {
     mode: Mode,
     pool_size: usize,
     reps: usize,
-    nodes_bounded: u64,
-    elapsed_seconds: f64,
-    nodes_per_sec: f64,
-    bounding_share: f64,
-    makespan: u32,
-    optimal: bool,
+    metrics: RunMetrics,
 }
 
 /// Escapes a string for embedding in a JSON string literal (instance labels
@@ -79,25 +114,88 @@ fn json_escape(s: &str) -> String {
 }
 
 impl Report {
-    fn to_json(&self) -> String {
-        let mut out = String::new();
+    fn nodes_per_sec(&self) -> f64 {
+        self.metrics.nodes_bounded as f64 / self.metrics.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// The report's fields as JSON lines (no surrounding braces), indented
+    /// by `indent` — shared by the v1 top-level object and the v2 rows.
+    fn write_fields(&self, out: &mut String, indent: &str) {
+        let m = &self.metrics;
+        let _ = writeln!(
+            out,
+            "{indent}  \"instance\": \"{}\",",
+            json_escape(&self.instance)
+        );
+        let _ = writeln!(out, "{indent}  \"jobs\": {},", self.jobs);
+        let _ = writeln!(out, "{indent}  \"machines\": {},", self.machines);
+        let _ = writeln!(out, "{indent}  \"mode\": \"{}\",", self.mode.name());
+        let _ = writeln!(
+            out,
+            "{indent}  \"backend\": \"{}\",",
+            self.mode.backend_name()
+        );
+        let _ = writeln!(out, "{indent}  \"pool_size\": {},", self.pool_size);
+        let _ = writeln!(out, "{indent}  \"reps\": {},", self.reps);
+        let _ = writeln!(out, "{indent}  \"nodes_bounded\": {},", m.nodes_bounded);
+        let _ = writeln!(
+            out,
+            "{indent}  \"elapsed_seconds\": {:.6},",
+            m.elapsed.as_secs_f64()
+        );
+        let _ = writeln!(
+            out,
+            "{indent}  \"nodes_per_sec\": {:.1},",
+            self.nodes_per_sec()
+        );
+        let _ = writeln!(
+            out,
+            "{indent}  \"bounding_share\": {:.4},",
+            m.bounding_share
+        );
+        let _ = writeln!(
+            out,
+            "{indent}  \"modelled_kernel_seconds\": {:.6},",
+            m.kernel_seconds
+        );
+        let _ = writeln!(
+            out,
+            "{indent}  \"modelled_transfer_seconds\": {:.6},",
+            m.transfer_seconds
+        );
+        let _ = writeln!(
+            out,
+            "{indent}  \"modelled_device_seconds\": {:.6},",
+            m.device_seconds
+        );
+        let _ = writeln!(out, "{indent}  \"makespan\": {},", m.makespan);
+        let _ = writeln!(out, "{indent}  \"optimal\": {}", m.optimal);
+    }
+}
+
+/// Serialises one report as the v1 single-object schema, several as the v2
+/// `rows` schema (what the multi-backend smoke workload emits).
+fn reports_to_json(reports: &[Report]) -> String {
+    let mut out = String::new();
+    if let [report] = reports {
         let _ = writeln!(out, "{{");
         let _ = writeln!(out, "  \"schema\": \"flowshop-bnb-perf-report/v1\",");
-        let _ = writeln!(out, "  \"instance\": \"{}\",", json_escape(&self.instance));
-        let _ = writeln!(out, "  \"jobs\": {},", self.jobs);
-        let _ = writeln!(out, "  \"machines\": {},", self.machines);
-        let _ = writeln!(out, "  \"mode\": \"{}\",", self.mode.name());
-        let _ = writeln!(out, "  \"pool_size\": {},", self.pool_size);
-        let _ = writeln!(out, "  \"reps\": {},", self.reps);
-        let _ = writeln!(out, "  \"nodes_bounded\": {},", self.nodes_bounded);
-        let _ = writeln!(out, "  \"elapsed_seconds\": {:.6},", self.elapsed_seconds);
-        let _ = writeln!(out, "  \"nodes_per_sec\": {:.1},", self.nodes_per_sec);
-        let _ = writeln!(out, "  \"bounding_share\": {:.4},", self.bounding_share);
-        let _ = writeln!(out, "  \"makespan\": {},", self.makespan);
-        let _ = writeln!(out, "  \"optimal\": {}", self.optimal);
+        report.write_fields(&mut out, "");
         let _ = writeln!(out, "}}");
-        out
+    } else {
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"flowshop-bnb-perf-report/v2\",");
+        let _ = writeln!(out, "  \"rows\": [");
+        for (i, report) in reports.iter().enumerate() {
+            let sep = if i + 1 < reports.len() { "," } else { "" };
+            let _ = writeln!(out, "    {{");
+            report.write_fields(&mut out, "    ");
+            let _ = writeln!(out, "    }}{sep}");
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
     }
+    out
 }
 
 struct Options {
@@ -113,6 +211,7 @@ struct Options {
     json: Option<String>,
     baseline: Option<String>,
     max_regression: f64,
+    smoke: bool,
 }
 
 impl Default for Options {
@@ -122,7 +221,7 @@ impl Default for Options {
             jobs: 20,
             machines: 20,
             seed: 2012,
-            mode: Mode::GpuFast,
+            mode: Mode::BackendFast(BackendKind::Gpu),
             pool_size: 4_096,
             node_limit: None,
             frozen: None,
@@ -130,22 +229,28 @@ impl Default for Options {
             json: None,
             baseline: None,
             max_regression: 0.25,
+            smoke: false,
         }
     }
 }
 
 /// The frozen smoke workload the CI perf gate runs: small enough to finish in
-/// seconds, large enough that nodes/sec is dominated by the bounding hot path.
+/// seconds, large enough that nodes/sec is dominated by the bounding hot
+/// path. The gate runs it once per row of [`SMOKE_BACKENDS`].
 fn apply_smoke_preset(opts: &mut Options) {
     opts.jobs = 20;
     opts.machines = 20;
     opts.seed = 2012;
-    opts.mode = Mode::GpuFast;
+    opts.mode = Mode::BackendFast(BackendKind::Gpu);
     opts.pool_size = 4_096;
     opts.node_limit = Some(60_000);
     opts.frozen = Some(512);
     opts.reps = 3;
+    opts.smoke = true;
 }
+
+/// The backends the smoke workload gates, row by row.
+const SMOKE_BACKENDS: [BackendKind; 2] = [BackendKind::Gpu, BackendKind::GpuPipelined];
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options::default();
@@ -180,10 +285,14 @@ fn parse_args() -> Result<Options, String> {
             "--mode" => {
                 opts.mode = match value(&args, &mut i, flag)?.as_str() {
                     "serial" => Mode::Serial,
-                    "gpu" => Mode::Gpu,
-                    "gpu-fast" => Mode::GpuFast,
+                    "gpu" => Mode::Backend(BackendKind::Gpu),
+                    "gpu-fast" => Mode::BackendFast(BackendKind::Gpu),
                     other => return Err(format!("unknown mode `{other}`")),
                 }
+            }
+            "--backend" => {
+                let kind: BackendKind = value(&args, &mut i, flag)?.parse()?;
+                opts.mode = opts.mode.with_backend(kind);
             }
             "--pool-size" => {
                 opts.pool_size = value(&args, &mut i, flag)?
@@ -220,9 +329,13 @@ fn parse_args() -> Result<Options, String> {
                 println!(
                     "solve_taillard — solve a Taillard FSP instance and emit a JSON perf report\n\n\
                      input:    --file <ta-file> | --jobs N --machines M --seed S\n\
-                     solve:    --mode serial|gpu|gpu-fast  --pool-size P  --node-limit N  --frozen K  --reps R\n\
+                     solve:    --mode serial|gpu|gpu-fast  --backend seq|multicore|gpu|gpu-pipelined\n\
+                     \x20         --pool-size P  --node-limit N  --frozen K  --reps R\n\
                      output:   --json <path>\n\
-                     CI gate:  --smoke  --baseline <BENCH_baseline.json>  --max-regression 0.25"
+                     CI gate:  --smoke  --baseline <BENCH_baseline.json>  --max-regression 0.25\n\n\
+                     --smoke runs the frozen workload once per gated backend (gpu, gpu-pipelined)\n\
+                     and emits one report row each; the gate compares every row against the\n\
+                     baseline row with the same backend."
                 );
                 std::process::exit(0);
             }
@@ -237,14 +350,14 @@ fn parse_args() -> Result<Options, String> {
 }
 
 /// One timed solve over an already-prepared (deterministic) frozen pool.
-/// Returns (nodes bounded, elapsed, bounding share, makespan, optimal).
 fn run_once(
     opts: &Options,
+    mode: Mode,
     problem: &FspProblem,
     frozen: Option<&FrozenPool>,
-) -> (u64, Duration, f64, u32, bool) {
+) -> RunMetrics {
     let frozen = frozen.cloned();
-    match opts.mode {
+    match mode {
         Mode::Serial => {
             let solver = SerialSolver::new(
                 problem.clone(),
@@ -257,22 +370,26 @@ fn run_once(
                 Some(f) => solver.solve_from(f.nodes, Some(f.upper_bound), f.best_schedule),
                 None => solver.solve(),
             };
-            (
-                outcome.stats.bounded,
-                outcome.elapsed,
-                outcome.times.bounding_share(),
-                outcome.best_makespan,
-                outcome.is_optimal(),
-            )
+            RunMetrics {
+                nodes_bounded: outcome.stats.bounded,
+                elapsed: outcome.elapsed,
+                bounding_share: outcome.times.bounding_share(),
+                makespan: outcome.best_makespan,
+                optimal: outcome.is_optimal(),
+                kernel_seconds: 0.0,
+                transfer_seconds: 0.0,
+                device_seconds: 0.0,
+            }
         }
-        Mode::Gpu | Mode::GpuFast => {
+        Mode::Backend(kind) | Mode::BackendFast(kind) => {
             let solver = GpuBnbSolver::from_problem(
                 problem.clone(),
                 GpuSolverConfig {
                     pool_size: opts.pool_size,
                     placement: DataPlacement::SharedJmPtm,
                     node_limit: opts.node_limit,
-                    fast_forward: opts.mode == Mode::GpuFast,
+                    fast_forward: matches!(mode, Mode::BackendFast(_)),
+                    backend: kind,
                     ..Default::default()
                 },
             );
@@ -280,7 +397,7 @@ fn run_once(
                 Some(f) => solver.solve_from(f.nodes, Some(f.upper_bound), f.best_schedule),
                 None => solver.solve(),
             };
-            // Share of the modelled device time spent in the kernel (the
+            // Share of the modelled device schedule spent in the kernel (the
             // rest is PCIe transfer) — the device-side analogue of the
             // serial solver's bounding share.
             let device = outcome.gpu.kernel_time + outcome.gpu.transfer_time;
@@ -289,27 +406,76 @@ fn run_once(
             } else {
                 outcome.gpu.kernel_time.as_secs_f64() / device.as_secs_f64()
             };
-            (
-                outcome.stats.bounded,
-                outcome.gpu.wall_time,
-                share,
-                outcome.best_makespan,
-                outcome.is_optimal(),
-            )
+            RunMetrics {
+                nodes_bounded: outcome.stats.bounded,
+                elapsed: outcome.gpu.wall_time,
+                bounding_share: share,
+                makespan: outcome.best_makespan,
+                optimal: outcome.is_optimal(),
+                kernel_seconds: outcome.gpu.kernel_time.as_secs_f64(),
+                transfer_seconds: outcome.gpu.transfer_time.as_secs_f64(),
+                device_seconds: outcome.gpu.device_schedule_time().as_secs_f64(),
+            }
         }
     }
 }
 
-/// Pulls `"nodes_per_sec": <number>` out of a report previously written by
-/// this binary (a full JSON parser is not warranted for our own format).
-fn baseline_nodes_per_sec(text: &str) -> Option<f64> {
-    let key = "\"nodes_per_sec\":";
-    let start = text.find(key)? + key.len();
-    let rest = text[start..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
+/// Best-of-N (throughput gates must not fail on one noisy sample).
+fn run_best_of(
+    opts: &Options,
+    mode: Mode,
+    problem: &FspProblem,
+    frozen: Option<&FrozenPool>,
+) -> RunMetrics {
+    let mut best: Option<RunMetrics> = None;
+    for _ in 0..opts.reps {
+        let run = run_once(opts, mode, problem, frozen);
+        let better = match &best {
+            Some(b) => {
+                run.nodes_bounded as f64 / run.elapsed.as_secs_f64().max(1e-9)
+                    > b.nodes_bounded as f64 / b.elapsed.as_secs_f64().max(1e-9)
+            }
+            None => true,
+        };
+        if better {
+            best = Some(run);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+/// Pulls `(backend, nodes_per_sec)` pairs out of a report previously written
+/// by this binary (a full JSON parser is not warranted for our own format).
+/// In the v1 single-object schema without a `backend` field the pair is
+/// `("", value)`.
+fn baseline_rows(text: &str) -> Vec<(String, f64)> {
+    let nps_key = "\"nodes_per_sec\":";
+    let backend_key = "\"backend\":";
+    let mut rows = Vec::new();
+    let mut search_from = 0;
+    while let Some(rel) = text[search_from..].find(nps_key) {
+        let nps_at = search_from + rel;
+        // The backend name, when present, precedes nodes_per_sec in its row.
+        let backend = text[..nps_at]
+            .rfind(backend_key)
+            .map(|b| {
+                let rest = text[b + backend_key.len()..].trim_start();
+                rest.trim_start_matches('"')
+                    .chars()
+                    .take_while(|c| *c != '"')
+                    .collect::<String>()
+            })
+            .unwrap_or_default();
+        let rest = text[nps_at + nps_key.len()..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        if let Ok(value) = rest[..end].parse::<f64>() {
+            rows.push((backend, value));
+        }
+        search_from = nps_at + nps_key.len();
+    }
+    rows
 }
 
 fn main() -> ExitCode {
@@ -350,43 +516,34 @@ fn main() -> ExitCode {
     let jobs = inst.jobs();
     let machines = inst.machines();
     let problem = FspProblem::new(inst);
-    // Freezing is deterministic and untimed setup — do it once, not per rep.
+    // Freezing is deterministic and untimed setup — do it once, not per rep
+    // (and shared by every smoke row, so the backends race on an identical
+    // workload).
     let frozen = opts.frozen.map(|target| frozen_pool(&problem, target));
 
-    // Best-of-N: throughput gates must not fail on one noisy sample.
-    let mut best: Option<(u64, Duration, f64, u32, bool)> = None;
-    for _ in 0..opts.reps {
-        let run = run_once(&opts, &problem, frozen.as_ref());
-        let better = match &best {
-            Some((nodes, elapsed, ..)) => {
-                run.0 as f64 / run.1.as_secs_f64().max(1e-9)
-                    > *nodes as f64 / elapsed.as_secs_f64().max(1e-9)
-            }
-            None => true,
-        };
-        if better {
-            best = Some(run);
-        }
-    }
-    let (nodes_bounded, elapsed, bounding_share, makespan, optimal) =
-        best.expect("at least one rep");
-
-    let report = Report {
-        instance: label,
-        jobs,
-        machines,
-        mode: opts.mode,
-        pool_size: opts.pool_size,
-        reps: opts.reps,
-        nodes_bounded,
-        elapsed_seconds: elapsed.as_secs_f64(),
-        nodes_per_sec: nodes_bounded as f64 / elapsed.as_secs_f64().max(1e-9),
-        bounding_share,
-        makespan,
-        optimal,
+    let modes: Vec<Mode> = if opts.smoke {
+        SMOKE_BACKENDS
+            .iter()
+            .map(|&kind| Mode::BackendFast(kind))
+            .collect()
+    } else {
+        vec![opts.mode]
     };
 
-    let json = report.to_json();
+    let reports: Vec<Report> = modes
+        .into_iter()
+        .map(|mode| Report {
+            instance: label.clone(),
+            jobs,
+            machines,
+            mode,
+            pool_size: opts.pool_size,
+            reps: opts.reps,
+            metrics: run_best_of(&opts, mode, &problem, frozen.as_ref()),
+        })
+        .collect();
+
+    let json = reports_to_json(&reports);
     print!("{json}");
     if let Some(path) = &opts.json {
         if let Err(err) = std::fs::write(path, &json) {
@@ -403,20 +560,37 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let Some(baseline) = baseline_nodes_per_sec(&text) else {
+        let baseline = baseline_rows(&text);
+        if baseline.is_empty() {
             eprintln!("error: no nodes_per_sec in baseline {path}");
             return ExitCode::FAILURE;
-        };
-        let floor = baseline * (1.0 - opts.max_regression);
-        eprintln!(
-            "perf gate: {:.0} nodes/s vs baseline {:.0} (floor {:.0}, max regression {:.0} %)",
-            report.nodes_per_sec,
-            baseline,
-            floor,
-            opts.max_regression * 100.0
-        );
-        if report.nodes_per_sec < floor {
-            eprintln!("perf gate: FAIL — nodes/sec regressed past the floor");
+        }
+        let mut failed = false;
+        for report in &reports {
+            let name = report.mode.backend_name();
+            // Match by backend name; a v1 baseline without backend names
+            // gates its single figure against every row.
+            let Some((_, base)) = baseline
+                .iter()
+                .find(|(b, _)| b == name)
+                .or_else(|| baseline.first().filter(|(b, _)| b.is_empty()))
+            else {
+                eprintln!("perf gate [{name}]: no baseline row — run --smoke --json to refresh");
+                failed = true;
+                continue;
+            };
+            let floor = base * (1.0 - opts.max_regression);
+            let nps = report.nodes_per_sec();
+            eprintln!(
+                "perf gate [{name}]: {nps:.0} nodes/s vs baseline {base:.0} (floor {floor:.0}, max regression {:.0} %)",
+                opts.max_regression * 100.0
+            );
+            if nps < floor {
+                eprintln!("perf gate [{name}]: FAIL — nodes/sec regressed past the floor");
+                failed = true;
+            }
+        }
+        if failed {
             return ExitCode::FAILURE;
         }
         eprintln!("perf gate: ok");

@@ -7,11 +7,11 @@
 //! freezes a probe pool, runs a few bounding iterations for every candidate
 //! pool size, and picks the one with the best modelled throughput.
 
+use crate::backend::make_backend;
 use crate::config::{GpuSolverConfig, PAPER_POOL_SIZES};
-use crate::offload::BoundingEngine;
 use crate::placement::MatrixId;
 use bb::{frozen_pool, FspProblem};
-use fsp::{Instance, JohnsonLowerBound};
+use fsp::Instance;
 use gpu_sim::HostModel;
 
 /// Measurement for one candidate pool size.
@@ -35,8 +35,9 @@ pub struct AutotuneReport {
 }
 
 /// Auto-tunes the pool size for `inst` by probing each candidate with one
-/// bounding iteration over a frozen pool of that size (fast-forward mode, so
-/// the probe costs one host bound evaluation per node).
+/// bounding iteration over a frozen pool of that size, through whichever
+/// backend `base_config.backend` selects (GPU probes run in fast-forward
+/// mode, so each costs one host bound evaluation per node).
 ///
 /// `candidates` defaults to the paper's seven pool sizes when empty.
 pub fn autotune_pool_size(
@@ -51,7 +52,11 @@ pub fn autotune_pool_size(
         candidates.to_vec()
     };
     let problem = FspProblem::new(inst.clone());
-    let host_lb: &JohnsonLowerBound = problem.bound_fn();
+    // Probes are timing estimates; the host reference bound is all they need.
+    let probe_config = GpuSolverConfig {
+        fast_forward: true,
+        ..base_config.clone()
+    };
     let host_model = HostModel::default();
     let footprint: usize = MatrixId::ALL
         .iter()
@@ -72,33 +77,15 @@ pub fn autotune_pool_size(
     for &pool_size in &candidates {
         let take = pool_size.min(frozen.nodes.len()).max(1);
         let chunk: Vec<_> = frozen.nodes.iter().take(take).cloned().collect();
-        let mut engine = BoundingEngine::new(
-            host_lb.data(),
-            base_config.placement.clone(),
-            base_config.block_threads,
-            base_config.registers_per_thread,
-            take,
-        );
-        let result = engine.bound_nodes_fast(&chunk, host_lb);
-        let device_time = result.device_time().as_secs_f64();
+        let mut backend = make_backend(&problem, &probe_config, take);
+        let batch = backend.bound_batch(&chunk);
+        let device_time = batch.accounting.device_time.as_secs_f64();
         let seconds_per_node = device_time / take as f64;
 
         // Modelled serial time of the same chunk, for the speedup estimate.
-        let n = inst.jobs();
-        let m = inst.machines();
-        let serial_accesses: u64 = chunk
-            .iter()
-            .map(|node| {
-                let np = n - node.depth();
-                if np == 0 {
-                    0
-                } else {
-                    fsp::bound::counts::AccessCounts::impl_expected(n, m, np).total()
-                }
-            })
-            .sum();
+        let accesses = crate::backend::serial_accesses(inst.jobs(), inst.machines(), &chunk);
         let serial = host_model
-            .bounding_time(serial_accesses, take as u64, footprint)
+            .bounding_time(accesses, take as u64, footprint)
             .as_secs_f64();
         let speedup = if device_time > 0.0 {
             serial / device_time
@@ -161,6 +148,23 @@ mod tests {
         let small = report.measurements[0].seconds_per_node;
         let large = report.measurements[1].seconds_per_node;
         assert!(large <= small * 1.05, "large {large} vs small {small}");
+    }
+
+    #[test]
+    fn autotune_probes_through_any_backend() {
+        let inst = generate("t", 16, 8, 5);
+        for kind in crate::config::BackendKind::ALL {
+            let cfg = GpuSolverConfig {
+                backend: kind,
+                ..base()
+            };
+            let report = autotune_pool_size(&inst, &cfg, &[32, 128], 500);
+            assert_eq!(report.measurements.len(), 2, "{kind}");
+            assert!(
+                report.measurements.iter().all(|m| m.seconds_per_node > 0.0),
+                "{kind}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,533 @@
+//! The `BoundingBackend` trait: one interface over every way this workspace
+//! can bound a batch of sub-problems.
+//!
+//! The paper's loop hard-wires the GPU engine into the solver; its
+//! conclusion, though, compares GPU bounding against serial and multi-core
+//! bounding and calls for combining them. This module makes the bounding
+//! operator pluggable: **sequential host bounding**, the **multicore thread
+//! pool**, the **GPU off-load engine** and its **stream-pipelined** variant
+//! are four implementations of one trait, selected through
+//! [`crate::config::BackendKind`] by the solvers, the auto-tuner and the
+//! bench binaries alike. Every implementation returns bit-identical bounds
+//! (asserted by the workspace's backend-equivalence suite); what differs is
+//! the modelled cost accounting.
+//!
+//! Adding a fifth backend means implementing [`BoundingBackend`] (bounds in
+//! input order plus a [`BackendAccounting`]) and giving it a
+//! [`crate::config::BackendKind`] arm in [`make_backend`].
+
+use crate::config::{BackendKind, GpuSolverConfig};
+use crate::offload::BoundingEngine;
+use crate::placement::MatrixId;
+use bb::{FspNode, FspProblem};
+use fsp::bound::counts::AccessCounts;
+use fsp::{BoundScratch, JohnsonLowerBound, Time};
+use gpu_sim::HostModel;
+use multicore_bnb::{MulticoreModel, ParallelBoundingPool};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Modelled cost of bounding one batch, in the same units for every backend
+/// so they are directly comparable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BackendAccounting {
+    /// Modelled compute time (kernel time on the GPU backends, bounding time
+    /// on the CPU backends).
+    pub kernel_time: Duration,
+    /// Modelled PCIe transfer time (zero for the CPU backends).
+    pub transfer_time: Duration,
+    /// Modelled wall time of the batch: `kernel + transfer` for the
+    /// unpipelined backends, the stream-overlapped makespan for the
+    /// pipelined one (strictly smaller once a batch spans several chunks).
+    pub device_time: Duration,
+    /// Bytes shipped host→device.
+    pub upload_bytes: u64,
+    /// Bytes shipped device→host.
+    pub download_bytes: u64,
+    /// Kernel launches this batch took (chunks for the pipelined backend).
+    pub launches: u64,
+}
+
+/// Result of bounding one batch through a [`BoundingBackend`].
+#[derive(Debug, Clone)]
+pub struct BackendBatch {
+    /// Lower bound of every node of the batch, in input order.
+    pub bounds: Vec<Time>,
+    /// Modelled cost of producing them.
+    pub accounting: BackendAccounting,
+}
+
+/// A bounding operator over batches of sub-problems.
+///
+/// Contract (relied on by the solvers and the equivalence suite):
+///
+/// * `bounds[i]` is the lower bound of `nodes[i]` — input order, one entry
+///   per node;
+/// * bounds are **bit-identical across implementations** (they all evaluate
+///   the paper's Johnson bound; only the cost model differs);
+/// * an empty batch is a no-op returning empty bounds and zero accounting;
+/// * batches up to [`BoundingBackend::max_batch`] must be accepted in one
+///   call (callers size batches against it).
+pub trait BoundingBackend: Send {
+    /// Stable name used in reports (matches [`BackendKind::name`] for the
+    /// built-in implementations).
+    fn name(&self) -> &'static str;
+
+    /// Bounds every node of `nodes`, in input order.
+    fn bound_batch(&mut self, nodes: &[FspNode]) -> BackendBatch;
+
+    /// Largest batch this backend accepts in one call (`None` = unbounded).
+    fn max_batch(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Modelled serial access count of bounding `nodes` on the host (the Table I
+/// figure shared by every CPU-side cost estimate; the solvers charge it for
+/// their speedup baselines too).
+pub(crate) fn serial_accesses(jobs: usize, machines: usize, nodes: &[FspNode]) -> u64 {
+    nodes
+        .iter()
+        .map(|node| {
+            let np = jobs - node.depth();
+            if np == 0 {
+                0
+            } else {
+                AccessCounts::impl_expected(jobs, machines, np).total()
+            }
+        })
+        .sum()
+}
+
+/// Packed byte footprint of the six bound matrices (input to the host cache
+/// model).
+fn matrix_footprint_bytes(jobs: usize, machines: usize) -> usize {
+    MatrixId::ALL
+        .iter()
+        .map(|m| m.packed_bytes(jobs, machines))
+        .sum()
+}
+
+/// Sequential host bounding — the serial baseline behind Table II's
+/// single-core column, exposed as a backend so it can be driven by the same
+/// solver loop and compared launch for launch.
+pub struct SequentialBackend {
+    lb: Arc<JohnsonLowerBound>,
+    scratch: BoundScratch,
+    host: HostModel,
+    jobs: usize,
+    machines: usize,
+    footprint_bytes: usize,
+}
+
+impl SequentialBackend {
+    /// Creates the backend for `problem`'s instance and bound.
+    pub fn new(problem: &FspProblem<JohnsonLowerBound>) -> Self {
+        let inst = problem.instance();
+        Self {
+            lb: problem.bound_fn().clone(),
+            scratch: BoundScratch::new(),
+            host: HostModel::default(),
+            jobs: inst.jobs(),
+            machines: inst.machines(),
+            footprint_bytes: matrix_footprint_bytes(inst.jobs(), inst.machines()),
+        }
+    }
+}
+
+impl BoundingBackend for SequentialBackend {
+    fn name(&self) -> &'static str {
+        BackendKind::Sequential.name()
+    }
+
+    fn bound_batch(&mut self, nodes: &[FspNode]) -> BackendBatch {
+        let bounds: Vec<Time> = nodes
+            .iter()
+            .map(|node| {
+                self.lb
+                    .bound_prefix_fn_with(&mut self.scratch, node.front(), |j| node.is_scheduled(j))
+            })
+            .collect();
+        let accesses = serial_accesses(self.jobs, self.machines, nodes);
+        let compute = self
+            .host
+            .bounding_time(accesses, nodes.len() as u64, self.footprint_bytes);
+        BackendBatch {
+            bounds,
+            accounting: BackendAccounting {
+                kernel_time: compute,
+                transfer_time: Duration::ZERO,
+                device_time: compute,
+                upload_bytes: 0,
+                download_bytes: 0,
+                launches: u64::from(!nodes.is_empty()),
+            },
+        }
+    }
+}
+
+/// CPU thread-pool bounding over the long-lived
+/// [`multicore_bnb::ParallelBoundingPool`] workers; the modelled time scales
+/// the serial figure by the calibrated [`MulticoreModel`] speedup.
+pub struct MulticoreBackend {
+    pool: ParallelBoundingPool,
+    lb: Arc<JohnsonLowerBound>,
+    host: HostModel,
+    model: MulticoreModel,
+    jobs: usize,
+    machines: usize,
+    footprint_bytes: usize,
+}
+
+impl MulticoreBackend {
+    /// Creates the backend with `threads` long-lived workers.
+    pub fn new(problem: &FspProblem<JohnsonLowerBound>, threads: usize) -> Self {
+        let inst = problem.instance();
+        Self {
+            pool: ParallelBoundingPool::new(threads),
+            lb: problem.bound_fn().clone(),
+            host: HostModel::default(),
+            model: MulticoreModel::default(),
+            jobs: inst.jobs(),
+            machines: inst.machines(),
+            footprint_bytes: matrix_footprint_bytes(inst.jobs(), inst.machines()),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+}
+
+impl BoundingBackend for MulticoreBackend {
+    fn name(&self) -> &'static str {
+        BackendKind::Multicore.name()
+    }
+
+    fn bound_batch(&mut self, nodes: &[FspNode]) -> BackendBatch {
+        let bounds = self.pool.bound_batch(nodes, self.lb.as_ref());
+        let accesses = serial_accesses(self.jobs, self.machines, nodes);
+        let serial = self
+            .host
+            .bounding_time(accesses, nodes.len() as u64, self.footprint_bytes);
+        let speedup = self
+            .model
+            .speedup(self.pool.threads(), self.footprint_bytes)
+            .max(1.0);
+        let compute = serial.div_f64(speedup);
+        BackendBatch {
+            bounds,
+            accounting: BackendAccounting {
+                kernel_time: compute,
+                transfer_time: Duration::ZERO,
+                device_time: compute,
+                upload_bytes: 0,
+                download_bytes: 0,
+                launches: u64::from(!nodes.is_empty()),
+            },
+        }
+    }
+}
+
+/// The paper's GPU off-load: one launch per batch through
+/// [`BoundingEngine`], functional SIMT simulation or fast-forward.
+pub struct GpuBackend {
+    engine: BoundingEngine,
+    host_lb: Arc<JohnsonLowerBound>,
+    fast_forward: bool,
+}
+
+impl GpuBackend {
+    /// Creates the backend with an engine sized for `capacity` nodes.
+    pub fn new(
+        problem: &FspProblem<JohnsonLowerBound>,
+        config: &GpuSolverConfig,
+        capacity: usize,
+    ) -> Self {
+        Self {
+            engine: BoundingEngine::new(
+                problem.bound_fn().data(),
+                config.placement.clone(),
+                config.block_threads,
+                config.registers_per_thread,
+                capacity,
+            ),
+            host_lb: problem.bound_fn().clone(),
+            fast_forward: config.fast_forward,
+        }
+    }
+
+    /// The underlying engine (inspection / cost-model ablations).
+    pub fn engine_mut(&mut self) -> &mut BoundingEngine {
+        &mut self.engine
+    }
+}
+
+impl BoundingBackend for GpuBackend {
+    fn name(&self) -> &'static str {
+        BackendKind::Gpu.name()
+    }
+
+    fn bound_batch(&mut self, nodes: &[FspNode]) -> BackendBatch {
+        let result = if self.fast_forward {
+            self.engine.bound_nodes_fast(nodes, &self.host_lb)
+        } else {
+            self.engine.bound_nodes(nodes)
+        };
+        BackendBatch {
+            bounds: result.bounds,
+            accounting: BackendAccounting {
+                kernel_time: result.kernel.duration,
+                transfer_time: result.transfer_time,
+                device_time: result.kernel.duration + result.transfer_time,
+                upload_bytes: result.upload_bytes as u64,
+                download_bytes: result.download_bytes as u64,
+                launches: u64::from(!nodes.is_empty()),
+            },
+        }
+    }
+
+    fn max_batch(&self) -> Option<usize> {
+        Some(self.engine.max_pool())
+    }
+}
+
+/// The pipelined GPU backend: each batch is split into `pipeline_depth`
+/// chunks ridden through [`BoundingEngine::bound_nodes_pipelined`], so the
+/// device time per batch approaches `max(kernel, transfer)` instead of their
+/// sum.
+pub struct PipelinedGpuBackend {
+    engine: BoundingEngine,
+    host_lb: Arc<JohnsonLowerBound>,
+    fast_forward: bool,
+    pipeline_depth: usize,
+}
+
+impl PipelinedGpuBackend {
+    /// Creates the backend with an engine sized for `capacity` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.pipeline_depth` is zero.
+    pub fn new(
+        problem: &FspProblem<JohnsonLowerBound>,
+        config: &GpuSolverConfig,
+        capacity: usize,
+    ) -> Self {
+        assert!(
+            config.pipeline_depth > 0,
+            "the pipelined backend needs a positive pipeline depth"
+        );
+        Self {
+            engine: BoundingEngine::new(
+                problem.bound_fn().data(),
+                config.placement.clone(),
+                config.block_threads,
+                config.registers_per_thread,
+                capacity,
+            ),
+            host_lb: problem.bound_fn().clone(),
+            fast_forward: config.fast_forward,
+            pipeline_depth: config.pipeline_depth,
+        }
+    }
+
+    /// Chunk size for a batch of `len` nodes.
+    ///
+    /// Chunks must keep every SM busy, or the per-SM block quantization of
+    /// the cost model (and of real hardware) inflates the summed kernel
+    /// time past what the overlap wins back. Batches that can fill the
+    /// device are therefore cut at full device waves — `SMs × block
+    /// threads` — which leaves the total compute identical to the
+    /// one-launch schedule; smaller batches fall back to `pipeline_depth`
+    /// equal chunks (the overlap is then relative to their own schedule).
+    fn chunk_for(&self, len: usize) -> usize {
+        let spec = self.engine.device().spec();
+        let wave = (spec.multiprocessors * self.engine.block_threads()).max(1);
+        if len >= wave {
+            wave
+        } else {
+            len.div_ceil(self.pipeline_depth).max(1)
+        }
+    }
+}
+
+impl BoundingBackend for PipelinedGpuBackend {
+    fn name(&self) -> &'static str {
+        BackendKind::GpuPipelined.name()
+    }
+
+    fn bound_batch(&mut self, nodes: &[FspNode]) -> BackendBatch {
+        if nodes.is_empty() {
+            return BackendBatch {
+                bounds: Vec::new(),
+                accounting: BackendAccounting::default(),
+            };
+        }
+        let chunk = self.chunk_for(nodes.len());
+        let host = self.fast_forward.then_some(self.host_lb.as_ref());
+        let result = self.engine.bound_nodes_pipelined(nodes, chunk, host);
+        BackendBatch {
+            bounds: result.bounds,
+            accounting: BackendAccounting {
+                kernel_time: result.kernel_time,
+                transfer_time: result.transfer_time,
+                device_time: result.overlapped_time,
+                upload_bytes: result.upload_bytes as u64,
+                download_bytes: result.download_bytes as u64,
+                launches: result.chunks as u64,
+            },
+        }
+    }
+
+    fn max_batch(&self) -> Option<usize> {
+        Some(self.engine.max_pool())
+    }
+}
+
+/// Builds the backend `config.backend` selects, with the GPU engines sized
+/// for batches of up to `capacity` nodes.
+pub fn make_backend(
+    problem: &FspProblem<JohnsonLowerBound>,
+    config: &GpuSolverConfig,
+    capacity: usize,
+) -> Box<dyn BoundingBackend> {
+    match config.backend {
+        BackendKind::Sequential => Box::new(SequentialBackend::new(problem)),
+        BackendKind::Multicore => {
+            Box::new(MulticoreBackend::new(problem, config.multicore_threads))
+        }
+        BackendKind::Gpu => Box::new(GpuBackend::new(problem, config, capacity)),
+        BackendKind::GpuPipelined => Box::new(PipelinedGpuBackend::new(problem, config, capacity)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::DataPlacement;
+    use bb::frozen_pool;
+    use fsp::taillard::generate;
+
+    fn fixture(pool: usize) -> (FspProblem<JohnsonLowerBound>, Vec<FspNode>, GpuSolverConfig) {
+        let inst = generate("t", 12, 6, 2012);
+        let problem = FspProblem::new(inst);
+        let nodes = frozen_pool(&problem, pool).nodes;
+        let config = GpuSolverConfig {
+            pool_size: pool,
+            placement: DataPlacement::SharedJmPtm,
+            ..Default::default()
+        };
+        (problem, nodes, config)
+    }
+
+    #[test]
+    fn all_backends_return_identical_bounds() {
+        let (problem, nodes, base) = fixture(96);
+        let mut reference: Option<Vec<Time>> = None;
+        for kind in BackendKind::ALL {
+            let config = GpuSolverConfig {
+                backend: kind,
+                ..base.clone()
+            };
+            let mut backend = make_backend(&problem, &config, nodes.len());
+            let batch = backend.bound_batch(&nodes);
+            assert_eq!(batch.bounds.len(), nodes.len(), "{kind}");
+            match &reference {
+                None => reference = Some(batch.bounds),
+                Some(expected) => assert_eq!(&batch.bounds, expected, "{kind}"),
+            }
+        }
+    }
+
+    #[test]
+    fn backend_names_match_their_kind() {
+        let (problem, _, base) = fixture(16);
+        for kind in BackendKind::ALL {
+            let config = GpuSolverConfig {
+                backend: kind,
+                ..base.clone()
+            };
+            let backend = make_backend(&problem, &config, 16);
+            assert_eq!(backend.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn empty_batches_cost_nothing_everywhere() {
+        let (problem, _, base) = fixture(16);
+        for kind in BackendKind::ALL {
+            let config = GpuSolverConfig {
+                backend: kind,
+                ..base.clone()
+            };
+            let mut backend = make_backend(&problem, &config, 16);
+            let batch = backend.bound_batch(&[]);
+            assert!(batch.bounds.is_empty(), "{kind}");
+            assert_eq!(batch.accounting.device_time, Duration::ZERO, "{kind}");
+            assert_eq!(batch.accounting.launches, 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn pipelined_backend_overlaps_and_gpu_backend_does_not() {
+        let (problem, nodes, base) = fixture(128);
+        let gpu = {
+            let config = GpuSolverConfig {
+                backend: BackendKind::Gpu,
+                ..base.clone()
+            };
+            make_backend(&problem, &config, nodes.len()).bound_batch(&nodes)
+        };
+        let piped = {
+            let config = GpuSolverConfig {
+                backend: BackendKind::GpuPipelined,
+                pipeline_depth: 4,
+                ..base.clone()
+            };
+            make_backend(&problem, &config, nodes.len()).bound_batch(&nodes)
+        };
+        assert_eq!(gpu.bounds, piped.bounds);
+        let gpu_acc = gpu.accounting;
+        let piped_acc = piped.accounting;
+        assert_eq!(
+            gpu_acc.device_time,
+            gpu_acc.kernel_time + gpu_acc.transfer_time
+        );
+        assert!(
+            piped_acc.device_time < piped_acc.kernel_time + piped_acc.transfer_time,
+            "pipelined device time {:?} must beat its own serialized schedule {:?}",
+            piped_acc.device_time,
+            piped_acc.kernel_time + piped_acc.transfer_time
+        );
+        assert_eq!(piped_acc.launches, 4);
+    }
+
+    #[test]
+    fn cpu_backends_model_compute_but_no_transfers() {
+        let (problem, nodes, base) = fixture(64);
+        for kind in [BackendKind::Sequential, BackendKind::Multicore] {
+            let config = GpuSolverConfig {
+                backend: kind,
+                ..base.clone()
+            };
+            let mut backend = make_backend(&problem, &config, nodes.len());
+            let acc = backend.bound_batch(&nodes).accounting;
+            assert!(acc.kernel_time > Duration::ZERO, "{kind}");
+            assert_eq!(acc.transfer_time, Duration::ZERO, "{kind}");
+            assert_eq!(acc.upload_bytes, 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn multicore_backend_models_faster_bounding_than_sequential() {
+        let (problem, nodes, base) = fixture(64);
+        let seq = SequentialBackend::new(&problem).bound_batch(&nodes);
+        let mut mc = MulticoreBackend::new(&problem, base.multicore_threads);
+        assert_eq!(mc.threads(), base.multicore_threads);
+        let par = mc.bound_batch(&nodes);
+        assert_eq!(seq.bounds, par.bounds);
+        assert!(par.accounting.device_time < seq.accounting.device_time);
+    }
+}

@@ -7,6 +7,64 @@ use std::time::Duration;
 /// (`16×256` … `1024×256` threads).
 pub const PAPER_POOL_SIZES: [usize; 7] = [4096, 8192, 16384, 32768, 65536, 131072, 262144];
 
+/// Which [`crate::backend::BoundingBackend`] implementation a solver uses
+/// for the bounding operator. Every solver, the auto-tuner and the bench
+/// binaries select backends through this one enum instead of hard-wiring an
+/// engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Host reference bound, one node at a time (the serial baseline).
+    Sequential,
+    /// CPU thread-pool bounding (`multicore_bnb::ParallelBoundingPool`).
+    Multicore,
+    /// GPU off-load, one launch per batch (the paper's loop).
+    Gpu,
+    /// GPU off-load with double-buffered, stream-overlapped chunking.
+    GpuPipelined,
+}
+
+impl BackendKind {
+    /// Every selectable backend, in comparison order.
+    pub const ALL: [BackendKind; 4] = [
+        BackendKind::Sequential,
+        BackendKind::Multicore,
+        BackendKind::Gpu,
+        BackendKind::GpuPipelined,
+    ];
+
+    /// Stable name used in reports and on the command line.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Sequential => "seq",
+            BackendKind::Multicore => "multicore",
+            BackendKind::Gpu => "gpu",
+            BackendKind::GpuPipelined => "gpu-pipelined",
+        }
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "seq" | "sequential" => Ok(BackendKind::Sequential),
+            "multicore" | "mc" => Ok(BackendKind::Multicore),
+            "gpu" => Ok(BackendKind::Gpu),
+            "gpu-pipelined" | "pipelined" => Ok(BackendKind::GpuPipelined),
+            other => Err(format!(
+                "unknown backend `{other}` (expected seq, multicore, gpu or gpu-pipelined)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Configuration of a [`crate::solver::GpuBnbSolver`] run.
 #[derive(Debug, Clone)]
 pub struct GpuSolverConfig {
@@ -32,8 +90,16 @@ pub struct GpuSolverConfig {
     /// and the kernel timing is derived analytically (fast-forward mode —
     /// identical results and identical timing formulas, used for the
     /// paper-scale sweeps). `false`: every bound is computed by functionally
-    /// simulating the kernel thread by thread.
+    /// simulating the kernel thread by thread. Only meaningful for the GPU
+    /// backends.
     pub fast_forward: bool,
+    /// Which bounding backend the solver drives (see [`BackendKind`]).
+    pub backend: BackendKind,
+    /// Worker threads of the [`BackendKind::Multicore`] backend.
+    pub multicore_threads: usize,
+    /// Number of chunks the [`BackendKind::GpuPipelined`] backend splits
+    /// each batch into (the pipeline depth; ≥ 2 enables overlap).
+    pub pipeline_depth: usize,
 }
 
 impl Default for GpuSolverConfig {
@@ -47,6 +113,9 @@ impl Default for GpuSolverConfig {
             time_limit: None,
             use_initial_ub: true,
             fast_forward: false,
+            backend: BackendKind::Gpu,
+            multicore_threads: 4,
+            pipeline_depth: 4,
         }
     }
 }
@@ -96,6 +165,16 @@ mod tests {
             .map(|&p| GpuSolverConfig::all_global(p).grid_blocks())
             .collect();
         assert_eq!(blocks, vec![16, 32, 64, 128, 256, 512, 1024]);
+    }
+
+    #[test]
+    fn backend_kind_round_trips_through_names() {
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.name().parse::<BackendKind>().unwrap(), kind);
+        }
+        assert!("warp-drive".parse::<BackendKind>().is_err());
+        assert_eq!(GpuSolverConfig::default().backend, BackendKind::Gpu);
+        assert!(GpuSolverConfig::default().pipeline_depth >= 2);
     }
 
     #[test]

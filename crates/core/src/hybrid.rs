@@ -4,17 +4,29 @@
 //! bounding model with the multi-core parallel search tree exploration". This
 //! module implements that extension: several CPU worker threads share the
 //! pending pool and the incumbent, each accumulating its own batch of
-//! children and bounding it through the (single, shared) GPU engine.
+//! children — and the batches of every worker that is ready **ride one
+//! kernel launch together** instead of serializing on the engine lock.
+//!
+//! The multi-pool batching works through a launch coordinator: a worker
+//! enqueues its batch, then either becomes the launcher (drains every queued
+//! batch up to the backend capacity, bounds the combined pool in one call,
+//! distributes the bounds back) or, when another worker is already
+//! launching, simply waits for its bounds. The bounding itself goes through
+//! the [`BoundingBackend`] selected by the configuration, so the hybrid
+//! solver pairs multi-core exploration with any of the four backends —
+//! including the stream-pipelined GPU, which overlaps the combined pool's
+//! transfers with its kernels.
 
+use crate::backend::{make_backend, BoundingBackend};
 use crate::config::GpuSolverConfig;
-use crate::offload::BoundingEngine;
 use crate::stats::GpuRunStats;
 use bb::pool::Pool;
 use bb::stats::SolveStats;
 use bb::{BestFirstPool, FspNode, FspProblem, SharedUpperBound};
-use fsp::bound::counts::AccessCounts;
 use fsp::{Instance, Job, JohnsonLowerBound, Time};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -27,13 +39,118 @@ pub struct HybridOutcome {
     pub best_schedule: Option<Vec<Job>>,
     /// Node counters aggregated over all workers.
     pub stats: SolveStats,
-    /// Device accounting aggregated over all workers.
+    /// Device accounting aggregated over all launches. `iterations` counts
+    /// combined launches, so `average_pool()` exceeds the per-worker chunk
+    /// whenever batches actually rode together.
     pub gpu: GpuRunStats,
     /// Number of exploration threads used.
     pub workers: usize,
 }
 
-/// Hybrid solver: `workers` CPU threads explore the tree, the GPU bounds.
+/// Nodes travelling back to their worker with the bounds attached (the
+/// launcher owns the combined pool, so ownership round-trips instead of
+/// cloning).
+type BoundedBatch = (Vec<FspNode>, Vec<Time>);
+
+/// A batch a worker has submitted for bounding, with the channel its bounds
+/// travel back on.
+struct PendingBatch {
+    nodes: Vec<FspNode>,
+    done: Sender<BoundedBatch>,
+}
+
+/// Shares one bounding backend between the workers and merges their batches
+/// into combined launches.
+struct LaunchCoordinator<'a> {
+    queue: Mutex<VecDeque<PendingBatch>>,
+    backend: Mutex<Box<dyn BoundingBackend>>,
+    /// Largest combined pool one launch may carry.
+    capacity: usize,
+    gpu: &'a Mutex<GpuRunStats>,
+    jobs: usize,
+    machines: usize,
+}
+
+impl LaunchCoordinator<'_> {
+    /// Bounds `batch`, possibly riding other workers' pending batches in the
+    /// same launch. Returns the nodes (ownership travels through the queue)
+    /// with their bounds, in input order.
+    fn bound(&self, batch: Vec<FspNode>) -> BoundedBatch {
+        let (done, rx) = channel();
+        self.queue
+            .lock()
+            .unwrap()
+            .push_back(PendingBatch { nodes: batch, done });
+        loop {
+            // Another launcher may already have bounded our batch.
+            if let Ok(result) = rx.try_recv() {
+                return result;
+            }
+            // Park on the backend mutex (no spinning): either we become the
+            // launcher, or we wake when the current launcher — who may well
+            // have bounded our batch — releases it.
+            let mut backend = self.backend.lock().unwrap();
+            // We are the launcher: drain every pending batch that fits.
+            let taken = {
+                let mut queue = self.queue.lock().unwrap();
+                let mut taken: Vec<PendingBatch> = Vec::new();
+                let mut total = 0;
+                while let Some(front) = queue.front() {
+                    if !taken.is_empty() && total + front.nodes.len() > self.capacity {
+                        break;
+                    }
+                    let batch = queue.pop_front().expect("front exists");
+                    total += batch.nodes.len();
+                    taken.push(batch);
+                }
+                taken
+            };
+            if taken.is_empty() {
+                // The queue is empty, so some other launcher owns our batch
+                // and will deliver its bounds.
+                drop(backend);
+                return rx.recv().expect("the launcher delivers our bounds");
+            }
+
+            // One launch for every batch taken.
+            let mut parts: Vec<(usize, Sender<BoundedBatch>)> = Vec::with_capacity(taken.len());
+            let mut combined: Vec<FspNode> = Vec::new();
+            for batch in taken {
+                parts.push((batch.nodes.len(), batch.done));
+                combined.extend(batch.nodes);
+            }
+            let result = backend.bound_batch(&combined);
+            drop(backend);
+            let acc = result.accounting;
+            {
+                let mut g = self.gpu.lock().unwrap();
+                g.iterations += 1;
+                g.nodes_bounded += combined.len() as u64;
+                g.kernel_time += acc.kernel_time;
+                g.transfer_time += acc.transfer_time;
+                g.overlapped_time += acc.device_time;
+                g.upload_bytes += acc.upload_bytes;
+                g.download_bytes += acc.download_bytes;
+                g.serial_accesses +=
+                    crate::backend::serial_accesses(self.jobs, self.machines, &combined);
+            }
+
+            // Hand every batch its slice of nodes and bounds back.
+            let mut nodes = combined.into_iter();
+            let mut bounds = result.bounds.into_iter();
+            for (len, done) in parts {
+                let part_nodes: Vec<FspNode> = nodes.by_ref().take(len).collect();
+                let part_bounds: Vec<Time> = bounds.by_ref().take(len).collect();
+                // A worker that hit its node budget may have gone; its
+                // bounds are then simply dropped.
+                let _ = done.send((part_nodes, part_bounds));
+            }
+        }
+    }
+}
+
+/// Hybrid solver: `workers` CPU threads explore the tree, the configured
+/// backend bounds their combined batches.
 pub struct HybridSolver {
     problem: FspProblem<JohnsonLowerBound>,
     config: GpuSolverConfig,
@@ -93,27 +210,29 @@ impl HybridSolver {
             }
         }
 
-        let engine = Mutex::new(BoundingEngine::new(
-            self.problem.bound_fn().data(),
-            self.config.placement.clone(),
-            self.config.block_threads,
-            self.config.registers_per_thread,
-            self.config.pool_size + n,
-        ));
+        let gpu = Mutex::new(GpuRunStats::default());
+        // Sized so that one launch can carry every worker's batch at once.
+        let capacity = self.config.pool_size + self.workers * n;
+        let coordinator = LaunchCoordinator {
+            queue: Mutex::new(VecDeque::new()),
+            backend: Mutex::new(make_backend(&self.problem, &self.config, capacity)),
+            capacity,
+            gpu: &gpu,
+            jobs: n,
+            machines: m,
+        };
 
-        // Per-worker chunk: the GPU pool is filled cooperatively.
+        // Per-worker chunk: the combined pool is filled cooperatively.
         let chunk_target = (self.config.pool_size / self.workers).max(1);
         let busy_workers = AtomicUsize::new(0);
         let node_budget = self.config.node_limit.unwrap_or(u64::MAX);
         let bounded_so_far = AtomicUsize::new(0);
 
         let stats = Mutex::new(SolveStats::default());
-        let gpu = Mutex::new(GpuRunStats::default());
 
         std::thread::scope(|scope| {
             for _ in 0..self.workers {
                 scope.spawn(|| {
-                    let host_lb = self.problem.bound_fn().clone();
                     loop {
                         if bounded_so_far.load(Ordering::Relaxed) as u64 >= node_budget {
                             break;
@@ -149,37 +268,14 @@ impl HybridSolver {
                             continue;
                         }
 
-                        // Bounding through the shared GPU engine.
-                        let result = {
-                            let mut engine = engine.lock().unwrap();
-                            if self.config.fast_forward {
-                                engine.bound_nodes_fast(&batch, &host_lb)
-                            } else {
-                                engine.bound_nodes(&batch)
-                            }
-                        };
-                        bounded_so_far.fetch_add(batch.len(), Ordering::Relaxed);
-
-                        {
-                            let mut g = gpu.lock().unwrap();
-                            g.iterations += 1;
-                            g.nodes_bounded += batch.len() as u64;
-                            g.kernel_time += result.kernel.duration;
-                            g.transfer_time += result.transfer_time;
-                            g.upload_bytes += result.upload_bytes as u64;
-                            g.download_bytes += result.download_bytes as u64;
-                            for node in &batch {
-                                let np = n - node.depth();
-                                if np > 0 {
-                                    g.serial_accesses +=
-                                        AccessCounts::impl_expected(n, m, np).total();
-                                }
-                            }
-                        }
+                        // Bounding: ride the combined launch (device-side
+                        // accounting happens in the coordinator).
+                        let (children, bounds) = coordinator.bound(batch);
+                        bounded_so_far.fetch_add(children.len(), Ordering::Relaxed);
 
                         // Elimination + incumbent updates.
                         let mut survivors = Vec::new();
-                        for (mut child, bound) in batch.into_iter().zip(result.bounds) {
+                        for (mut child, bound) in children.into_iter().zip(bounds) {
                             child.set_bound(bound);
                             local_stats.bounded += 1;
                             if self.problem.is_leaf(&child) {
@@ -234,6 +330,7 @@ impl HybridSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::BackendKind;
     use crate::placement::DataPlacement;
     use fsp::brute::brute_force_optimal;
     use fsp::taillard::generate;
@@ -274,6 +371,35 @@ mod tests {
         let gpu = crate::solver::GpuBnbSolver::new(inst.clone(), config(32)).solve();
         let hybrid = HybridSolver::new(inst, config(32), 3).solve();
         assert_eq!(gpu.best_makespan, hybrid.best_makespan);
+    }
+
+    #[test]
+    fn hybrid_works_with_every_backend_kind() {
+        let inst = generate("t", 8, 4, 23);
+        let (_, expected) = brute_force_optimal(&inst);
+        for kind in BackendKind::ALL {
+            let cfg = GpuSolverConfig {
+                backend: kind,
+                ..config(24)
+            };
+            let outcome = HybridSolver::new(inst.clone(), cfg, 3).solve();
+            assert_eq!(outcome.best_makespan, expected, "{kind}");
+            assert_eq!(outcome.gpu.nodes_bounded, outcome.stats.bounded, "{kind}");
+        }
+    }
+
+    #[test]
+    fn combined_launches_cover_every_bounded_node() {
+        // Whatever the interleaving, the coordinator's accounting must see
+        // exactly the nodes the workers bounded, and every launch carries at
+        // least one batch.
+        let inst = generate("t", 10, 6, 31);
+        let mut cfg = config(64);
+        cfg.node_limit = Some(2_000);
+        let outcome = HybridSolver::new(inst, cfg, 4).solve();
+        assert_eq!(outcome.gpu.nodes_bounded, outcome.stats.bounded);
+        assert!(outcome.gpu.iterations >= 1);
+        assert!(outcome.gpu.average_pool() >= 1.0);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! maps the six bound matrices onto the device memory hierarchy.
 
 pub mod autotune;
+pub mod backend;
 pub mod config;
 pub mod hybrid;
 pub mod kernel_lb;
@@ -14,9 +15,13 @@ pub mod placement;
 pub mod solver;
 pub mod stats;
 
-pub use config::GpuSolverConfig;
+pub use backend::{
+    make_backend, BackendAccounting, BackendBatch, BoundingBackend, GpuBackend, MulticoreBackend,
+    PipelinedGpuBackend, SequentialBackend,
+};
+pub use config::{BackendKind, GpuSolverConfig};
 pub use kernel_lb::LowerBoundKernel;
-pub use offload::BoundingEngine;
+pub use offload::{BoundingEngine, PipelinedBoundingResult};
 pub use placement::DataPlacement;
 pub use solver::{GpuBnbSolver, GpuSolveOutcome};
 pub use stats::GpuRunStats;

@@ -9,7 +9,9 @@ use fsp::bound::counts::AccessCounts;
 use fsp::{BoundData, BoundScratch, JohnsonLowerBound, Time};
 use gpu_sim::host::BufferKind;
 use gpu_sim::thread::AccessTally;
-use gpu_sim::{AnalyticWorkload, Device, DeviceBuffer, KernelTiming, LaunchConfig, LaunchStats};
+use gpu_sim::{
+    AnalyticWorkload, Device, DeviceBuffer, KernelTiming, LaunchConfig, LaunchStats, Timeline,
+};
 use std::time::Duration;
 
 /// Result of bounding one off-loaded pool.
@@ -36,6 +38,45 @@ impl BoundingResult {
     }
 }
 
+/// Result of bounding one batch through the stream-overlapped pipeline
+/// ([`BoundingEngine::bound_nodes_pipelined`]).
+///
+/// The batch is split into chunks; each chunk's encode, upload, kernel and
+/// download are enqueued on four streams with event dependencies, so the
+/// modelled wall time (`overlapped_time`, the timeline makespan) approaches
+/// `max(kernel, transfer)` per chunk at steady state instead of their sum.
+#[derive(Debug, Clone)]
+pub struct PipelinedBoundingResult {
+    /// Lower bound of every node, in input order.
+    pub bounds: Vec<Time>,
+    /// Summed kernel time over all chunks (what a serialized schedule pays
+    /// in compute).
+    pub kernel_time: Duration,
+    /// Summed PCIe transfer time over all chunks.
+    pub transfer_time: Duration,
+    /// Makespan of the overlapped schedule — the modelled wall time of the
+    /// whole batch. Strictly less than `kernel_time + transfer_time`
+    /// whenever the batch spans more than one chunk.
+    pub overlapped_time: Duration,
+    /// Bytes shipped host→device.
+    pub upload_bytes: usize,
+    /// Bytes shipped device→host.
+    pub download_bytes: usize,
+    /// Number of chunks (kernel launches) the batch was split into.
+    pub chunks: usize,
+    /// The event timeline of the schedule (inspectable in tests and
+    /// reports).
+    pub timeline: Timeline,
+}
+
+impl PipelinedBoundingResult {
+    /// Kernel + transfer summed — what the same batch costs without
+    /// overlap; the gap to [`Self::overlapped_time`] is the pipeline win.
+    pub fn serialized_device_time(&self) -> Duration {
+        self.kernel_time + self.transfer_time
+    }
+}
+
 /// Owns the simulated device, the six matrix buffers and the per-iteration
 /// pool/output buffers, and runs the bounding kernel over pools of nodes.
 pub struct BoundingEngine {
@@ -56,9 +97,12 @@ pub struct BoundingEngine {
     mm: DeviceBuffer,
     pool_buf: DeviceBuffer,
     out_buf: DeviceBuffer,
-    /// Reusable staging buffer for the flat pool encoding (grown once to the
-    /// engine's capacity, reused by every [`BoundingEngine::bound_nodes`]).
-    encode_buf: Vec<u32>,
+    /// Two reusable staging buffers for the flat pool encoding.
+    /// [`BoundingEngine::bound_nodes`] uses slot 0 only;
+    /// [`BoundingEngine::bound_nodes_pipelined`] alternates slots so chunk
+    /// *k+1* is encoded while chunk *k* is modelled in flight (the classic
+    /// double-buffered pipeline).
+    encode_bufs: [Vec<u32>; 2],
     /// Per-engine scratch for the host-side reference bound (fast-forward
     /// mode bounds whole pools without a single allocation).
     scratch: BoundScratch,
@@ -153,7 +197,7 @@ impl BoundingEngine {
             mm,
             pool_buf,
             out_buf,
-            encode_buf: Vec::new(),
+            encode_bufs: [Vec::new(), Vec::new()],
             scratch: BoundScratch::new(),
         }
     }
@@ -176,6 +220,11 @@ impl BoundingEngine {
     /// Largest pool this engine can bound in one launch.
     pub fn max_pool(&self) -> usize {
         self.max_pool
+    }
+
+    /// Threads per block this engine launches with.
+    pub fn block_threads(&self) -> usize {
+        self.block_threads
     }
 
     /// Shared-memory bytes per block required by the placement.
@@ -215,9 +264,9 @@ impl BoundingEngine {
     }
 
     /// Encodes `nodes` into the flat pool layout read by the kernel, staged
-    /// in the engine's reusable buffer.
-    fn encode(&mut self, nodes: &[FspNode]) {
-        let flat = &mut self.encode_buf;
+    /// in the engine's reusable buffer `slot`.
+    fn encode(&mut self, nodes: &[FspNode], slot: usize) {
+        let flat = &mut self.encode_bufs[slot];
         flat.clear();
         flat.resize(nodes.len() * self.node_stride, 0);
         for (i, node) in nodes.iter().enumerate() {
@@ -263,8 +312,8 @@ impl BoundingEngine {
         if nodes.is_empty() {
             return self.empty_result();
         }
-        self.encode(nodes);
-        self.device.upload(self.pool_buf, &self.encode_buf);
+        self.encode(nodes, 0);
+        self.device.upload(self.pool_buf, &self.encode_bufs[0]);
         let config = self.launch_config(nodes.len());
         let kernel = self.kernel(nodes.len());
         let result = self.device.launch(&kernel, &config);
@@ -309,6 +358,130 @@ impl BoundingEngine {
         let config = self.launch_config(nodes.len());
         let result = self.device.launch_analytic(&workload, &config);
         self.finish(nodes, bounds, result.timing, result.stats)
+    }
+
+    /// Bounds `nodes` through the double-buffered, stream-overlapped
+    /// pipeline: the batch is split into chunks of `chunk_size`, and each
+    /// chunk's encode → upload → kernel → download is enqueued on the four
+    /// standard streams ([`Device::timeline`]) with event dependencies, so
+    /// the next chunk is encoded and uploaded while the previous one is
+    /// modelled in flight. Bounds are exact and identical to
+    /// [`BoundingEngine::bound_nodes`]; the modelled wall time is the
+    /// timeline makespan instead of the serialized sum.
+    ///
+    /// With `host_bound` supplied the bounds come from the host reference
+    /// and the kernel timing is analytic (fast-forward mode) — results and
+    /// modelled times match the functional path exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero or exceeds the engine's pool capacity.
+    pub fn bound_nodes_pipelined(
+        &mut self,
+        nodes: &[FspNode],
+        chunk_size: usize,
+        host_bound: Option<&JohnsonLowerBound>,
+    ) -> PipelinedBoundingResult {
+        assert!(chunk_size > 0, "the pipeline needs a positive chunk size");
+        assert!(
+            chunk_size <= self.max_pool,
+            "chunk of {} exceeds engine capacity {}",
+            chunk_size,
+            self.max_pool
+        );
+        let (mut timeline, streams) = self.device.timeline();
+        let mut bounds: Vec<Time> = Vec::with_capacity(nodes.len());
+        let mut kernel_time = Duration::ZERO;
+        let mut transfer_time = Duration::ZERO;
+        let mut upload_total = 0usize;
+        let mut download_total = 0usize;
+
+        let chunks: Vec<&[FspNode]> = nodes.chunks(chunk_size).collect();
+        let functional = host_bound.is_none();
+
+        // Host pool encoding is *not* priced into the modelled device time —
+        // neither here nor in the one-launch paths — so the overlapped and
+        // serialized figures compare like for like. The encode events are
+        // still recorded (zero-duration, on the host stream) because the
+        // upload of chunk k must order after its staging; the alternating
+        // `encode_bufs` slots are the double buffer a real implementation
+        // overlaps with the in-flight chunk.
+        let mut encode_events = Vec::with_capacity(chunks.len());
+        if let Some(first) = chunks.first() {
+            if functional {
+                self.encode(first, 0);
+            }
+            encode_events.push(timeline.record(streams.host, Duration::ZERO, &[]));
+        }
+
+        for (k, chunk) in chunks.iter().enumerate() {
+            let slot = k % 2;
+
+            // H2D copy of the staged encoding (waits for its encode).
+            let up_bytes = self.upload_bytes(chunk);
+            let up_dur = self.device.htod_time(up_bytes);
+            if functional {
+                self.device.upload(self.pool_buf, &self.encode_bufs[slot]);
+            }
+            let up_ev = timeline.record(streams.h2d, up_dur, &[encode_events[k]]);
+            upload_total += up_bytes;
+            transfer_time += up_dur;
+
+            // Kernel over the chunk (waits for its upload).
+            let config = self.launch_config(chunk.len());
+            let launch = match host_bound {
+                None => {
+                    let kernel = self.kernel(chunk.len());
+                    self.device.launch(&kernel, &config)
+                }
+                Some(lb) => {
+                    for node in *chunk {
+                        bounds.push(lb.bound_prefix_fn_with(
+                            &mut self.scratch,
+                            node.front(),
+                            |j| node.is_scheduled(j),
+                        ));
+                    }
+                    let workload = AnalyticWorkload {
+                        tally: self.analytic_tally(chunk),
+                        total_threads: chunk.len(),
+                    };
+                    self.device.launch_analytic(&workload, &config)
+                }
+            };
+            let kernel_ev = timeline.record(streams.compute, launch.timing.duration, &[up_ev]);
+            kernel_time += launch.timing.duration;
+
+            // Double buffering: encode chunk k+1 into the other slot while
+            // chunk k is modelled in flight (no dependency on the device).
+            if let Some(next) = chunks.get(k + 1) {
+                if functional {
+                    self.encode(next, (k + 1) % 2);
+                }
+                encode_events.push(timeline.record(streams.host, Duration::ZERO, &[]));
+            }
+
+            // D2H copy of the chunk's bounds (waits for its kernel).
+            let down_bytes = chunk.len() * 4;
+            let down_dur = self.device.htod_time(down_bytes);
+            timeline.record(streams.d2h, down_dur, &[kernel_ev]);
+            download_total += down_bytes;
+            transfer_time += down_dur;
+            if functional {
+                bounds.extend_from_slice(self.device.download_prefix(self.out_buf, chunk.len()));
+            }
+        }
+
+        PipelinedBoundingResult {
+            bounds,
+            kernel_time,
+            transfer_time,
+            overlapped_time: timeline.makespan(),
+            upload_bytes: upload_total,
+            download_bytes: download_total,
+            chunks: chunks.len(),
+            timeline,
+        }
     }
 
     /// The exact per-space access tally the kernel produces for `nodes`,
@@ -531,6 +704,89 @@ mod tests {
         let (mut engine, _) = engine_for(&inst, DataPlacement::AllGlobal, 4);
         let nodes: Vec<FspNode> = (0..8).map(|j| FspNode::from_prefix(&inst, &[j])).collect();
         engine.bound_nodes(&nodes);
+    }
+
+    #[test]
+    fn pipelined_bounds_match_the_unpipelined_path() {
+        let inst = generate("t", 12, 6, 421);
+        let nodes = some_nodes(&inst, 60);
+        let (mut engine, _) = engine_for(&inst, DataPlacement::SharedJmPtm, 64);
+        let reference = engine.bound_nodes(&nodes).bounds;
+        for chunk in [1, 7, 16, 60, 64] {
+            let piped = engine.bound_nodes_pipelined(&nodes, chunk, None);
+            assert_eq!(piped.bounds, reference, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn pipelined_fast_forward_matches_functional_bounds_and_timing() {
+        let inst = generate("t", 10, 6, 5);
+        let (mut engine, lb) = engine_for(&inst, DataPlacement::SharedJmPtm, 64);
+        let nodes = some_nodes(&inst, 48);
+        let functional = engine.bound_nodes_pipelined(&nodes, 12, None);
+        let fast = engine.bound_nodes_pipelined(&nodes, 12, Some(&lb));
+        assert_eq!(functional.bounds, fast.bounds);
+        assert_eq!(functional.kernel_time, fast.kernel_time);
+        assert_eq!(functional.transfer_time, fast.transfer_time);
+        assert_eq!(functional.overlapped_time, fast.overlapped_time);
+        assert_eq!(functional.chunks, fast.chunks);
+    }
+
+    #[test]
+    fn pipelining_beats_the_serialized_schedule() {
+        let inst = generate("t", 14, 8, 29);
+        let (mut engine, _) = engine_for(&inst, DataPlacement::SharedJmPtm, 128);
+        let nodes = some_nodes(&inst, 128);
+        let piped = engine.bound_nodes_pipelined(&nodes, 32, None);
+        assert_eq!(piped.chunks, 4);
+        assert!(
+            piped.overlapped_time < piped.serialized_device_time(),
+            "overlapped {:?} must beat serialized {:?}",
+            piped.overlapped_time,
+            piped.serialized_device_time()
+        );
+        // A single chunk cannot overlap anything: the makespan is the full
+        // dependency chain.
+        let single = engine.bound_nodes_pipelined(&nodes, 128, None);
+        assert_eq!(single.chunks, 1);
+        assert!(single.overlapped_time >= single.serialized_device_time());
+    }
+
+    #[test]
+    fn pipelined_aggregate_accounting_matches_unpipelined_totals() {
+        // Chunking changes the schedule, not the work: summed kernel time,
+        // bytes and bounds must match the one-launch path's totals modulo
+        // per-launch fixed overhead (each extra launch pays its own overhead
+        // and transfer latency, so the sums are at least the one-shot
+        // figures).
+        let inst = generate("t", 11, 5, 77);
+        let (mut engine, _) = engine_for(&inst, DataPlacement::AllGlobal, 96);
+        let nodes = some_nodes(&inst, 96);
+        let one = engine.bound_nodes(&nodes);
+        let piped = engine.bound_nodes_pipelined(&nodes, 24, None);
+        assert_eq!(piped.upload_bytes, one.upload_bytes);
+        assert_eq!(piped.download_bytes, one.download_bytes);
+        assert!(piped.kernel_time >= one.kernel.duration);
+        assert!(piped.transfer_time >= one.transfer_time);
+    }
+
+    #[test]
+    fn pipelined_empty_pool_is_a_no_op() {
+        let inst = generate("t", 8, 4, 2);
+        let (mut engine, _) = engine_for(&inst, DataPlacement::AllGlobal, 8);
+        let result = engine.bound_nodes_pipelined(&[], 4, None);
+        assert!(result.bounds.is_empty());
+        assert_eq!(result.chunks, 0);
+        assert_eq!(result.overlapped_time, Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds engine capacity")]
+    fn pipelined_oversized_chunk_panics() {
+        let inst = generate("t", 8, 4, 2);
+        let (mut engine, _) = engine_for(&inst, DataPlacement::AllGlobal, 4);
+        let nodes = some_nodes(&inst, 4);
+        engine.bound_nodes_pipelined(&nodes, 8, None);
     }
 
     #[test]

@@ -6,15 +6,14 @@
 //! (simulated) GPU, where one thread evaluates the lower bound of one
 //! sub-problem; the bounds come back and drive pruning and the incumbent.
 
+use crate::backend::make_backend;
 use crate::config::GpuSolverConfig;
-use crate::offload::BoundingEngine;
 use crate::placement::MatrixId;
 use crate::stats::GpuRunStats;
 use bb::pool::Pool;
 use bb::solver::StopReason;
 use bb::stats::SolveStats;
 use bb::{BestFirstPool, FspNode, FspProblem, SharedUpperBound};
-use fsp::bound::counts::AccessCounts;
 use fsp::{Instance, Job, JohnsonLowerBound, Time};
 use gpu_sim::HostModel;
 use std::time::Instant;
@@ -122,16 +121,9 @@ impl GpuBnbSolver {
             None => SharedUpperBound::unbounded(),
         };
 
-        // Device engine sized for one pool plus the children of the last
-        // decomposed node.
-        let mut engine = BoundingEngine::new(
-            self.problem.bound_fn().data(),
-            self.config.placement.clone(),
-            self.config.block_threads,
-            self.config.registers_per_thread,
-            self.config.pool_size + n,
-        );
-        let host_lb = self.problem.bound_fn().clone();
+        // Bounding backend (selected by `config.backend`) sized for one pool
+        // plus the children of the last decomposed node.
+        let mut backend = make_backend(&self.problem, &self.config, self.config.pool_size + n);
 
         let mut pool = BestFirstPool::new();
         for node in initial_nodes {
@@ -174,27 +166,17 @@ impl GpuBnbSolver {
                 continue;
             }
 
-            // Bounding on the GPU.
-            let result = if self.config.fast_forward {
-                engine.bound_nodes_fast(&batch, &host_lb)
-            } else {
-                engine.bound_nodes(&batch)
-            };
+            // Bounding through the selected backend.
+            let result = backend.bound_batch(&batch);
+            let acc = result.accounting;
             gpu.iterations += 1;
             gpu.nodes_bounded += batch.len() as u64;
-            gpu.kernel_time += result.kernel.duration;
-            gpu.transfer_time += result.transfer_time;
-            gpu.upload_bytes += result.upload_bytes as u64;
-            gpu.download_bytes += result.download_bytes as u64;
-            for node in &batch {
-                let np = n - node.depth();
-                let counts = if np == 0 {
-                    AccessCounts::default()
-                } else {
-                    AccessCounts::impl_expected(n, m, np)
-                };
-                gpu.serial_accesses += counts.total();
-            }
+            gpu.kernel_time += acc.kernel_time;
+            gpu.transfer_time += acc.transfer_time;
+            gpu.overlapped_time += acc.device_time;
+            gpu.upload_bytes += acc.upload_bytes;
+            gpu.download_bytes += acc.download_bytes;
+            gpu.serial_accesses += crate::backend::serial_accesses(n, m, &batch);
 
             // Elimination on the CPU.
             for (mut child, bound) in batch.into_iter().zip(result.bounds) {
@@ -347,6 +329,63 @@ mod tests {
         assert!(outcome.gpu.serial_accesses > 0);
         let speedup = outcome.speedup(&HostModel::default(), footprint);
         assert!(speedup > 1.0, "expected a speedup, got {speedup}");
+    }
+
+    #[test]
+    fn every_backend_kind_reaches_the_same_optimum() {
+        let inst = generate("t", 8, 4, 77);
+        let (_, expected) = brute_force_optimal(&inst);
+        for kind in crate::config::BackendKind::ALL {
+            let cfg = GpuSolverConfig {
+                pool_size: 32,
+                backend: kind,
+                fast_forward: true,
+                ..Default::default()
+            };
+            let outcome = GpuBnbSolver::new(inst.clone(), cfg).solve();
+            assert!(outcome.is_optimal(), "{kind}");
+            assert_eq!(outcome.best_makespan, expected, "{kind}");
+        }
+    }
+
+    #[test]
+    fn pipelined_backend_overlaps_the_device_schedule() {
+        let inst = generate("t", 12, 10, 5);
+        let base = GpuSolverConfig {
+            pool_size: 256,
+            node_limit: Some(3_000),
+            fast_forward: true,
+            ..Default::default()
+        };
+        let serial = GpuBnbSolver::new(
+            inst.clone(),
+            GpuSolverConfig {
+                backend: crate::config::BackendKind::Gpu,
+                ..base.clone()
+            },
+        )
+        .solve();
+        let piped = GpuBnbSolver::new(
+            inst,
+            GpuSolverConfig {
+                backend: crate::config::BackendKind::GpuPipelined,
+                ..base
+            },
+        )
+        .solve();
+        // Same exploration (bounds are identical), overlapped schedule.
+        assert_eq!(serial.best_makespan, piped.best_makespan);
+        assert_eq!(serial.stats.bounded, piped.stats.bounded);
+        assert_eq!(
+            serial.gpu.overlapped_time,
+            serial.gpu.kernel_time + serial.gpu.transfer_time
+        );
+        assert!(
+            piped.gpu.overlapped_time < piped.gpu.kernel_time + piped.gpu.transfer_time,
+            "pipelined schedule {:?} must beat the serialized {:?}",
+            piped.gpu.overlapped_time,
+            piped.gpu.kernel_time + piped.gpu.transfer_time
+        );
     }
 
     #[test]

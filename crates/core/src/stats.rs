@@ -21,6 +21,11 @@ pub struct GpuRunStats {
     pub kernel_time: Duration,
     /// Modelled PCIe transfer time, summed over iterations.
     pub transfer_time: Duration,
+    /// Modelled wall time of the device schedule, summed over iterations.
+    /// Equal to `kernel_time + transfer_time` for unpipelined backends;
+    /// strictly smaller when H2D / kernel / D2H overlap on streams. Zero
+    /// means "not tracked" (legacy accounting) and falls back to the sum.
+    pub overlapped_time: Duration,
     /// Bytes shipped host→device.
     pub upload_bytes: u64,
     /// Bytes shipped device→host.
@@ -41,10 +46,21 @@ impl GpuRunStats {
         )
     }
 
-    /// Modelled total time of the GPU-accelerated run: kernels + transfers +
-    /// host-side operators.
+    /// Modelled total time of the GPU-accelerated run: the device schedule
+    /// (overlapped when the backend pipelines, kernels + transfers
+    /// otherwise) plus the host-side operators.
     pub fn modeled_gpu_time(&self, host: &HostModel) -> Duration {
-        self.kernel_time + self.transfer_time + self.host_ops_time(host)
+        self.device_schedule_time() + self.host_ops_time(host)
+    }
+
+    /// Modelled wall time of the device schedule alone: the overlapped
+    /// figure when tracked, the serialized kernel + transfer sum otherwise.
+    pub fn device_schedule_time(&self) -> Duration {
+        if self.overlapped_time.is_zero() {
+            self.kernel_time + self.transfer_time
+        } else {
+            self.overlapped_time
+        }
     }
 
     /// Modelled time a single CPU core would need to bound the same
@@ -107,6 +123,7 @@ mod tests {
             nodes_bounded: 10_000,
             kernel_time: Duration::from_millis(50),
             transfer_time: Duration::from_millis(5),
+            overlapped_time: Duration::ZERO,
             upload_bytes: 1_000_000,
             download_bytes: 40_000,
             serial_accesses: 150_000_000,
@@ -132,6 +149,20 @@ mod tests {
             / s.modeled_gpu_time(&host).as_secs_f64();
         assert!((speedup - expected).abs() < 1e-12);
         assert!(speedup > 1.0, "this workload should favour the GPU");
+    }
+
+    #[test]
+    fn overlapped_time_shrinks_the_modeled_gpu_time() {
+        let host = HostModel::default();
+        let mut s = sample();
+        let serialized = s.modeled_gpu_time(&host);
+        assert_eq!(s.device_schedule_time(), s.kernel_time + s.transfer_time);
+        // A pipelined backend reports an overlapped schedule shorter than
+        // the kernel + transfer sum; the modelled total must follow it.
+        s.overlapped_time = Duration::from_millis(51);
+        assert_eq!(s.device_schedule_time(), Duration::from_millis(51));
+        assert!(s.modeled_gpu_time(&host) < serialized);
+        assert!(s.speedup(&host, 64 * 1024) > sample().speedup(&host, 64 * 1024));
     }
 
     #[test]

@@ -230,6 +230,16 @@ impl Device {
         self.transfer.round_trip(up_bytes, down_bytes)
     }
 
+    /// A fresh event timeline with the four standard queues of a pipelined
+    /// off-load loop (host encoding, H2D copies, kernels, D2H copies).
+    /// Operations on different streams overlap unless ordered by an explicit
+    /// event dependency — see [`crate::stream`].
+    pub fn timeline(&self) -> (crate::stream::Timeline, crate::stream::DeviceStreams) {
+        let mut timeline = crate::stream::Timeline::new();
+        let streams = crate::stream::DeviceStreams::on(&mut timeline);
+        (timeline, streams)
+    }
+
     /// Runs `kernel` over the grid described by `config`, returning the
     /// functional statistics and the timing estimate.
     ///

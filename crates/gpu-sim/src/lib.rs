@@ -30,6 +30,7 @@ pub mod host;
 pub mod kernel;
 pub mod memory;
 pub mod occupancy;
+pub mod stream;
 pub mod thread;
 pub mod timing;
 pub mod transfer;
@@ -41,6 +42,7 @@ pub use host::{Device, DeviceBuffer};
 pub use kernel::{Kernel, LaunchConfig};
 pub use memory::{MemorySpace, SharedMemoryConfig};
 pub use occupancy::Occupancy;
+pub use stream::{DeviceStreams, EventId, StreamId, Timeline};
 pub use thread::{ThreadCtx, ThreadId};
 pub use timing::{CostModel, HostModel};
 pub use transfer::TransferModel;

@@ -1,0 +1,313 @@
+//! CUDA-style streams and an event timeline for modelling overlapped
+//! execution.
+//!
+//! The paper's off-load loop pays `encode + upload + kernel + download` on the
+//! critical path of every iteration because everything runs on one implicit
+//! stream. Real CUDA programs split the iteration across streams — host
+//! encoding, host→device copies, kernel execution and device→host copies each
+//! on their own queue — so that pool *k+1* is encoded and uploaded while pool
+//! *k* is still being bounded, and the steady-state cost per iteration drops
+//! to `max(kernel, transfer)` plus a pipeline fill/drain epsilon.
+//!
+//! This module models that schedule explicitly. A [`Timeline`] holds a set of
+//! [`StreamId`]s (FIFO queues) and records [`EventId`]s: each recorded
+//! operation starts no earlier than (a) the completion of the previous
+//! operation on its own stream and (b) the completion of every dependency,
+//! exactly the semantics of `cudaStreamWaitEvent`. The timeline's
+//! [`Timeline::makespan`] is the modelled wall time of the whole schedule.
+//!
+//! The invariant that matters — dependent operations never reorder, however
+//! the streams interleave — is enforced by construction and asserted by the
+//! property tests below.
+
+use std::time::Duration;
+
+/// Identifies a stream (an in-order execution queue) within a [`Timeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(usize);
+
+impl StreamId {
+    /// Position of the stream in its timeline (creation order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifies a recorded operation within a [`Timeline`] (a CUDA event
+/// recorded right after the operation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(usize);
+
+/// One scheduled operation: where it ran and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// The stream the operation was enqueued on.
+    pub stream: StreamId,
+    /// Modelled start time, relative to the timeline origin.
+    pub start: Duration,
+    /// Modelled completion time.
+    pub end: Duration,
+}
+
+impl TimelineEvent {
+    /// Duration of the operation.
+    pub fn duration(&self) -> Duration {
+        self.end - self.start
+    }
+}
+
+/// An event timeline over a set of streams.
+///
+/// Operations recorded on the same stream execute in FIFO order; operations
+/// on different streams overlap freely unless ordered by an explicit
+/// dependency.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Completion time of the last operation enqueued on each stream.
+    stream_heads: Vec<Duration>,
+    events: Vec<TimelineEvent>,
+}
+
+impl Timeline {
+    /// An empty timeline with no streams.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a stream (an independent in-order queue).
+    pub fn add_stream(&mut self) -> StreamId {
+        self.stream_heads.push(Duration::ZERO);
+        StreamId(self.stream_heads.len() - 1)
+    }
+
+    /// Number of streams.
+    pub fn streams(&self) -> usize {
+        self.stream_heads.len()
+    }
+
+    /// Enqueues an operation of `duration` on `stream`, starting only after
+    /// every event in `deps` has completed (and after the stream's previous
+    /// operation — streams are FIFO). Returns the event recorded at its
+    /// completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` or any dependency does not belong to this timeline.
+    pub fn record(&mut self, stream: StreamId, duration: Duration, deps: &[EventId]) -> EventId {
+        let mut start = self.stream_heads[stream.0];
+        for dep in deps {
+            start = start.max(self.events[dep.0].end);
+        }
+        let end = start + duration;
+        self.stream_heads[stream.0] = end;
+        self.events.push(TimelineEvent { stream, start, end });
+        EventId(self.events.len() - 1)
+    }
+
+    /// The recorded operation behind an event.
+    pub fn event(&self, id: EventId) -> TimelineEvent {
+        self.events[id.0]
+    }
+
+    /// Every recorded operation, in recording order.
+    pub fn events(&self) -> impl Iterator<Item = &TimelineEvent> {
+        self.events.iter()
+    }
+
+    /// Completion time of an event.
+    pub fn completion(&self, id: EventId) -> Duration {
+        self.events[id.0].end
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Completion time of the whole schedule (zero when empty).
+    pub fn makespan(&self) -> Duration {
+        self.events
+            .iter()
+            .map(|e| e.end)
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Total busy time of one stream (sum of its operation durations).
+    pub fn busy(&self, stream: StreamId) -> Duration {
+        self.events
+            .iter()
+            .filter(|e| e.stream == stream)
+            .map(|e| e.duration())
+            .sum()
+    }
+
+    /// Sum of every operation's duration — the serialized cost the schedule
+    /// would pay on a single stream. `makespan() <= serialized()` always;
+    /// the gap is the benefit of the overlap.
+    pub fn serialized(&self) -> Duration {
+        self.events.iter().map(|e| e.duration()).sum()
+    }
+}
+
+/// The three-queue layout a pipelined off-load loop uses, plus a host-side
+/// queue for pool encoding (see [`crate::host::Device::timeline`]).
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceStreams {
+    /// Host-side work feeding the pipeline (pool encoding).
+    pub host: StreamId,
+    /// Host→device copies.
+    pub h2d: StreamId,
+    /// Kernel launches.
+    pub compute: StreamId,
+    /// Device→host copies.
+    pub d2h: StreamId,
+}
+
+impl DeviceStreams {
+    /// Builds the four standard streams on a fresh timeline.
+    pub fn on(timeline: &mut Timeline) -> Self {
+        Self {
+            host: timeline.add_stream(),
+            h2d: timeline.add_stream(),
+            compute: timeline.add_stream(),
+            d2h: timeline.add_stream(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn same_stream_operations_are_fifo() {
+        let mut tl = Timeline::new();
+        let s = tl.add_stream();
+        let a = tl.record(s, ms(5), &[]);
+        let b = tl.record(s, ms(3), &[]);
+        assert_eq!(tl.event(a).start, ms(0));
+        assert_eq!(tl.event(b).start, ms(5));
+        assert_eq!(tl.makespan(), ms(8));
+    }
+
+    #[test]
+    fn independent_streams_overlap() {
+        let mut tl = Timeline::new();
+        let s1 = tl.add_stream();
+        let s2 = tl.add_stream();
+        tl.record(s1, ms(10), &[]);
+        tl.record(s2, ms(7), &[]);
+        assert_eq!(tl.makespan(), ms(10));
+        assert_eq!(tl.serialized(), ms(17));
+    }
+
+    #[test]
+    fn dependencies_order_across_streams() {
+        let mut tl = Timeline::new();
+        let up = tl.add_stream();
+        let compute = tl.add_stream();
+        let down = tl.add_stream();
+        let h2d = tl.record(up, ms(4), &[]);
+        let kernel = tl.record(compute, ms(6), &[h2d]);
+        let d2h = tl.record(down, ms(2), &[kernel]);
+        assert_eq!(tl.event(kernel).start, ms(4));
+        assert_eq!(tl.event(d2h).start, ms(10));
+        assert_eq!(tl.makespan(), ms(12));
+    }
+
+    #[test]
+    fn pipelined_iterations_cost_max_of_stages_at_steady_state() {
+        // Three chunks through upload → kernel → download. Kernel is the
+        // longest stage, so the steady-state cost per chunk is the kernel
+        // time; the fill/drain epsilon is one upload plus one download.
+        let mut tl = Timeline::new();
+        let up = tl.add_stream();
+        let compute = tl.add_stream();
+        let down = tl.add_stream();
+        for _ in 0..3 {
+            let h2d = tl.record(up, ms(2), &[]);
+            let kernel = tl.record(compute, ms(5), &[h2d]);
+            tl.record(down, ms(1), &[kernel]);
+        }
+        assert_eq!(tl.makespan(), ms(2 + 3 * 5 + 1));
+        assert!(tl.makespan() < tl.serialized());
+    }
+
+    #[test]
+    fn overlapped_execution_never_reorders_dependent_ops() {
+        // Pseudo-random chains over three streams: every event must start at
+        // or after all of its dependencies end and after its stream
+        // predecessor, regardless of how the streams interleave.
+        let mut tl = Timeline::new();
+        let streams: Vec<StreamId> = (0..3).map(|_| tl.add_stream()).collect();
+        let mut rng: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut events: Vec<EventId> = Vec::new();
+        let mut per_stream_last: Vec<Option<EventId>> = vec![None; streams.len()];
+        for i in 0..200 {
+            let s = streams[(next() % 3) as usize];
+            let dur = Duration::from_micros(next() % 50);
+            // Up to two dependencies on earlier events.
+            let mut deps = Vec::new();
+            if i > 0 {
+                for _ in 0..(next() % 3) {
+                    deps.push(events[(next() as usize) % events.len()]);
+                }
+            }
+            let prev_on_stream = per_stream_last[s.0];
+            let ev = tl.record(s, dur, &deps);
+            for dep in &deps {
+                assert!(
+                    tl.event(ev).start >= tl.event(*dep).end,
+                    "event started before its dependency completed"
+                );
+            }
+            if let Some(prev) = prev_on_stream {
+                assert!(
+                    tl.event(ev).start >= tl.event(prev).end,
+                    "stream FIFO order violated"
+                );
+            }
+            per_stream_last[s.0] = Some(ev);
+            events.push(ev);
+        }
+        assert!(tl.makespan() <= tl.serialized());
+    }
+
+    #[test]
+    fn busy_time_sums_per_stream() {
+        let mut tl = Timeline::new();
+        let a = tl.add_stream();
+        let b = tl.add_stream();
+        tl.record(a, ms(3), &[]);
+        tl.record(a, ms(4), &[]);
+        tl.record(b, ms(5), &[]);
+        assert_eq!(tl.busy(a), ms(7));
+        assert_eq!(tl.busy(b), ms(5));
+    }
+
+    #[test]
+    fn device_streams_layout() {
+        let mut tl = Timeline::new();
+        let s = DeviceStreams::on(&mut tl);
+        assert_eq!(tl.streams(), 4);
+        let distinct: std::collections::HashSet<_> =
+            [s.host, s.h2d, s.compute, s.d2h].into_iter().collect();
+        assert_eq!(distinct.len(), 4);
+    }
+}

@@ -4,32 +4,66 @@
 //!
 //! This is the CPU mirror of the GPU off-load engine — same work split
 //! (selection / branching / elimination stay sequential, bounding fans out) —
-//! and is used by the ablation benches to compare the two Type 1 back-ends.
+//! and is the multicore implementation behind the `gpu-bnb` crate's
+//! `BoundingBackend` trait, so it must be *fair* to compare against the other
+//! backends: the workers are **long-lived** and channel-fed, created once in
+//! [`ParallelBoundingPool::new`] and reused by every
+//! [`ParallelBoundingPool::bound_batch`] call, instead of paying a thread
+//! spawn + join per batch.
 
 use bb::problem::NodeBound;
 use bb::FspNode;
 use fsp::Time;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// A unit of work shipped to a worker. The closure borrows the caller's batch
+/// and result buffers; [`ParallelBoundingPool::bound_batch`] blocks until
+/// every dispatched job has completed before returning, which is what makes
+/// the lifetime erasure in `dispatch` sound.
+type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// A CPU thread pool that evaluates lower bounds of node batches in parallel.
-#[derive(Debug, Clone)]
+///
+/// Workers are spawned once and live until the pool is dropped; each batch is
+/// split into one contiguous chunk per worker and fed through per-worker
+/// channels.
+#[derive(Debug)]
 pub struct ParallelBoundingPool {
-    threads: usize,
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
 }
 
 impl ParallelBoundingPool {
-    /// Creates a pool using `threads` worker threads.
+    /// Creates a pool using `threads` long-lived worker threads.
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "the bounding pool needs at least one thread");
-        Self { threads }
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let (tx, rx): (Sender<Job>, Receiver<Job>) = channel();
+            let handle = std::thread::Builder::new()
+                .name(format!("bounding-worker-{i}"))
+                .spawn(move || {
+                    // Run jobs until the pool drops its sender.
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+                .expect("spawn bounding worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Self { senders, handles }
     }
 
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.senders.len()
     }
 
     /// Evaluates the lower bound of every node of `batch`, in input order.
@@ -37,22 +71,84 @@ impl ParallelBoundingPool {
         if batch.is_empty() {
             return Vec::new();
         }
-        if self.threads == 1 || batch.len() == 1 {
+        if self.threads() == 1 || batch.len() == 1 {
             return batch.iter().map(|n| bound.bound_node(n)).collect();
         }
 
-        let chunk = batch.len().div_ceil(self.threads);
+        let chunk = batch.len().div_ceil(self.threads());
         let mut results = vec![0 as Time; batch.len()];
-        std::thread::scope(|scope| {
-            for (nodes, out) in batch.chunks(chunk).zip(results.chunks_mut(chunk)) {
-                scope.spawn(move || {
-                    for (node, slot) in nodes.iter().zip(out.iter_mut()) {
-                        *slot = bound.bound_node(node);
-                    }
-                });
+        let (done_tx, done_rx) = channel::<()>();
+        let mut dispatched = 0usize;
+        let mut send_failed = false;
+        for ((nodes, out), sender) in batch
+            .chunks(chunk)
+            .zip(results.chunks_mut(chunk))
+            .zip(&self.senders)
+        {
+            let done = done_tx.clone();
+            let task = move || {
+                for (node, slot) in nodes.iter().zip(out.iter_mut()) {
+                    *slot = bound.bound_node(node);
+                }
+                let _ = done.send(());
+            };
+            // SAFETY: the closure borrows `batch`, `bound` and a disjoint
+            // chunk of `results`; we erase those lifetimes to feed it through
+            // the 'static worker channel. The completion loop below does not
+            // return (or unwind) until every dispatched job has either run
+            // or been destroyed — `Err` from `done_rx.recv()` means every
+            // `done` clone is gone, i.e. no job still holds a borrow — so no
+            // borrow outlives this call, even when a worker has died.
+            let job: Job = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send>>(
+                    Box::new(task),
+                )
+            };
+            if sender.send(job).is_err() {
+                // The worker is dead (a previous batch panicked in it). Do
+                // NOT unwind yet: chunks already dispatched to live workers
+                // still borrow our buffers.
+                send_failed = true;
+                break;
             }
-        });
+            dispatched += 1;
+        }
+        // Drop our own sender so dead workers surface as a disconnect
+        // instead of a hang.
+        drop(done_tx);
+        let mut completed = 0usize;
+        while completed < dispatched {
+            match done_rx.recv() {
+                Ok(()) => completed += 1,
+                // Disconnected: every outstanding job finished or was
+                // dropped, so unwinding is safe now.
+                Err(_) => break,
+            }
+        }
+        assert!(
+            !send_failed && completed == dispatched,
+            "a bounding worker died before completing its chunk"
+        );
         results
+    }
+}
+
+/// Cloning a pool creates a **new** set of workers with the same parallelism
+/// (worker channels are not shareable handles).
+impl Clone for ParallelBoundingPool {
+    fn clone(&self) -> Self {
+        Self::new(self.threads())
+    }
+}
+
+impl Drop for ParallelBoundingPool {
+    fn drop(&mut self) {
+        // Disconnect the channels so the workers' `recv` loops end…
+        self.senders.clear();
+        // …then reap them.
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -91,6 +187,23 @@ mod tests {
     }
 
     #[test]
+    fn workers_are_reused_across_batches() {
+        // Many consecutive batches through the same pool: the channel-fed
+        // workers must service all of them (a per-batch spawn design would
+        // also pass this, but this is the regression guard for worker reuse
+        // staying deadlock-free across calls).
+        let inst = generate("t", 12, 5, 9);
+        let lb = JohnsonLowerBound::new(&inst);
+        let nodes = batch(&inst, 48);
+        let pool = ParallelBoundingPool::new(3);
+        let first = pool.bound_batch(&nodes, &lb);
+        for _ in 0..20 {
+            assert_eq!(pool.bound_batch(&nodes, &lb), first);
+        }
+        assert_eq!(pool.threads(), 3);
+    }
+
+    #[test]
     fn empty_and_singleton_batches() {
         let inst = generate("t", 8, 4, 3);
         let lb = JohnsonLowerBound::new(&inst);
@@ -107,6 +220,20 @@ mod tests {
         let nodes: Vec<FspNode> = (0..3).map(|j| FspNode::from_prefix(&inst, &[j])).collect();
         let pool = ParallelBoundingPool::new(16);
         assert_eq!(pool.bound_batch(&nodes, &lb).len(), 3);
+    }
+
+    #[test]
+    fn cloned_pools_bound_independently() {
+        let inst = generate("t", 10, 4, 21);
+        let lb = JohnsonLowerBound::new(&inst);
+        let nodes = batch(&inst, 32);
+        let pool = ParallelBoundingPool::new(2);
+        let clone = pool.clone();
+        assert_eq!(clone.threads(), 2);
+        assert_eq!(
+            pool.bound_batch(&nodes, &lb),
+            clone.bound_batch(&nodes, &lb)
+        );
     }
 
     #[test]
