@@ -88,6 +88,9 @@ struct Report {
     jobs: usize,
     machines: usize,
     mode: Mode,
+    /// Cross-iteration pipelining (lookahead batch + persistent stream
+    /// session) was enabled for this run.
+    lookahead: bool,
     pool_size: usize,
     reps: usize,
     metrics: RunMetrics,
@@ -118,6 +121,15 @@ impl Report {
         self.metrics.nodes_bounded as f64 / self.metrics.elapsed.as_secs_f64().max(1e-9)
     }
 
+    /// Human-readable row label for the perf-gate log.
+    fn label(&self) -> String {
+        if self.lookahead {
+            format!("{}+lookahead", self.mode.backend_name())
+        } else {
+            self.mode.backend_name().to_string()
+        }
+    }
+
     /// The report's fields as JSON lines (no surrounding braces), indented
     /// by `indent` — shared by the v1 top-level object and the v2 rows.
     fn write_fields(&self, out: &mut String, indent: &str) {
@@ -135,6 +147,7 @@ impl Report {
             "{indent}  \"backend\": \"{}\",",
             self.mode.backend_name()
         );
+        let _ = writeln!(out, "{indent}  \"lookahead\": {},", self.lookahead);
         let _ = writeln!(out, "{indent}  \"pool_size\": {},", self.pool_size);
         let _ = writeln!(out, "{indent}  \"reps\": {},", self.reps);
         let _ = writeln!(out, "{indent}  \"nodes_bounded\": {},", m.nodes_bounded);
@@ -184,7 +197,7 @@ fn reports_to_json(reports: &[Report]) -> String {
         let _ = writeln!(out, "}}");
     } else {
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"schema\": \"flowshop-bnb-perf-report/v2\",");
+        let _ = writeln!(out, "  \"schema\": \"flowshop-bnb-perf-report/v3\",");
         let _ = writeln!(out, "  \"rows\": [");
         for (i, report) in reports.iter().enumerate() {
             let sep = if i + 1 < reports.len() { "," } else { "" };
@@ -204,7 +217,10 @@ struct Options {
     machines: usize,
     seed: i64,
     mode: Mode,
+    lookahead: bool,
+    autotune: bool,
     pool_size: usize,
+    pipeline_chunk: Option<usize>,
     node_limit: Option<u64>,
     frozen: Option<usize>,
     reps: usize,
@@ -222,7 +238,10 @@ impl Default for Options {
             machines: 20,
             seed: 2012,
             mode: Mode::BackendFast(BackendKind::Gpu),
+            lookahead: false,
+            autotune: false,
             pool_size: 4_096,
+            pipeline_chunk: None,
             node_limit: None,
             frozen: None,
             reps: 1,
@@ -236,7 +255,7 @@ impl Default for Options {
 
 /// The frozen smoke workload the CI perf gate runs: small enough to finish in
 /// seconds, large enough that nodes/sec is dominated by the bounding hot
-/// path. The gate runs it once per row of [`SMOKE_BACKENDS`].
+/// path. The gate runs it once per row of [`SMOKE_ROWS`].
 fn apply_smoke_preset(opts: &mut Options) {
     opts.jobs = 20;
     opts.machines = 20;
@@ -249,8 +268,14 @@ fn apply_smoke_preset(opts: &mut Options) {
     opts.smoke = true;
 }
 
-/// The backends the smoke workload gates, row by row.
-const SMOKE_BACKENDS: [BackendKind; 2] = [BackendKind::Gpu, BackendKind::GpuPipelined];
+/// The `(backend, lookahead)` rows the smoke workload gates: the paper's
+/// one-launch off-load, the per-batch stream pipeline (PR 3), and the
+/// cross-iteration pipeline (lookahead batch + persistent session).
+const SMOKE_ROWS: [(BackendKind, bool); 3] = [
+    (BackendKind::Gpu, false),
+    (BackendKind::GpuPipelined, false),
+    (BackendKind::GpuPipelined, true),
+];
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options::default();
@@ -294,6 +319,15 @@ fn parse_args() -> Result<Options, String> {
                 let kind: BackendKind = value(&args, &mut i, flag)?.parse()?;
                 opts.mode = opts.mode.with_backend(kind);
             }
+            "--lookahead" => opts.lookahead = true,
+            "--autotune" => opts.autotune = true,
+            "--pipeline-chunk" => {
+                opts.pipeline_chunk = Some(
+                    value(&args, &mut i, flag)?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
             "--pool-size" => {
                 opts.pool_size = value(&args, &mut i, flag)?
                     .parse()
@@ -330,12 +364,15 @@ fn parse_args() -> Result<Options, String> {
                     "solve_taillard — solve a Taillard FSP instance and emit a JSON perf report\n\n\
                      input:    --file <ta-file> | --jobs N --machines M --seed S\n\
                      solve:    --mode serial|gpu|gpu-fast  --backend seq|multicore|gpu|gpu-pipelined\n\
+                     \x20         --lookahead (cross-iteration pipelining)  --pipeline-chunk C\n\
+                     \x20         --autotune (sweep pool + chunk size first)\n\
                      \x20         --pool-size P  --node-limit N  --frozen K  --reps R\n\
                      output:   --json <path>\n\
                      CI gate:  --smoke  --baseline <BENCH_baseline.json>  --max-regression 0.25\n\n\
-                     --smoke runs the frozen workload once per gated backend (gpu, gpu-pipelined)\n\
-                     and emits one report row each; the gate compares every row against the\n\
-                     baseline row with the same backend."
+                     --smoke runs the frozen workload once per gated row (gpu, gpu-pipelined,\n\
+                     gpu-pipelined+lookahead) and emits one report row each; the gate compares\n\
+                     every row against the baseline row with the same backend and lookahead\n\
+                     flag (schema v3, see docs/BENCHMARKING.md)."
                 );
                 std::process::exit(0);
             }
@@ -346,6 +383,16 @@ fn parse_args() -> Result<Options, String> {
     if opts.reps == 0 {
         return Err("--reps must be at least 1".into());
     }
+    if opts.smoke && opts.autotune {
+        // The gate's committed baseline is recorded at the fixed smoke
+        // configuration; retuning pool/chunk size under it would compare
+        // rows measured at a different configuration.
+        return Err(
+            "--autotune cannot be combined with --smoke (the perf gate's \
+                    baseline is recorded at the fixed smoke configuration)"
+                .into(),
+        );
+    }
     Ok(opts)
 }
 
@@ -353,6 +400,7 @@ fn parse_args() -> Result<Options, String> {
 fn run_once(
     opts: &Options,
     mode: Mode,
+    lookahead: bool,
     problem: &FspProblem,
     frozen: Option<&FrozenPool>,
 ) -> RunMetrics {
@@ -390,6 +438,8 @@ fn run_once(
                     node_limit: opts.node_limit,
                     fast_forward: matches!(mode, Mode::BackendFast(_)),
                     backend: kind,
+                    lookahead,
+                    pipeline_chunk: opts.pipeline_chunk,
                     ..Default::default()
                 },
             );
@@ -424,12 +474,13 @@ fn run_once(
 fn run_best_of(
     opts: &Options,
     mode: Mode,
+    lookahead: bool,
     problem: &FspProblem,
     frozen: Option<&FrozenPool>,
 ) -> RunMetrics {
     let mut best: Option<RunMetrics> = None;
     for _ in 0..opts.reps {
-        let run = run_once(opts, mode, problem, frozen);
+        let run = run_once(opts, mode, lookahead, problem, frozen);
         let better = match &best {
             Some(b) => {
                 run.nodes_bounded as f64 / run.elapsed.as_secs_f64().max(1e-9)
@@ -444,18 +495,28 @@ fn run_best_of(
     best.expect("at least one rep")
 }
 
-/// Pulls `(backend, nodes_per_sec)` pairs out of a report previously written
-/// by this binary (a full JSON parser is not warranted for our own format).
-/// In the v1 single-object schema without a `backend` field the pair is
-/// `("", value)`.
-fn baseline_rows(text: &str) -> Vec<(String, f64)> {
+/// One `nodes_per_sec` figure of a baseline report, keyed by the backend
+/// name and the lookahead flag of its row.
+struct BaselineRow {
+    backend: String,
+    lookahead: bool,
+    nodes_per_sec: f64,
+}
+
+/// Pulls the gate rows out of a report previously written by this binary (a
+/// full JSON parser is not warranted for our own format). In the v1
+/// single-object schema without a `backend` field the backend is `""`;
+/// pre-v3 rows without a `lookahead` field parse as `false`.
+fn baseline_rows(text: &str) -> Vec<BaselineRow> {
     let nps_key = "\"nodes_per_sec\":";
     let backend_key = "\"backend\":";
+    let lookahead_key = "\"lookahead\":";
     let mut rows = Vec::new();
     let mut search_from = 0;
     while let Some(rel) = text[search_from..].find(nps_key) {
         let nps_at = search_from + rel;
-        // The backend name, when present, precedes nodes_per_sec in its row.
+        // The backend name and lookahead flag, when present, precede
+        // nodes_per_sec in their row.
         let backend = text[..nps_at]
             .rfind(backend_key)
             .map(|b| {
@@ -466,12 +527,24 @@ fn baseline_rows(text: &str) -> Vec<(String, f64)> {
                     .collect::<String>()
             })
             .unwrap_or_default();
+        let lookahead = text[..nps_at]
+            .rfind(lookahead_key)
+            .map(|b| {
+                text[b + lookahead_key.len()..]
+                    .trim_start()
+                    .starts_with("true")
+            })
+            .unwrap_or(false);
         let rest = text[nps_at + nps_key.len()..].trim_start();
         let end = rest
             .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
             .unwrap_or(rest.len());
         if let Ok(value) = rest[..end].parse::<f64>() {
-            rows.push((backend, value));
+            rows.push(BaselineRow {
+                backend,
+                lookahead,
+                nodes_per_sec: value,
+            });
         }
         search_from = nps_at + nps_key.len();
     }
@@ -515,33 +588,71 @@ fn main() -> ExitCode {
 
     let jobs = inst.jobs();
     let machines = inst.machines();
+
+    // Optional runtime tuning: sweep the pool size and the pipeline chunk
+    // size on this instance (the paper's runtime procedure) and persist the
+    // winners into the run options before anything is timed.
+    let mut opts = opts;
+    if opts.autotune {
+        let base = GpuSolverConfig {
+            placement: DataPlacement::SharedJmPtm,
+            fast_forward: true,
+            ..Default::default()
+        };
+        let tuned = gpu_bnb::autotune::autotune_solver_config(&inst, &base, 16_384);
+        opts.pool_size = tuned.config.pool_size;
+        opts.pipeline_chunk = tuned.config.pipeline_chunk;
+        eprintln!(
+            "autotune: pool_size {} , pipeline_chunk {:?}",
+            opts.pool_size, opts.pipeline_chunk
+        );
+    }
+
     let problem = FspProblem::new(inst);
     // Freezing is deterministic and untimed setup — do it once, not per rep
     // (and shared by every smoke row, so the backends race on an identical
     // workload).
     let frozen = opts.frozen.map(|target| frozen_pool(&problem, target));
 
-    let modes: Vec<Mode> = if opts.smoke {
-        SMOKE_BACKENDS
+    let specs: Vec<(Mode, bool)> = if opts.smoke {
+        SMOKE_ROWS
             .iter()
-            .map(|&kind| Mode::BackendFast(kind))
+            .map(|&(kind, lookahead)| (Mode::BackendFast(kind), lookahead))
             .collect()
     } else {
-        vec![opts.mode]
+        vec![(opts.mode, opts.lookahead)]
     };
 
-    let reports: Vec<Report> = modes
+    let reports: Vec<Report> = specs
         .into_iter()
-        .map(|mode| Report {
+        .map(|(mode, lookahead)| Report {
             instance: label.clone(),
             jobs,
             machines,
             mode,
+            lookahead,
             pool_size: opts.pool_size,
             reps: opts.reps,
-            metrics: run_best_of(&opts, mode, &problem, frozen.as_ref()),
+            metrics: run_best_of(&opts, mode, lookahead, &problem, frozen.as_ref()),
         })
         .collect();
+
+    // The headline the smoke workload exists to demonstrate: the modelled
+    // device schedule of the cross-iteration pipeline vs the per-batch one.
+    if opts.smoke {
+        let device = |lookahead: bool| {
+            reports
+                .iter()
+                .find(|r| r.lookahead == lookahead && r.mode.backend_name() == "gpu-pipelined")
+                .map(|r| r.metrics.device_seconds)
+        };
+        if let (Some(per_batch), Some(cross)) = (device(false), device(true)) {
+            eprintln!(
+                "smoke: modelled device time {cross:.6}s cross-iteration vs {per_batch:.6}s per-batch pipelined ({:+.1} %)",
+                (cross / per_batch - 1.0) * 100.0
+            );
+        }
+    }
 
     let json = reports_to_json(&reports);
     print!("{json}");
@@ -567,13 +678,16 @@ fn main() -> ExitCode {
         }
         let mut failed = false;
         for report in &reports {
-            let name = report.mode.backend_name();
-            // Match by backend name; a v1 baseline without backend names
-            // gates its single figure against every row.
-            let Some((_, base)) = baseline
+            let name = report.label();
+            // Match by backend name + lookahead flag; a v1 baseline without
+            // backend names gates its single figure against every row.
+            let Some(base) = baseline
                 .iter()
-                .find(|(b, _)| b == name)
-                .or_else(|| baseline.first().filter(|(b, _)| b.is_empty()))
+                .find(|b| {
+                    b.backend == report.mode.backend_name() && b.lookahead == report.lookahead
+                })
+                .or_else(|| baseline.first().filter(|b| b.backend.is_empty()))
+                .map(|b| b.nodes_per_sec)
             else {
                 eprintln!("perf gate [{name}]: no baseline row — run --smoke --json to refresh");
                 failed = true;

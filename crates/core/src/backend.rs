@@ -293,15 +293,23 @@ impl BoundingBackend for GpuBackend {
     }
 }
 
-/// The pipelined GPU backend: each batch is split into `pipeline_depth`
-/// chunks ridden through [`BoundingEngine::bound_nodes_pipelined`], so the
-/// device time per batch approaches `max(kernel, transfer)` instead of their
-/// sum.
+/// The pipelined GPU backend: each batch is split into chunks ridden
+/// through [`BoundingEngine::bound_nodes_pipelined`], so the device time per
+/// batch approaches `max(kernel, transfer)` instead of their sum.
+///
+/// With [`GpuSolverConfig::lookahead`] enabled the backend additionally
+/// keeps one persistent [`crate::offload::PipelineSession`] across batches:
+/// successive batches share the timeline and the double-buffered device
+/// slots, so the pipeline never drains between solver iterations and the
+/// per-batch `device_time` becomes the critical-path increment of the
+/// session (cross-iteration pipelining).
 pub struct PipelinedGpuBackend {
     engine: BoundingEngine,
     host_lb: Arc<JohnsonLowerBound>,
     fast_forward: bool,
     pipeline_depth: usize,
+    chunk_override: Option<usize>,
+    session: Option<crate::offload::PipelineSession>,
 }
 
 impl PipelinedGpuBackend {
@@ -319,23 +327,35 @@ impl PipelinedGpuBackend {
             config.pipeline_depth > 0,
             "the pipelined backend needs a positive pipeline depth"
         );
+        let engine = BoundingEngine::new(
+            problem.bound_fn().data(),
+            config.placement.clone(),
+            config.block_threads,
+            config.registers_per_thread,
+            capacity,
+        );
+        let session = config.lookahead.then(|| engine.pipeline_session());
         Self {
-            engine: BoundingEngine::new(
-                problem.bound_fn().data(),
-                config.placement.clone(),
-                config.block_threads,
-                config.registers_per_thread,
-                capacity,
-            ),
+            engine,
             host_lb: problem.bound_fn().clone(),
             fast_forward: config.fast_forward,
             pipeline_depth: config.pipeline_depth,
+            chunk_override: config.pipeline_chunk,
+            session,
         }
+    }
+
+    /// The cross-iteration session, when the backend was built with
+    /// [`GpuSolverConfig::lookahead`] (inspection in tests and reports).
+    pub fn session(&self) -> Option<&crate::offload::PipelineSession> {
+        self.session.as_ref()
     }
 
     /// Chunk size for a batch of `len` nodes.
     ///
-    /// Chunks must keep every SM busy, or the per-SM block quantization of
+    /// An explicit [`GpuSolverConfig::pipeline_chunk`] (typically from the
+    /// chunk auto-tuner) wins, clamped to the engine capacity. Otherwise
+    /// chunks must keep every SM busy, or the per-SM block quantization of
     /// the cost model (and of real hardware) inflates the summed kernel
     /// time past what the overlap wins back. Batches that can fill the
     /// device are therefore cut at full device waves — `SMs × block
@@ -343,6 +363,9 @@ impl PipelinedGpuBackend {
     /// one-launch schedule; smaller batches fall back to `pipeline_depth`
     /// equal chunks (the overlap is then relative to their own schedule).
     fn chunk_for(&self, len: usize) -> usize {
+        if let Some(chunk) = self.chunk_override {
+            return chunk.clamp(1, self.engine.max_pool());
+        }
         let spec = self.engine.device().spec();
         let wave = (spec.multiprocessors * self.engine.block_threads()).max(1);
         if len >= wave {
@@ -367,13 +390,32 @@ impl BoundingBackend for PipelinedGpuBackend {
         }
         let chunk = self.chunk_for(nodes.len());
         let host = self.fast_forward.then_some(self.host_lb.as_ref());
-        let result = self.engine.bound_nodes_pipelined(nodes, chunk, host);
+        // Cross-iteration mode threads the batch through the persistent
+        // session (device_time is then the critical-path increment);
+        // otherwise each batch gets a standalone fill-and-drain schedule.
+        let result = match &mut self.session {
+            Some(session) => self
+                .engine
+                .bound_nodes_pipelined_in(nodes, chunk, host, session),
+            None => {
+                let result = self.engine.bound_nodes_pipelined(nodes, chunk, host);
+                crate::offload::PipelinedBatch {
+                    bounds: result.bounds,
+                    kernel_time: result.kernel_time,
+                    transfer_time: result.transfer_time,
+                    critical_path: result.overlapped_time,
+                    upload_bytes: result.upload_bytes,
+                    download_bytes: result.download_bytes,
+                    chunks: result.chunks,
+                }
+            }
+        };
         BackendBatch {
             bounds: result.bounds,
             accounting: BackendAccounting {
                 kernel_time: result.kernel_time,
                 transfer_time: result.transfer_time,
-                device_time: result.overlapped_time,
+                device_time: result.critical_path,
                 upload_bytes: result.upload_bytes as u64,
                 download_bytes: result.download_bytes as u64,
                 launches: result.chunks as u64,
@@ -502,6 +544,45 @@ mod tests {
             piped_acc.kernel_time + piped_acc.transfer_time
         );
         assert_eq!(piped_acc.launches, 4);
+    }
+
+    #[test]
+    fn lookahead_pipelined_backend_overlaps_across_batches() {
+        let (problem, nodes, base) = fixture(128);
+        let mk = |lookahead| GpuSolverConfig {
+            backend: BackendKind::GpuPipelined,
+            pipeline_depth: 4,
+            lookahead,
+            ..base.clone()
+        };
+        let mut per_batch = make_backend(&problem, &mk(false), 64);
+        let mut cross = make_backend(&problem, &mk(true), 64);
+        let mut t_per_batch = Duration::ZERO;
+        let mut t_cross = Duration::ZERO;
+        for half in nodes.chunks(64) {
+            let a = per_batch.bound_batch(half);
+            let b = cross.bound_batch(half);
+            assert_eq!(a.bounds, b.bounds, "bounds must not depend on the session");
+            t_per_batch += a.accounting.device_time;
+            t_cross += b.accounting.device_time;
+        }
+        assert!(
+            t_cross < t_per_batch,
+            "cross-iteration device time {t_cross:?} must beat per-batch {t_per_batch:?}"
+        );
+    }
+
+    #[test]
+    fn explicit_pipeline_chunk_overrides_the_wave_heuristic() {
+        let (problem, nodes, base) = fixture(128);
+        let config = GpuSolverConfig {
+            backend: BackendKind::GpuPipelined,
+            pipeline_chunk: Some(10),
+            ..base
+        };
+        let mut backend = make_backend(&problem, &config, nodes.len());
+        let batch = backend.bound_batch(&nodes);
+        assert_eq!(batch.accounting.launches, nodes.len().div_ceil(10) as u64);
     }
 
     #[test]

@@ -98,8 +98,32 @@ pub struct GpuSolverConfig {
     /// Worker threads of the [`BackendKind::Multicore`] backend.
     pub multicore_threads: usize,
     /// Number of chunks the [`BackendKind::GpuPipelined`] backend splits
-    /// each batch into (the pipeline depth; ≥ 2 enables overlap).
+    /// each batch into (the pipeline depth; ≥ 2 enables overlap). Only used
+    /// when [`GpuSolverConfig::pipeline_chunk`] is `None` and the batch is
+    /// too small to be cut at device waves.
     pub pipeline_depth: usize,
+    /// Explicit pipeline chunk size (nodes per kernel launch) for the
+    /// [`BackendKind::GpuPipelined`] backend. `None` keeps the wave-aligned
+    /// heuristic (`SMs × block threads` per chunk when the batch fills the
+    /// device). Set it from the chunk auto-tuner
+    /// ([`crate::autotune::autotune_pipeline_chunk`]) to persist a per-device
+    /// sweep result into the run configuration.
+    pub pipeline_chunk: Option<usize>,
+    /// Enables **cross-iteration pipelining**: the solvers keep a lookahead
+    /// batch in flight (pool *k+1* is selected and submitted before the
+    /// elimination of pool *k* is applied), and the
+    /// [`BackendKind::GpuPipelined`] backend threads every batch through one
+    /// persistent [`crate::offload::PipelineSession`] so the D2H tail of
+    /// wave *k* overlaps the H2D fill of wave *k+1* on the modelled
+    /// timeline.
+    ///
+    /// Bounds stay bit-identical; the exploration *order* may differ from
+    /// the strict loop (the lookahead batch is selected against an incumbent
+    /// that elimination of the in-flight batch may still improve), which is
+    /// why the default is `false` and the equivalence suites pin down when
+    /// the visited node set provably matches the strict loop (constant
+    /// incumbent).
+    pub lookahead: bool,
 }
 
 impl Default for GpuSolverConfig {
@@ -116,6 +140,8 @@ impl Default for GpuSolverConfig {
             backend: BackendKind::Gpu,
             multicore_threads: 4,
             pipeline_depth: 4,
+            pipeline_chunk: None,
+            lookahead: false,
         }
     }
 }
@@ -175,6 +201,10 @@ mod tests {
         assert!("warp-drive".parse::<BackendKind>().is_err());
         assert_eq!(GpuSolverConfig::default().backend, BackendKind::Gpu);
         assert!(GpuSolverConfig::default().pipeline_depth >= 2);
+        // Cross-iteration pipelining is opt-in and chunking defaults to the
+        // wave-aligned heuristic until the auto-tuner persists a sweep.
+        assert!(!GpuSolverConfig::default().lookahead);
+        assert_eq!(GpuSolverConfig::default().pipeline_chunk, None);
     }
 
     #[test]

@@ -230,33 +230,111 @@ impl HybridSolver {
 
         let stats = Mutex::new(SolveStats::default());
 
+        let lookahead = self.config.lookahead;
         std::thread::scope(|scope| {
             for _ in 0..self.workers {
                 scope.spawn(|| {
+                    // Selection + branching: grab nodes from the shared pool
+                    // and accumulate a local batch.
+                    let select_batch = |local_stats: &mut SolveStats| -> Vec<FspNode> {
+                        let mut batch: Vec<FspNode> = Vec::with_capacity(chunk_target + n);
+                        let mut guard = pool.lock().unwrap();
+                        while batch.len() < chunk_target {
+                            let Some(node) = guard.pop() else { break };
+                            local_stats.selected += 1;
+                            if ub.prunes(node.bound()) {
+                                local_stats.pruned += 1;
+                                continue;
+                            }
+                            local_stats.decomposed += 1;
+                            self.problem.branch_into(&node, &mut batch);
+                        }
+                        batch
+                    };
+
+                    // Elimination + incumbent updates.
+                    let eliminate_batch =
+                        |children: Vec<FspNode>,
+                         bounds: Vec<Time>,
+                         local_stats: &mut SolveStats| {
+                            let mut survivors = Vec::new();
+                            for (mut child, bound) in children.into_iter().zip(bounds) {
+                                child.set_bound(bound);
+                                local_stats.bounded += 1;
+                                if self.problem.is_leaf(&child) {
+                                    local_stats.leaves += 1;
+                                    let cost = self.problem.leaf_cost(&child);
+                                    if ub.try_improve(cost) {
+                                        local_stats.improvements += 1;
+                                        // Re-check under the lock: another worker may
+                                        // have improved past `cost` between the CAS and
+                                        // here, and its schedule must win.
+                                        let mut guard = incumbent_schedule.lock().unwrap();
+                                        if cost <= ub.get() {
+                                            *guard = Some(child.prefix_vec());
+                                        }
+                                    }
+                                } else if ub.prunes(bound) {
+                                    local_stats.pruned += 1;
+                                } else {
+                                    survivors.push(child);
+                                }
+                            }
+                            let mut guard = pool.lock().unwrap();
+                            for node in survivors {
+                                guard.push(node);
+                            }
+                            local_stats.max_pool = guard.len();
+                        };
+
+                    let merge = |local_stats: &SolveStats| {
+                        let mut s = stats.lock().unwrap();
+                        *s = s.add(local_stats);
+                    };
+
+                    // Per-worker lookahead queue (cross-iteration
+                    // pipelining): the next chunk, already bounded through
+                    // the coordinator, whose elimination is deferred one
+                    // round. A worker holding an in-flight chunk never takes
+                    // the termination path below (the chunk is consumed
+                    // first), so its survivors cannot be lost — at worst
+                    // another worker exits early and this one drains the
+                    // remainder alone.
+                    let mut in_flight: Option<BoundedBatch> = None;
                     loop {
                         if bounded_so_far.load(Ordering::Relaxed) as u64 >= node_budget {
+                            // Eliminate a pending lookahead chunk before
+                            // stopping so every bounded node is eliminated
+                            // (the budget stays a soft, per-batch cap).
+                            if let Some((children, bounds)) = in_flight.take() {
+                                let mut local_stats = SolveStats::default();
+                                eliminate_batch(children, bounds, &mut local_stats);
+                                merge(&local_stats);
+                            }
                             break;
                         }
-                        // Selection + branching: grab nodes from the shared
-                        // pool and accumulate a local batch.
                         busy_workers.fetch_add(1, Ordering::AcqRel);
                         let mut local_stats = SolveStats::default();
-                        let mut batch: Vec<FspNode> = Vec::with_capacity(chunk_target + n);
-                        {
-                            let mut guard = pool.lock().unwrap();
-                            while batch.len() < chunk_target {
-                                let Some(node) = guard.pop() else { break };
-                                local_stats.selected += 1;
-                                if ub.prunes(node.bound()) {
-                                    local_stats.pruned += 1;
-                                    continue;
-                                }
-                                local_stats.decomposed += 1;
-                                self.problem.branch_into(&node, &mut batch);
-                            }
-                        }
 
-                        if batch.is_empty() {
+                        let current = match in_flight.take() {
+                            Some(flight) => Some(flight),
+                            None => {
+                                let batch = select_batch(&mut local_stats);
+                                if batch.is_empty() {
+                                    None
+                                } else {
+                                    // Bounding: ride the combined launch
+                                    // (device-side accounting happens in the
+                                    // coordinator).
+                                    let flight = coordinator.bound(batch);
+                                    bounded_so_far.fetch_add(flight.0.len(), Ordering::Relaxed);
+                                    Some(flight)
+                                }
+                            }
+                        };
+
+                        let Some((children, bounds)) = current else {
+                            merge(&local_stats);
                             busy_workers.fetch_sub(1, Ordering::AcqRel);
                             // Termination: nothing pending and nobody else is
                             // producing new nodes.
@@ -266,48 +344,25 @@ impl HybridSolver {
                             }
                             std::thread::yield_now();
                             continue;
-                        }
+                        };
 
-                        // Bounding: ride the combined launch (device-side
-                        // accounting happens in the coordinator).
-                        let (children, bounds) = coordinator.bound(batch);
-                        bounded_so_far.fetch_add(children.len(), Ordering::Relaxed);
-
-                        // Elimination + incumbent updates.
-                        let mut survivors = Vec::new();
-                        for (mut child, bound) in children.into_iter().zip(bounds) {
-                            child.set_bound(bound);
-                            local_stats.bounded += 1;
-                            if self.problem.is_leaf(&child) {
-                                local_stats.leaves += 1;
-                                let cost = self.problem.leaf_cost(&child);
-                                if ub.try_improve(cost) {
-                                    local_stats.improvements += 1;
-                                    // Re-check under the lock: another worker may
-                                    // have improved past `cost` between the CAS and
-                                    // here, and its schedule must win.
-                                    let mut guard = incumbent_schedule.lock().unwrap();
-                                    if cost <= ub.get() {
-                                        *guard = Some(child.prefix_vec());
-                                    }
-                                }
-                            } else if ub.prunes(bound) {
-                                local_stats.pruned += 1;
-                            } else {
-                                survivors.push(child);
+                        // Lookahead: select and submit the next chunk before
+                        // eliminating the current one, so the backend bounds
+                        // chunk k+1 while this worker's host time goes to
+                        // eliminating chunk k. As in the single-threaded
+                        // solver, speculate only on a pool deep enough to
+                        // fill the chunk without the in-flight children.
+                        if lookahead && pool.lock().unwrap().len() >= chunk_target {
+                            let next = select_batch(&mut local_stats);
+                            if !next.is_empty() {
+                                let flight = coordinator.bound(next);
+                                bounded_so_far.fetch_add(flight.0.len(), Ordering::Relaxed);
+                                in_flight = Some(flight);
                             }
                         }
-                        {
-                            let mut guard = pool.lock().unwrap();
-                            for node in survivors {
-                                guard.push(node);
-                            }
-                            local_stats.max_pool = guard.len();
-                        }
-                        {
-                            let mut s = stats.lock().unwrap();
-                            *s = s.add(&local_stats);
-                        }
+
+                        eliminate_batch(children, bounds, &mut local_stats);
+                        merge(&local_stats);
                         busy_workers.fetch_sub(1, Ordering::AcqRel);
                     }
                 });
@@ -418,5 +473,38 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
         HybridSolver::new(generate("t", 5, 3, 1), config(8), 0);
+    }
+
+    #[test]
+    fn lookahead_hybrid_finds_the_optimum_and_keeps_accounting_consistent() {
+        let inst = generate("t", 8, 4, 5);
+        let (_, expected) = brute_force_optimal(&inst);
+        for workers in [1, 2, 4] {
+            let cfg = GpuSolverConfig {
+                backend: BackendKind::GpuPipelined,
+                lookahead: true,
+                ..config(32)
+            };
+            let outcome = HybridSolver::new(inst.clone(), cfg, workers).solve();
+            assert_eq!(outcome.best_makespan, expected, "{workers} workers");
+            assert_eq!(
+                outcome.gpu.nodes_bounded, outcome.stats.bounded,
+                "{workers} workers: every bounded node must also be eliminated"
+            );
+        }
+    }
+
+    #[test]
+    fn lookahead_hybrid_respects_the_node_budget_softly() {
+        let inst = generate("t", 12, 8, 3);
+        let mut cfg = config(64);
+        cfg.backend = BackendKind::GpuPipelined;
+        cfg.lookahead = true;
+        cfg.node_limit = Some(500);
+        let outcome = HybridSolver::new(inst, cfg, 2).solve();
+        assert_eq!(outcome.gpu.nodes_bounded, outcome.stats.bounded);
+        // The lookahead keeps at most one extra chunk in flight per worker,
+        // so the soft cap grows by one batch per worker at most.
+        assert!(outcome.gpu.nodes_bounded < 500 + 2 * 2 * (64 + 12) as u64);
     }
 }

@@ -5,6 +5,8 @@
 //! bound over a pool of sub-problems), with a data-placement strategy that
 //! maps the six bound matrices onto the device memory hierarchy.
 
+#![warn(missing_docs)]
+
 pub mod autotune;
 pub mod backend;
 pub mod config;
@@ -21,7 +23,7 @@ pub use backend::{
 };
 pub use config::{BackendKind, GpuSolverConfig};
 pub use kernel_lb::LowerBoundKernel;
-pub use offload::{BoundingEngine, PipelinedBoundingResult};
+pub use offload::{BoundingEngine, PipelineSession, PipelinedBatch, PipelinedBoundingResult};
 pub use placement::DataPlacement;
 pub use solver::{GpuBnbSolver, GpuSolveOutcome};
 pub use stats::GpuRunStats;

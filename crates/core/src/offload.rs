@@ -10,7 +10,8 @@ use fsp::{BoundData, BoundScratch, JohnsonLowerBound, Time};
 use gpu_sim::host::BufferKind;
 use gpu_sim::thread::AccessTally;
 use gpu_sim::{
-    AnalyticWorkload, Device, DeviceBuffer, KernelTiming, LaunchConfig, LaunchStats, Timeline,
+    AnalyticWorkload, Device, DeviceBuffer, DeviceStreams, KernelTiming, LaunchConfig, LaunchStats,
+    Timeline,
 };
 use std::time::Duration;
 
@@ -77,6 +78,105 @@ impl PipelinedBoundingResult {
     }
 }
 
+/// Result of bounding one batch inside a long-lived [`PipelineSession`]
+/// ([`BoundingEngine::bound_nodes_pipelined_in`]).
+///
+/// Unlike [`PipelinedBoundingResult`], the modelled wall time here is the
+/// **critical-path increment**: how much this batch pushed the session's
+/// makespan out. At a pipeline boundary the increment is smaller than the
+/// batch's standalone schedule, because its first uploads hide under the
+/// previous batch's kernels and downloads — the cross-iteration overlap the
+/// paper's per-iteration loop leaves on the table.
+#[derive(Debug, Clone)]
+pub struct PipelinedBatch {
+    /// Lower bound of every node, in input order.
+    pub bounds: Vec<Time>,
+    /// Summed kernel time over this batch's chunks.
+    pub kernel_time: Duration,
+    /// Summed PCIe transfer time over this batch's chunks.
+    pub transfer_time: Duration,
+    /// How much this batch grew the session makespan. Summing the increments
+    /// of every batch of a session reproduces the session's final makespan
+    /// exactly (the series telescopes).
+    pub critical_path: Duration,
+    /// Bytes shipped host→device.
+    pub upload_bytes: usize,
+    /// Bytes shipped device→host.
+    pub download_bytes: usize,
+    /// Number of chunks (kernel launches) the batch was split into.
+    pub chunks: usize,
+}
+
+/// Persistent cross-iteration pipeline state: one event timeline spanning
+/// every batch of a solve, so that the D2H tail of wave *k* and the H2D fill
+/// of wave *k+1* genuinely overlap on the modelled schedule instead of the
+/// pipeline draining between solver iterations.
+///
+/// The session owns three pieces of state on top of the [`Timeline`]:
+///
+/// * the **slot parity** — chunks alternate between the engine's two
+///   device-side pool/output buffer slots, and the alternation continues
+///   across batches, which is what lets a new batch's uploads start while
+///   the previous batch still occupies the other slot;
+/// * per-slot **buffer-reuse floors** — an upload into a slot must wait for
+///   the kernel that last read it, and a kernel writing a slot's output must
+///   wait for the download that last drained it (the WAR hazards real
+///   double buffering has);
+/// * the **staging gate** — with a lookahead depth of one, the host selects
+///   and encodes batch *b* only after the bounds of batch *b − 2* have
+///   landed, so the first encode of a batch waits for the last D2H
+///   completion two batches back.
+///
+/// Cross-batch dependencies are carried as completion-time floors
+/// (equivalent to event dependencies), which lets the session compact the
+/// previous batches' events away ([`Timeline::clear_history`]) when a new
+/// batch starts: the retained timeline holds only the latest batch's
+/// events, so a session spanning millions of nodes stays O(one batch) in
+/// memory while its stream heads, makespan and dependency structure remain
+/// exact.
+///
+/// Create one with [`BoundingEngine::pipeline_session`] and feed batches
+/// through [`BoundingEngine::bound_nodes_pipelined_in`].
+#[derive(Debug, Clone)]
+pub struct PipelineSession {
+    timeline: Timeline,
+    streams: DeviceStreams,
+    /// Which of the engine's two pool slots the next chunk uses.
+    parity: usize,
+    /// Completion of the kernel that last read each pool slot (upload WAR
+    /// hazard).
+    kernel_end_by_slot: [Option<Duration>; 2],
+    /// Completion of the D2H that last drained each output slot (kernel WAR
+    /// hazard).
+    d2h_end_by_slot: [Option<Duration>; 2],
+    /// Completion of the last D2H of the previous batch and of the batch
+    /// before it (`[b − 1, b − 2]`); the latter gates the next batch's
+    /// staging.
+    batch_tail_ends: [Option<Duration>; 2],
+    batches: usize,
+}
+
+impl PipelineSession {
+    /// The event timeline of the session. Stream heads, makespan and the
+    /// lifetime operation count span every batch; the retained events cover
+    /// the latest batch (older history is compacted away, see
+    /// [`Timeline::clear_history`]).
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Makespan of everything recorded so far — the modelled wall time of
+    /// the whole cross-iteration device schedule.
+    pub fn makespan(&self) -> Duration {
+        self.timeline.makespan()
+    }
+
+    /// Number of batches bounded through this session.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+}
+
 /// Owns the simulated device, the six matrix buffers and the per-iteration
 /// pool/output buffers, and runs the bounding kernel over pools of nodes.
 pub struct BoundingEngine {
@@ -95,13 +195,17 @@ pub struct BoundingEngine {
     rm: DeviceBuffer,
     qm: DeviceBuffer,
     mm: DeviceBuffer,
-    pool_buf: DeviceBuffer,
-    out_buf: DeviceBuffer,
-    /// Two reusable staging buffers for the flat pool encoding.
-    /// [`BoundingEngine::bound_nodes`] uses slot 0 only;
-    /// [`BoundingEngine::bound_nodes_pipelined`] alternates slots so chunk
-    /// *k+1* is encoded while chunk *k* is modelled in flight (the classic
-    /// double-buffered pipeline).
+    /// Two device-side pool slots (and matching output slots below): the
+    /// pipelined paths alternate slots per chunk, so the upload of chunk
+    /// *k+1* targets a buffer the in-flight kernel of chunk *k* is not
+    /// reading — classic double buffering, continued across batches by
+    /// [`PipelineSession`] so waves of consecutive solver iterations can
+    /// overlap too. [`BoundingEngine::bound_nodes`] uses slot 0 only.
+    pool_bufs: [DeviceBuffer; 2],
+    out_bufs: [DeviceBuffer; 2],
+    /// Two reusable host staging buffers for the flat pool encoding,
+    /// alternated in lockstep with the device slots so chunk *k+1* is
+    /// encoded while chunk *k* is modelled in flight.
     encode_bufs: [Vec<u32>; 2],
     /// Per-engine scratch for the host-side reference bound (fast-forward
     /// mode bounds whole pools without a single allocation).
@@ -176,8 +280,14 @@ impl BoundingEngine {
         );
 
         let node_stride = 1 + n;
-        let pool_buf = device.alloc(max_pool * node_stride, 2, BufferKind::Stream);
-        let out_buf = device.alloc(max_pool, 4, BufferKind::Stream);
+        let pool_bufs = [
+            device.alloc(max_pool * node_stride, 2, BufferKind::Stream),
+            device.alloc(max_pool * node_stride, 2, BufferKind::Stream),
+        ];
+        let out_bufs = [
+            device.alloc(max_pool, 4, BufferKind::Stream),
+            device.alloc(max_pool, 4, BufferKind::Stream),
+        ];
 
         Self {
             device,
@@ -195,8 +305,8 @@ impl BoundingEngine {
             rm,
             qm,
             mm,
-            pool_buf,
-            out_buf,
+            pool_bufs,
+            out_bufs,
             encode_bufs: [Vec::new(), Vec::new()],
             scratch: BoundScratch::new(),
         }
@@ -278,7 +388,7 @@ impl BoundingEngine {
         }
     }
 
-    fn kernel(&self, num_nodes: usize) -> LowerBoundKernel {
+    fn kernel_on(&self, num_nodes: usize, slot: usize) -> LowerBoundKernel {
         LowerBoundKernel {
             jobs: self.jobs,
             machines: self.machines,
@@ -291,8 +401,8 @@ impl BoundingEngine {
             rm: self.rm,
             qm: self.qm,
             mm: self.mm,
-            pool: self.pool_buf,
-            out: self.out_buf,
+            pool: self.pool_bufs[slot],
+            out: self.out_bufs[slot],
         }
     }
 
@@ -313,13 +423,13 @@ impl BoundingEngine {
             return self.empty_result();
         }
         self.encode(nodes, 0);
-        self.device.upload(self.pool_buf, &self.encode_bufs[0]);
+        self.device.upload(self.pool_bufs[0], &self.encode_bufs[0]);
         let config = self.launch_config(nodes.len());
-        let kernel = self.kernel(nodes.len());
+        let kernel = self.kernel_on(nodes.len(), 0);
         let result = self.device.launch(&kernel, &config);
         let bounds = self
             .device
-            .download_prefix(self.out_buf, nodes.len())
+            .download_prefix(self.out_bufs[0], nodes.len())
             .to_vec();
         self.finish(nodes, bounds, result.timing, result.stats)
     }
@@ -373,6 +483,11 @@ impl BoundingEngine {
     /// and the kernel timing is analytic (fast-forward mode) — results and
     /// modelled times match the functional path exactly.
     ///
+    /// This entry point models a **standalone** batch: the pipeline fills
+    /// and drains within the call. To overlap batches of consecutive solver
+    /// iterations, run them through one [`PipelineSession`] with
+    /// [`BoundingEngine::bound_nodes_pipelined_in`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if `chunk_size` is zero or exceeds the engine's pool capacity.
@@ -382,6 +497,64 @@ impl BoundingEngine {
         chunk_size: usize,
         host_bound: Option<&JohnsonLowerBound>,
     ) -> PipelinedBoundingResult {
+        let mut session = self.pipeline_session();
+        let batch = self.bound_nodes_pipelined_in(nodes, chunk_size, host_bound, &mut session);
+        PipelinedBoundingResult {
+            bounds: batch.bounds,
+            kernel_time: batch.kernel_time,
+            transfer_time: batch.transfer_time,
+            overlapped_time: batch.critical_path,
+            upload_bytes: batch.upload_bytes,
+            download_bytes: batch.download_bytes,
+            chunks: batch.chunks,
+            timeline: session.timeline,
+        }
+    }
+
+    /// Starts a fresh cross-iteration pipeline on this engine's device: an
+    /// empty timeline with the four standard streams, slot parity at zero.
+    pub fn pipeline_session(&self) -> PipelineSession {
+        let (timeline, streams) = self.device.timeline();
+        PipelineSession {
+            timeline,
+            streams,
+            parity: 0,
+            kernel_end_by_slot: [None; 2],
+            d2h_end_by_slot: [None; 2],
+            batch_tail_ends: [None; 2],
+            batches: 0,
+        }
+    }
+
+    /// Bounds `nodes` as one batch of a long-lived [`PipelineSession`],
+    /// continuing the session's timeline, stream heads and slot parity so
+    /// that this batch's H2D fill overlaps the previous batch's kernel and
+    /// D2H tail on the modelled schedule (cross-iteration overlap).
+    ///
+    /// The recorded dependencies are exactly the ones a double-buffered CUDA
+    /// implementation with a lookahead of one batch would need:
+    ///
+    /// * the first encode of the batch waits for the last D2H event **two
+    ///   batches back** (the host selected this batch right after consuming
+    ///   those bounds, while the previous batch was still in flight);
+    /// * an upload into a pool slot waits for the kernel that last read it;
+    /// * a kernel writing an output slot waits for the D2H that last
+    ///   drained it;
+    /// * chunk-level H2D → kernel → D2H dependencies and per-stream FIFO
+    ///   order, as in the standalone pipeline.
+    ///
+    /// Bounds are bit-identical to [`BoundingEngine::bound_nodes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero or exceeds the engine's pool capacity.
+    pub fn bound_nodes_pipelined_in(
+        &mut self,
+        nodes: &[FspNode],
+        chunk_size: usize,
+        host_bound: Option<&JohnsonLowerBound>,
+        session: &mut PipelineSession,
+    ) -> PipelinedBatch {
         assert!(chunk_size > 0, "the pipeline needs a positive chunk size");
         assert!(
             chunk_size <= self.max_pool,
@@ -389,7 +562,7 @@ impl BoundingEngine {
             chunk_size,
             self.max_pool
         );
-        let (mut timeline, streams) = self.device.timeline();
+        let start_makespan = session.timeline.makespan();
         let mut bounds: Vec<Time> = Vec::with_capacity(nodes.len());
         let mut kernel_time = Duration::ZERO;
         let mut transfer_time = Duration::ZERO;
@@ -398,40 +571,64 @@ impl BoundingEngine {
 
         let chunks: Vec<&[FspNode]> = nodes.chunks(chunk_size).collect();
         let functional = host_bound.is_none();
+        // Compact the previous batches' events before recording this one:
+        // every cross-batch dependency is carried as a completion-time
+        // floor, so the retained window only ever holds the current batch
+        // and a session spanning a whole solve stays bounded in memory.
+        if !chunks.is_empty() {
+            session.timeline.clear_history();
+        }
+        let timeline = &mut session.timeline;
+        let streams = session.streams;
 
         // Host pool encoding is *not* priced into the modelled device time —
         // neither here nor in the one-launch paths — so the overlapped and
         // serialized figures compare like for like. The encode events are
         // still recorded (zero-duration, on the host stream) because the
-        // upload of chunk k must order after its staging; the alternating
-        // `encode_bufs` slots are the double buffer a real implementation
-        // overlaps with the in-flight chunk.
+        // upload of chunk k must order after its staging; the first encode
+        // of the batch additionally waits for the bounds the host consumed
+        // before selecting this batch (the staging gate, see
+        // [`PipelineSession`]).
         let mut encode_events = Vec::with_capacity(chunks.len());
         if let Some(first) = chunks.first() {
             if functional {
-                self.encode(first, 0);
+                self.encode(first, session.parity);
             }
-            encode_events.push(timeline.record(streams.host, Duration::ZERO, &[]));
+            let gate: &[Duration] = match &session.batch_tail_ends[1] {
+                Some(end) => std::slice::from_ref(end),
+                None => &[],
+            };
+            encode_events.push(timeline.record_after(streams.host, Duration::ZERO, &[], gate));
         }
 
+        let mut last_d2h_end = None;
         for (k, chunk) in chunks.iter().enumerate() {
-            let slot = k % 2;
+            let slot = session.parity;
+            session.parity ^= 1;
 
-            // H2D copy of the staged encoding (waits for its encode).
+            // H2D copy of the staged encoding: waits for its encode and for
+            // the kernel that last read this pool slot (double buffering
+            // means two chunks may be in flight, never three).
             let up_bytes = self.upload_bytes(chunk);
             let up_dur = self.device.htod_time(up_bytes);
             if functional {
-                self.device.upload(self.pool_buf, &self.encode_bufs[slot]);
+                self.device
+                    .upload(self.pool_bufs[slot], &self.encode_bufs[slot]);
             }
-            let up_ev = timeline.record(streams.h2d, up_dur, &[encode_events[k]]);
+            let mut up_floors: Vec<Duration> = Vec::with_capacity(1);
+            if let Some(prev_kernel_end) = session.kernel_end_by_slot[slot] {
+                up_floors.push(prev_kernel_end);
+            }
+            let up_ev = timeline.record_after(streams.h2d, up_dur, &[encode_events[k]], &up_floors);
             upload_total += up_bytes;
             transfer_time += up_dur;
 
-            // Kernel over the chunk (waits for its upload).
+            // Kernel over the chunk: waits for its upload and for the D2H
+            // that last drained this output slot.
             let config = self.launch_config(chunk.len());
             let launch = match host_bound {
                 None => {
-                    let kernel = self.kernel(chunk.len());
+                    let kernel = self.kernel_on(chunk.len(), slot);
                     self.device.launch(&kernel, &config)
                 }
                 Some(lb) => {
@@ -449,14 +646,24 @@ impl BoundingEngine {
                     self.device.launch_analytic(&workload, &config)
                 }
             };
-            let kernel_ev = timeline.record(streams.compute, launch.timing.duration, &[up_ev]);
+            let mut kernel_floors: Vec<Duration> = Vec::with_capacity(1);
+            if let Some(prev_d2h_end) = session.d2h_end_by_slot[slot] {
+                kernel_floors.push(prev_d2h_end);
+            }
+            let kernel_ev = timeline.record_after(
+                streams.compute,
+                launch.timing.duration,
+                &[up_ev],
+                &kernel_floors,
+            );
+            session.kernel_end_by_slot[slot] = Some(timeline.completion(kernel_ev));
             kernel_time += launch.timing.duration;
 
             // Double buffering: encode chunk k+1 into the other slot while
             // chunk k is modelled in flight (no dependency on the device).
             if let Some(next) = chunks.get(k + 1) {
                 if functional {
-                    self.encode(next, (k + 1) % 2);
+                    self.encode(next, session.parity);
                 }
                 encode_events.push(timeline.record(streams.host, Duration::ZERO, &[]));
             }
@@ -464,23 +671,33 @@ impl BoundingEngine {
             // D2H copy of the chunk's bounds (waits for its kernel).
             let down_bytes = chunk.len() * 4;
             let down_dur = self.device.htod_time(down_bytes);
-            timeline.record(streams.d2h, down_dur, &[kernel_ev]);
+            let d2h_ev = timeline.record(streams.d2h, down_dur, &[kernel_ev]);
+            let d2h_end = timeline.completion(d2h_ev);
+            session.d2h_end_by_slot[slot] = Some(d2h_end);
+            last_d2h_end = Some(d2h_end);
             download_total += down_bytes;
             transfer_time += down_dur;
             if functional {
-                bounds.extend_from_slice(self.device.download_prefix(self.out_buf, chunk.len()));
+                bounds.extend_from_slice(
+                    self.device
+                        .download_prefix(self.out_bufs[slot], chunk.len()),
+                );
             }
         }
 
-        PipelinedBoundingResult {
+        if !chunks.is_empty() {
+            session.batch_tail_ends = [last_d2h_end, session.batch_tail_ends[0]];
+            session.batches += 1;
+        }
+
+        PipelinedBatch {
             bounds,
             kernel_time,
             transfer_time,
-            overlapped_time: timeline.makespan(),
+            critical_path: session.timeline.makespan() - start_makespan,
             upload_bytes: upload_total,
             download_bytes: download_total,
             chunks: chunks.len(),
-            timeline,
         }
     }
 
@@ -787,6 +1004,113 @@ mod tests {
         let (mut engine, _) = engine_for(&inst, DataPlacement::AllGlobal, 4);
         let nodes = some_nodes(&inst, 4);
         engine.bound_nodes_pipelined(&nodes, 8, None);
+    }
+
+    #[test]
+    fn session_bounds_match_and_critical_paths_telescope() {
+        let inst = generate("t", 12, 6, 421);
+        let (mut engine, _) = engine_for(&inst, DataPlacement::SharedJmPtm, 64);
+        let nodes = some_nodes(&inst, 60);
+        let reference = engine.bound_nodes(&nodes).bounds;
+        let mut session = engine.pipeline_session();
+        let mut summed = Duration::ZERO;
+        let mut all_bounds = Vec::new();
+        for chunk in nodes.chunks(20) {
+            let batch = engine.bound_nodes_pipelined_in(chunk, 7, None, &mut session);
+            summed += batch.critical_path;
+            all_bounds.extend(batch.bounds);
+        }
+        assert_eq!(all_bounds, reference, "session bounds must stay exact");
+        assert_eq!(
+            summed,
+            session.makespan(),
+            "per-batch critical paths must telescope to the session makespan"
+        );
+        assert_eq!(session.batches(), 3);
+    }
+
+    #[test]
+    fn cross_iteration_session_beats_per_batch_pipelines() {
+        let inst = generate("t", 14, 8, 29);
+        let (mut engine, _) = engine_for(&inst, DataPlacement::SharedJmPtm, 128);
+        let nodes = some_nodes(&inst, 128);
+        // Per-batch pipelines: every 32-node batch fills and drains its own
+        // schedule.
+        let mut standalone = Duration::ZERO;
+        for batch in nodes.chunks(32) {
+            standalone += engine.bound_nodes_pipelined(batch, 8, None).overlapped_time;
+        }
+        // Cross-iteration: the same batches ride one session, so each
+        // batch's fill hides under the previous batch's tail.
+        let mut session = engine.pipeline_session();
+        for batch in nodes.chunks(32) {
+            engine.bound_nodes_pipelined_in(batch, 8, None, &mut session);
+        }
+        assert!(
+            session.makespan() < standalone,
+            "cross-iteration schedule {:?} must beat the per-batch sum {:?}",
+            session.makespan(),
+            standalone
+        );
+    }
+
+    #[test]
+    fn session_memory_stays_bounded_across_batches() {
+        // The session compacts the previous batch's events when a new batch
+        // starts: the retained window never exceeds one batch (4 events per
+        // chunk + the encode chain), while the lifetime count and the
+        // makespan keep growing.
+        let inst = generate("t", 12, 6, 421);
+        let (mut engine, lb) = engine_for(&inst, DataPlacement::SharedJmPtm, 64);
+        let nodes = some_nodes(&inst, 60);
+        let mut session = engine.pipeline_session();
+        let mut last_len = 0;
+        for chunk in nodes.chunks(20) {
+            engine.bound_nodes_pipelined_in(chunk, 7, Some(&lb), &mut session);
+            let retained = session.timeline().events().count();
+            assert!(
+                retained <= 4 * 3 + 1,
+                "retained window {retained} must cover one batch only"
+            );
+            assert!(session.timeline().len() > last_len, "lifetime count grows");
+            last_len = session.timeline().len();
+        }
+        assert_eq!(session.batches(), 3);
+    }
+
+    #[test]
+    fn session_empty_batch_is_a_no_op() {
+        let inst = generate("t", 8, 4, 2);
+        let (mut engine, _) = engine_for(&inst, DataPlacement::AllGlobal, 8);
+        let mut session = engine.pipeline_session();
+        let batch = engine.bound_nodes_pipelined_in(&[], 4, None, &mut session);
+        assert!(batch.bounds.is_empty());
+        assert_eq!(batch.chunks, 0);
+        assert_eq!(batch.critical_path, Duration::ZERO);
+        assert_eq!(session.batches(), 0);
+        assert_eq!(session.makespan(), Duration::ZERO);
+    }
+
+    #[test]
+    fn session_fast_forward_matches_functional_timing() {
+        let inst = generate("t", 10, 6, 5);
+        let (mut engine, lb) = engine_for(&inst, DataPlacement::SharedJmPtm, 64);
+        let nodes = some_nodes(&inst, 48);
+        let mut functional = engine.pipeline_session();
+        let mut fast = engine.pipeline_session();
+        for chunk in nodes.chunks(16) {
+            engine.bound_nodes_pipelined_in(chunk, 6, None, &mut functional);
+        }
+        let mut fast_bounds = Vec::new();
+        for chunk in nodes.chunks(16) {
+            fast_bounds.extend(
+                engine
+                    .bound_nodes_pipelined_in(chunk, 6, Some(&lb), &mut fast)
+                    .bounds,
+            );
+        }
+        assert_eq!(fast_bounds, engine.bound_nodes(&nodes).bounds);
+        assert_eq!(functional.makespan(), fast.makespan());
     }
 
     #[test]

@@ -131,23 +131,9 @@ impl GpuBnbSolver {
         }
         stats.max_pool = pool.len();
 
-        let mut stop = StopReason::Exhausted;
-        'outer: loop {
-            if let Some(limit) = self.config.node_limit {
-                if stats.bounded >= limit {
-                    stop = StopReason::NodeLimit;
-                    break;
-                }
-            }
-            if let Some(limit) = self.config.time_limit {
-                if start.elapsed() >= limit {
-                    stop = StopReason::TimeLimit;
-                    break;
-                }
-            }
-
-            // Selection + branching on the CPU: accumulate children until the
-            // configured pool size is reached or the pending pool runs dry.
+        // Selection + branching on the CPU: accumulate children until the
+        // configured pool size is reached or the pending pool runs dry.
+        let select_batch = |pool: &mut BestFirstPool, stats: &mut SolveStats| -> Vec<FspNode> {
             let mut batch: Vec<FspNode> = Vec::with_capacity(self.config.pool_size + n);
             while batch.len() < self.config.pool_size {
                 let Some(node) = pool.pop() else { break };
@@ -159,15 +145,20 @@ impl GpuBnbSolver {
                 stats.decomposed += 1;
                 self.problem.branch_into(&node, &mut batch);
             }
-            if batch.is_empty() {
-                if pool.is_empty() {
-                    break 'outer;
-                }
-                continue;
-            }
+            batch
+        };
 
-            // Bounding through the selected backend.
-            let result = backend.bound_batch(&batch);
+        // Device accounting + elimination of one bounded batch. Factored
+        // out so a pending lookahead batch can be consumed on the
+        // (time-limit) break path too — every batch the backend bounds is
+        // either consumed here or never submitted, so
+        // `gpu.nodes_bounded == stats.bounded` holds unconditionally.
+        let consume = |batch: Vec<FspNode>,
+                       result: crate::backend::BackendBatch,
+                       pool: &mut BestFirstPool,
+                       stats: &mut SolveStats,
+                       gpu: &mut GpuRunStats,
+                       best_schedule: &mut Option<Vec<Job>>| {
             let acc = result.accounting;
             gpu.iterations += 1;
             gpu.nodes_bounded += batch.len() as u64;
@@ -187,7 +178,7 @@ impl GpuBnbSolver {
                     let cost = self.problem.leaf_cost(&child);
                     if ub.try_improve(cost) {
                         stats.improvements += 1;
-                        best_schedule = Some(child.prefix_vec());
+                        *best_schedule = Some(child.prefix_vec());
                     }
                 } else if ub.prunes(bound) {
                     stats.pruned += 1;
@@ -196,6 +187,87 @@ impl GpuBnbSolver {
                 }
             }
             stats.max_pool = stats.max_pool.max(pool.len());
+        };
+
+        let mut stop = StopReason::Exhausted;
+        // Lookahead queue (cross-iteration pipelining): the batch of pool
+        // k+1 already bounded by the backend while pool k's elimination was
+        // still pending. `None` in the strict (non-lookahead) loop.
+        let mut in_flight: Option<(Vec<FspNode>, crate::backend::BackendBatch)> = None;
+        'outer: loop {
+            if let Some(limit) = self.config.node_limit {
+                if stats.bounded >= limit {
+                    stop = StopReason::NodeLimit;
+                    break;
+                }
+            }
+            if let Some(limit) = self.config.time_limit {
+                if start.elapsed() >= limit {
+                    // A pending lookahead batch is already bounded; apply
+                    // its elimination so no bounded node goes unaccounted
+                    // (the time limit, like the node limit, is a soft cap).
+                    if let Some((batch, result)) = in_flight.take() {
+                        consume(
+                            batch,
+                            result,
+                            &mut pool,
+                            &mut stats,
+                            &mut gpu,
+                            &mut best_schedule,
+                        );
+                    }
+                    stop = StopReason::TimeLimit;
+                    break;
+                }
+            }
+
+            let (batch, result) = match in_flight.take() {
+                Some(flight) => flight,
+                None => {
+                    let batch = select_batch(&mut pool, &mut stats);
+                    if batch.is_empty() {
+                        if pool.is_empty() {
+                            break 'outer;
+                        }
+                        continue;
+                    }
+                    let result = backend.bound_batch(&batch);
+                    (batch, result)
+                }
+            };
+
+            // Lookahead: select and submit pool k+1 *before* eliminating
+            // pool k, so the backend bounds it while the host below runs
+            // elimination — the cross-iteration overlap of the tentpole.
+            // The selection sees the incumbent as of pool k-1's elimination
+            // (bounds are node-local, so results stay exact; pruning is
+            // re-checked per child at elimination time). Speculate only when
+            // (a) the pending pool is deep enough to fill a batch without
+            // the in-flight children — on a thin pool the speculative batch
+            // would be built from stale, shallow nodes the strict loop may
+            // never visit, and that exploration penalty outweighs the
+            // overlap — and (b) the node budget survives the batch in hand,
+            // so no speculative work is orphaned by the node-limit break.
+            let budget_survives = self
+                .config
+                .node_limit
+                .is_none_or(|limit| stats.bounded + (batch.len() as u64) < limit);
+            if self.config.lookahead && budget_survives && pool.len() >= self.config.pool_size {
+                let next = select_batch(&mut pool, &mut stats);
+                if !next.is_empty() {
+                    let result = backend.bound_batch(&next);
+                    in_flight = Some((next, result));
+                }
+            }
+
+            consume(
+                batch,
+                result,
+                &mut pool,
+                &mut stats,
+                &mut gpu,
+                &mut best_schedule,
+            );
         }
 
         gpu.wall_time = start.elapsed();
@@ -385,6 +457,125 @@ mod tests {
             "pipelined schedule {:?} must beat the serialized {:?}",
             piped.gpu.overlapped_time,
             piped.gpu.kernel_time + piped.gpu.transfer_time
+        );
+    }
+
+    #[test]
+    fn lookahead_solver_matches_the_strict_loop_under_a_fixed_incumbent() {
+        // With the incumbent seeded at the optimum it can never improve
+        // mid-run, so the speculative lookahead selection provably visits
+        // the same node set as the strict loop — identical counters, not
+        // just the same makespan.
+        let inst = generate("t", 9, 5, 31);
+        let reference = SerialSolver::with_defaults(FspProblem::new(inst.clone())).solve();
+        let optimal = reference.best_makespan;
+        let perm = reference.best_schedule.expect("schedule");
+        let run = |backend: crate::config::BackendKind, lookahead: bool| {
+            let cfg = GpuSolverConfig {
+                pool_size: 24,
+                backend,
+                lookahead,
+                fast_forward: true,
+                ..Default::default()
+            };
+            GpuBnbSolver::new(inst.clone(), cfg).solve_from(
+                {
+                    let problem = FspProblem::new(inst.clone());
+                    let mut root = problem.root();
+                    problem.bound(&mut root);
+                    vec![root]
+                },
+                Some(optimal),
+                Some(perm.clone()),
+            )
+        };
+        let strict = run(crate::config::BackendKind::Sequential, false);
+        let ahead = run(crate::config::BackendKind::GpuPipelined, true);
+        assert_eq!(strict.best_makespan, ahead.best_makespan);
+        assert_eq!(strict.best_makespan, optimal);
+        assert_eq!(strict.stats.bounded, ahead.stats.bounded);
+        assert_eq!(strict.stats.decomposed, ahead.stats.decomposed);
+        assert_eq!(strict.stats.pruned, ahead.stats.pruned);
+        assert_eq!(strict.stats.selected, ahead.stats.selected);
+        assert_eq!(ahead.gpu.nodes_bounded, ahead.stats.bounded);
+    }
+
+    #[test]
+    fn lookahead_solver_still_finds_the_optimum_from_the_root() {
+        // No seeded incumbent: improvements happen mid-run, the exploration
+        // order may differ from the strict loop, but the result must not.
+        for seed in [7, 21, 77] {
+            let inst = generate(format!("t{seed}"), 8, 4, seed);
+            let (_, expected) = brute_force_optimal(&inst);
+            let cfg = GpuSolverConfig {
+                pool_size: 32,
+                backend: crate::config::BackendKind::GpuPipelined,
+                lookahead: true,
+                fast_forward: true,
+                ..Default::default()
+            };
+            let outcome = GpuBnbSolver::new(inst, cfg).solve();
+            assert!(outcome.is_optimal(), "seed {seed}");
+            assert_eq!(outcome.best_makespan, expected, "seed {seed}");
+            assert_eq!(outcome.gpu.nodes_bounded, outcome.stats.bounded);
+        }
+    }
+
+    #[test]
+    fn lookahead_with_a_node_limit_orphans_no_speculative_work() {
+        let inst = generate("t", 12, 10, 5);
+        let cfg = GpuSolverConfig {
+            pool_size: 128,
+            node_limit: Some(1_000),
+            backend: crate::config::BackendKind::GpuPipelined,
+            lookahead: true,
+            fast_forward: true,
+            ..Default::default()
+        };
+        let outcome = GpuBnbSolver::new(inst, cfg).solve();
+        assert_eq!(outcome.stop, StopReason::NodeLimit);
+        // Every batch the backend bounded was also eliminated, and every
+        // decomposed node's children were bounded — nothing speculative was
+        // orphaned by the limit.
+        assert_eq!(outcome.gpu.nodes_bounded, outcome.stats.bounded);
+        assert!(outcome.stats.decomposed <= outcome.stats.bounded);
+        // The soft cap overshoots by at most the final batch.
+        assert!(outcome.stats.bounded < 1_000 + 2 * (128 + 12) as u64);
+    }
+
+    #[test]
+    fn cross_iteration_overlap_shrinks_the_device_schedule() {
+        // Same exploration (incumbent fixed at the optimum), one persistent
+        // pipeline: the cross-iteration schedule must undercut the per-batch
+        // pipelined schedule, which itself undercuts the serialized one.
+        let inst = generate("t", 10, 8, 3);
+        let reference = SerialSolver::with_defaults(FspProblem::new(inst.clone())).solve();
+        let optimal = reference.best_makespan;
+        let perm = reference.best_schedule.expect("schedule");
+        let run = |lookahead: bool| {
+            let cfg = GpuSolverConfig {
+                pool_size: 64,
+                backend: crate::config::BackendKind::GpuPipelined,
+                pipeline_depth: 4,
+                lookahead,
+                fast_forward: true,
+                ..Default::default()
+            };
+            let solver = GpuBnbSolver::new(inst.clone(), cfg);
+            let problem = FspProblem::new(inst.clone());
+            let mut root = problem.root();
+            problem.bound(&mut root);
+            solver.solve_from(vec![root], Some(optimal), Some(perm.clone()))
+        };
+        let per_batch = run(false);
+        let cross = run(true);
+        assert_eq!(per_batch.stats.bounded, cross.stats.bounded);
+        assert!(cross.gpu.iterations > 1, "need several pools to overlap");
+        assert!(
+            cross.gpu.overlapped_time < per_batch.gpu.overlapped_time,
+            "cross-iteration schedule {:?} must beat per-batch {:?}",
+            cross.gpu.overlapped_time,
+            per_batch.gpu.overlapped_time
         );
     }
 

@@ -24,6 +24,8 @@
 //! ([`host::Device`], buffers, launches) so that the GPU-accelerated B&B in
 //! the `gpu-bnb` crate reads like the CUDA program the paper describes.
 
+#![warn(missing_docs)]
+
 pub mod device;
 pub mod executor;
 pub mod host;

@@ -65,7 +65,14 @@ impl TimelineEvent {
 pub struct Timeline {
     /// Completion time of the last operation enqueued on each stream.
     stream_heads: Vec<Duration>,
+    /// Events recorded since the last [`Timeline::clear_history`]; the
+    /// `base` offset keeps [`EventId`]s issued after a clear valid.
     events: Vec<TimelineEvent>,
+    base: usize,
+    /// Cached completion time of the latest-finishing event, so
+    /// [`Timeline::makespan`] stays `O(1)` on timelines that live across a
+    /// whole solve (the cross-iteration pipeline queries it per batch).
+    horizon: Duration,
 }
 
 impl Timeline {
@@ -92,53 +99,106 @@ impl Timeline {
     ///
     /// # Panics
     ///
-    /// Panics if `stream` or any dependency does not belong to this timeline.
+    /// Panics if `stream` or any dependency does not belong to this timeline
+    /// (or was forgotten by [`Timeline::clear_history`]).
     pub fn record(&mut self, stream: StreamId, duration: Duration, deps: &[EventId]) -> EventId {
+        self.record_after(stream, duration, deps, &[])
+    }
+
+    /// Like [`Timeline::record`], but with explicit completion-time
+    /// `floors` in addition to the event dependencies: the operation starts
+    /// no earlier than any floor. Long-lived schedules use floors to depend
+    /// on operations whose events have been compacted away by
+    /// [`Timeline::clear_history`] — a floor at an event's completion time
+    /// is exactly equivalent to a dependency on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` or any dependency does not belong to this timeline
+    /// (or was forgotten by [`Timeline::clear_history`]).
+    pub fn record_after(
+        &mut self,
+        stream: StreamId,
+        duration: Duration,
+        deps: &[EventId],
+        floors: &[Duration],
+    ) -> EventId {
         let mut start = self.stream_heads[stream.0];
         for dep in deps {
-            start = start.max(self.events[dep.0].end);
+            start = start.max(self.event(*dep).end);
+        }
+        for floor in floors {
+            start = start.max(*floor);
         }
         let end = start + duration;
         self.stream_heads[stream.0] = end;
+        self.horizon = self.horizon.max(end);
         self.events.push(TimelineEvent { stream, start, end });
-        EventId(self.events.len() - 1)
+        EventId(self.base + self.events.len() - 1)
+    }
+
+    /// Forgets every recorded event while keeping the stream heads, the
+    /// total operation count and the makespan: subsequent recordings
+    /// continue the same schedule, but the forgotten events can no longer
+    /// be queried or used as dependencies (capture their completion times
+    /// first and pass them as floors to [`Timeline::record_after`]).
+    ///
+    /// This is what bounds the memory of a timeline that spans a whole
+    /// solve — e.g. the cross-iteration pipeline session compacts the
+    /// previous batch's events when a new batch starts, so it holds one
+    /// batch's events instead of the full history. Inspection methods
+    /// ([`Timeline::events`], [`Timeline::busy`], [`Timeline::serialized`])
+    /// cover the window since the last clear.
+    pub fn clear_history(&mut self) {
+        self.base += self.events.len();
+        self.events.clear();
     }
 
     /// The recorded operation behind an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event was forgotten by [`Timeline::clear_history`].
     pub fn event(&self, id: EventId) -> TimelineEvent {
-        self.events[id.0]
+        let idx =
+            id.0.checked_sub(self.base)
+                .expect("event was forgotten by clear_history");
+        self.events[idx]
     }
 
-    /// Every recorded operation, in recording order.
+    /// Every retained operation (since the last
+    /// [`Timeline::clear_history`]), in recording order.
     pub fn events(&self) -> impl Iterator<Item = &TimelineEvent> {
         self.events.iter()
     }
 
     /// Completion time of an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event was forgotten by [`Timeline::clear_history`].
     pub fn completion(&self, id: EventId) -> Duration {
-        self.events[id.0].end
+        self.event(id).end
     }
 
-    /// Number of recorded operations.
+    /// Number of operations recorded over the timeline's lifetime
+    /// (including any forgotten by [`Timeline::clear_history`]).
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.base + self.events.len()
     }
 
-    /// `true` when nothing has been recorded.
+    /// `true` when nothing has ever been recorded.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.len() == 0
     }
 
     /// Completion time of the whole schedule (zero when empty).
     pub fn makespan(&self) -> Duration {
-        self.events
-            .iter()
-            .map(|e| e.end)
-            .max()
-            .unwrap_or(Duration::ZERO)
+        self.horizon
     }
 
-    /// Total busy time of one stream (sum of its operation durations).
+    /// Total busy time of one stream (sum of its retained operations'
+    /// durations — the window since the last [`Timeline::clear_history`]).
     pub fn busy(&self, stream: StreamId) -> Duration {
         self.events
             .iter()
@@ -147,9 +207,10 @@ impl Timeline {
             .sum()
     }
 
-    /// Sum of every operation's duration — the serialized cost the schedule
-    /// would pay on a single stream. `makespan() <= serialized()` always;
-    /// the gap is the benefit of the overlap.
+    /// Sum of every retained operation's duration — the serialized cost the
+    /// schedule would pay on a single stream. On a never-cleared timeline
+    /// `makespan() <= serialized()` always; the gap is the benefit of the
+    /// overlap.
     pub fn serialized(&self) -> Duration {
         self.events.iter().map(|e| e.duration()).sum()
     }
@@ -287,6 +348,55 @@ mod tests {
             events.push(ev);
         }
         assert!(tl.makespan() <= tl.serialized());
+        // The cached horizon agrees with a full scan over the events.
+        let scanned = tl.events().map(|e| e.end).max().unwrap();
+        assert_eq!(tl.makespan(), scanned);
+    }
+
+    #[test]
+    fn floors_constrain_like_dependencies() {
+        let mut tl = Timeline::new();
+        let a = tl.add_stream();
+        let b = tl.add_stream();
+        let first = tl.record(a, ms(7), &[]);
+        let by_dep = tl.record(b, ms(2), &[first]);
+        // A floor at the dependency's completion time schedules identically.
+        let by_floor = tl.record_after(b, ms(2), &[], &[tl.completion(first)]);
+        assert_eq!(tl.event(by_dep).start, ms(7));
+        assert_eq!(tl.event(by_floor).start, ms(9)); // FIFO after by_dep
+        let mut tl2 = Timeline::new();
+        let _a = tl2.add_stream();
+        let b2 = tl2.add_stream();
+        tl2.record(_a, ms(7), &[]);
+        let ev = tl2.record_after(b2, ms(2), &[], &[ms(7)]);
+        assert_eq!(tl2.event(ev).start, ms(7));
+    }
+
+    #[test]
+    fn clear_history_keeps_the_schedule_but_frees_the_events() {
+        let mut tl = Timeline::new();
+        let s = tl.add_stream();
+        let first = tl.record(s, ms(5), &[]);
+        let first_end = tl.completion(first);
+        tl.clear_history();
+        assert_eq!(tl.len(), 1, "lifetime count survives the clear");
+        assert_eq!(tl.events().count(), 0, "events are freed");
+        assert_eq!(tl.makespan(), ms(5), "makespan survives");
+        // New recordings continue the same schedule (stream FIFO preserved),
+        // with the forgotten event expressible as a floor.
+        let next = tl.record_after(s, ms(3), &[], &[first_end]);
+        assert_eq!(tl.event(next).start, ms(5));
+        assert_eq!(tl.makespan(), ms(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "forgotten by clear_history")]
+    fn stale_event_ids_fail_loudly_after_a_clear() {
+        let mut tl = Timeline::new();
+        let s = tl.add_stream();
+        let old = tl.record(s, ms(1), &[]);
+        tl.clear_history();
+        tl.event(old);
     }
 
     #[test]

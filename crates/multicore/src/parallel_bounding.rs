@@ -49,9 +49,17 @@ impl ParallelBoundingPool {
             let handle = std::thread::Builder::new()
                 .name(format!("bounding-worker-{i}"))
                 .spawn(move || {
-                    // Run jobs until the pool drops its sender.
+                    // Run jobs until the pool drops its sender. A panicking
+                    // job (a buggy or poisoned bound implementation) must
+                    // not take the long-lived worker down with it: the
+                    // panic is caught, the job's completion sender is
+                    // dropped by the unwind (which is how the dispatching
+                    // batch learns something died), and the worker stays
+                    // available for the next batch — so the pool both keeps
+                    // working after a failed batch and shuts down cleanly on
+                    // drop instead of leaving dead workers behind.
                     while let Ok(job) = rx.recv() {
-                        job();
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                     }
                 })
                 .expect("spawn bounding worker");
@@ -98,7 +106,9 @@ impl ParallelBoundingPool {
             // return (or unwind) until every dispatched job has either run
             // or been destroyed — `Err` from `done_rx.recv()` means every
             // `done` clone is gone, i.e. no job still holds a borrow — so no
-            // borrow outlives this call, even when a worker has died.
+            // borrow outlives this call, even when a job panicked (the
+            // worker catches the panic; the unwind destroys the job and its
+            // borrows before the worker takes new work) or a worker died.
             let job: Job = unsafe {
                 std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send>>(
                     Box::new(task),
@@ -127,7 +137,7 @@ impl ParallelBoundingPool {
         }
         assert!(
             !send_failed && completed == dispatched,
-            "a bounding worker died before completing its chunk"
+            "a bounding job panicked or its worker died before completing its chunk"
         );
         results
     }
@@ -143,9 +153,13 @@ impl Clone for ParallelBoundingPool {
 
 impl Drop for ParallelBoundingPool {
     fn drop(&mut self) {
-        // Disconnect the channels so the workers' `recv` loops end…
+        // Disconnect the channels so the workers' `recv` loops end — a
+        // worker that is mid-job finishes (or unwinds out of) that job
+        // first, sees the disconnect, and exits…
         self.senders.clear();
-        // …then reap them.
+        // …then reap them. `join` returns `Err` only if a worker's own loop
+        // panicked (job panics are caught inside the worker); either way the
+        // thread is gone and the drop completes without hanging.
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
@@ -240,5 +254,64 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_panics() {
         ParallelBoundingPool::new(0);
+    }
+
+    /// A bound that panics on every node ≥ some depth — stands in for a
+    /// buggy bound implementation poisoning a batch mid-dispatch.
+    struct PanickingBound;
+
+    impl NodeBound for PanickingBound {
+        fn bound_node(&self, _node: &FspNode) -> Time {
+            panic!("poisoned bound");
+        }
+        fn bound_name(&self) -> &'static str {
+            "panicking"
+        }
+    }
+
+    use bb::problem::NodeBound;
+
+    #[test]
+    fn pool_survives_a_panicking_batch_and_keeps_bounding() {
+        let inst = generate("t", 14, 6, 17);
+        let lb = JohnsonLowerBound::new(&inst);
+        let nodes = batch(&inst, 64);
+        assert!(nodes.len() > 1, "the poisoned batch must actually dispatch");
+        let pool = ParallelBoundingPool::new(3);
+        let reference = pool.bound_batch(&nodes, &lb);
+
+        // The batch fails loudly…
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.bound_batch(&nodes, &PanickingBound)
+        }));
+        assert!(caught.is_err(), "a poisoned batch must fail loudly");
+
+        // …but the long-lived workers survive it: the same pool still
+        // bounds the next batch correctly (before the fix the workers died
+        // with the panicking jobs and every later batch failed too).
+        assert_eq!(pool.bound_batch(&nodes, &lb), reference);
+    }
+
+    #[test]
+    fn pool_drops_cleanly_after_a_mid_flight_panic() {
+        // Drop the pool right after a batch panicked mid-flight, on its own
+        // thread so a hang in `Drop` (workers never reaped) turns into a
+        // test failure instead of a stuck suite.
+        let (done_tx, done_rx) = channel();
+        std::thread::spawn(move || {
+            let inst = generate("t", 14, 6, 17);
+            let nodes = batch(&inst, 64);
+            assert!(nodes.len() > 1, "the poisoned batch must actually dispatch");
+            let pool = ParallelBoundingPool::new(4);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.bound_batch(&nodes, &PanickingBound)
+            }));
+            assert!(caught.is_err());
+            drop(pool);
+            let _ = done_tx.send(());
+        });
+        done_rx
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .expect("dropping a pool after a mid-flight panic must not hang");
     }
 }
