@@ -6,14 +6,16 @@
 //! The report is the contract of the `bench-smoke` CI job: a run on a small
 //! frozen workload is compared against the committed `BENCH_baseline.json`
 //! and the job fails when the nodes/sec throughput regresses by more than the
-//! configured fraction. `--smoke` runs the workload once per gated backend
-//! (the plain GPU off-load and its stream-pipelined variant) and emits one
-//! report row per backend.
+//! configured fraction. `--smoke` runs the workload once per gated row (the
+//! plain GPU off-load, its stream-pipelined variant with and without
+//! cross-iteration lookahead, and the two-device fleet) and emits one report
+//! row each; `--summary` appends the baseline-vs-current table as Markdown
+//! (what CI drops into `$GITHUB_STEP_SUMMARY`).
 //!
 //! ```text
 //! solve_taillard --smoke --baseline BENCH_baseline.json
 //! solve_taillard --file instances/ta021 --mode serial --node-limit 200000
-//! solve_taillard --jobs 20 --machines 20 --seed 2012 --backend gpu-pipelined --json out.json
+//! solve_taillard --jobs 20 --machines 20 --seed 2012 --backend fleet --devices 4 --json out.json
 //! ```
 
 use bb::{frozen_pool, FrozenPool, FspProblem, SerialSolver, SolverConfig};
@@ -42,9 +44,13 @@ impl Mode {
     fn name(self) -> &'static str {
         match self {
             Mode::Serial => "serial",
-            Mode::Backend(BackendKind::Gpu | BackendKind::GpuPipelined) => "gpu",
+            Mode::Backend(
+                BackendKind::Gpu | BackendKind::GpuPipelined | BackendKind::Fleet { .. },
+            ) => "gpu",
             Mode::Backend(_) => "offload",
-            Mode::BackendFast(BackendKind::Gpu | BackendKind::GpuPipelined) => "gpu-fast",
+            Mode::BackendFast(
+                BackendKind::Gpu | BackendKind::GpuPipelined | BackendKind::Fleet { .. },
+            ) => "gpu-fast",
             Mode::BackendFast(_) => "offload-fast",
         }
     }
@@ -53,6 +59,14 @@ impl Mode {
         match self {
             Mode::Serial => "serial",
             Mode::Backend(kind) | Mode::BackendFast(kind) => kind.name(),
+        }
+    }
+
+    /// Simulated devices this mode drives (1 for everything but a fleet).
+    fn devices(self) -> usize {
+        match self {
+            Mode::Serial => 1,
+            Mode::Backend(kind) | Mode::BackendFast(kind) => kind.devices(),
         }
     }
 
@@ -123,11 +137,14 @@ impl Report {
 
     /// Human-readable row label for the perf-gate log.
     fn label(&self) -> String {
-        if self.lookahead {
-            format!("{}+lookahead", self.mode.backend_name())
-        } else {
-            self.mode.backend_name().to_string()
+        let mut label = self.mode.backend_name().to_string();
+        if self.mode.devices() != 1 {
+            let _ = write!(label, ":{}", self.mode.devices());
         }
+        if self.lookahead {
+            label.push_str("+lookahead");
+        }
+        label
     }
 
     /// The report's fields as JSON lines (no surrounding braces), indented
@@ -147,6 +164,7 @@ impl Report {
             "{indent}  \"backend\": \"{}\",",
             self.mode.backend_name()
         );
+        let _ = writeln!(out, "{indent}  \"devices\": {},", self.mode.devices());
         let _ = writeln!(out, "{indent}  \"lookahead\": {},", self.lookahead);
         let _ = writeln!(out, "{indent}  \"pool_size\": {},", self.pool_size);
         let _ = writeln!(out, "{indent}  \"reps\": {},", self.reps);
@@ -197,7 +215,7 @@ fn reports_to_json(reports: &[Report]) -> String {
         let _ = writeln!(out, "}}");
     } else {
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"schema\": \"flowshop-bnb-perf-report/v3\",");
+        let _ = writeln!(out, "  \"schema\": \"flowshop-bnb-perf-report/v4\",");
         let _ = writeln!(out, "  \"rows\": [");
         for (i, report) in reports.iter().enumerate() {
             let sep = if i + 1 < reports.len() { "," } else { "" };
@@ -219,6 +237,7 @@ struct Options {
     mode: Mode,
     lookahead: bool,
     autotune: bool,
+    devices: Option<usize>,
     pool_size: usize,
     pipeline_chunk: Option<usize>,
     node_limit: Option<u64>,
@@ -226,6 +245,7 @@ struct Options {
     reps: usize,
     json: Option<String>,
     baseline: Option<String>,
+    summary: Option<String>,
     max_regression: f64,
     smoke: bool,
 }
@@ -240,6 +260,7 @@ impl Default for Options {
             mode: Mode::BackendFast(BackendKind::Gpu),
             lookahead: false,
             autotune: false,
+            devices: None,
             pool_size: 4_096,
             pipeline_chunk: None,
             node_limit: None,
@@ -247,6 +268,7 @@ impl Default for Options {
             reps: 1,
             json: None,
             baseline: None,
+            summary: None,
             max_regression: 0.25,
             smoke: false,
         }
@@ -269,12 +291,21 @@ fn apply_smoke_preset(opts: &mut Options) {
 }
 
 /// The `(backend, lookahead)` rows the smoke workload gates: the paper's
-/// one-launch off-load, the per-batch stream pipeline (PR 3), and the
-/// cross-iteration pipeline (lookahead batch + persistent session).
-const SMOKE_ROWS: [(BackendKind, bool); 3] = [
+/// one-launch off-load, the per-batch stream pipeline (PR 3), the
+/// cross-iteration pipeline (lookahead batch + persistent session), and the
+/// two-device fleet riding per-device cross-iteration pipelines (PR 5 —
+/// its modelled device time must undercut the single-device rows).
+const SMOKE_ROWS: [(BackendKind, bool); 4] = [
     (BackendKind::Gpu, false),
     (BackendKind::GpuPipelined, false),
     (BackendKind::GpuPipelined, true),
+    (
+        BackendKind::Fleet {
+            devices: 2,
+            pipelined: true,
+        },
+        true,
+    ),
 ];
 
 fn parse_args() -> Result<Options, String> {
@@ -321,6 +352,13 @@ fn parse_args() -> Result<Options, String> {
             }
             "--lookahead" => opts.lookahead = true,
             "--autotune" => opts.autotune = true,
+            "--devices" => {
+                opts.devices = Some(
+                    value(&args, &mut i, flag)?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
             "--pipeline-chunk" => {
                 opts.pipeline_chunk = Some(
                     value(&args, &mut i, flag)?
@@ -354,6 +392,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--json" => opts.json = Some(value(&args, &mut i, flag)?),
             "--baseline" => opts.baseline = Some(value(&args, &mut i, flag)?),
+            "--summary" => opts.summary = Some(value(&args, &mut i, flag)?),
             "--max-regression" => {
                 opts.max_regression = value(&args, &mut i, flag)?
                     .parse()
@@ -363,16 +402,18 @@ fn parse_args() -> Result<Options, String> {
                 println!(
                     "solve_taillard — solve a Taillard FSP instance and emit a JSON perf report\n\n\
                      input:    --file <ta-file> | --jobs N --machines M --seed S\n\
-                     solve:    --mode serial|gpu|gpu-fast  --backend seq|multicore|gpu|gpu-pipelined\n\
+                     solve:    --mode serial|gpu|gpu-fast\n\
+                     \x20         --backend seq|multicore|gpu|gpu-pipelined|fleet[:N]  --devices N\n\
                      \x20         --lookahead (cross-iteration pipelining)  --pipeline-chunk C\n\
-                     \x20         --autotune (sweep pool + chunk size first)\n\
+                     \x20         --autotune (sweep pool + chunk size; + device count for fleet)\n\
                      \x20         --pool-size P  --node-limit N  --frozen K  --reps R\n\
-                     output:   --json <path>\n\
+                     output:   --json <path>  --summary <markdown-path, appended>\n\
                      CI gate:  --smoke  --baseline <BENCH_baseline.json>  --max-regression 0.25\n\n\
                      --smoke runs the frozen workload once per gated row (gpu, gpu-pipelined,\n\
-                     gpu-pipelined+lookahead) and emits one report row each; the gate compares\n\
-                     every row against the baseline row with the same backend and lookahead\n\
-                     flag (schema v3, see docs/BENCHMARKING.md)."
+                     gpu-pipelined+lookahead, fleet:2+lookahead) and emits one report row each;\n\
+                     the gate compares every row against the baseline row with the same\n\
+                     backend, device count and lookahead flag (schema v4, see\n\
+                     docs/BENCHMARKING.md)."
                 );
                 std::process::exit(0);
             }
@@ -382,6 +423,25 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.reps == 0 {
         return Err("--reps must be at least 1".into());
+    }
+    // `--devices N` selects (or resizes) the fleet backend.
+    if let Some(devices) = opts.devices {
+        if devices == 0 {
+            return Err("--devices must be at least 1".into());
+        }
+        if opts.smoke {
+            return Err("--devices cannot be combined with --smoke (the gate's \
+                        fleet row is fixed at 2 devices)"
+                .into());
+        }
+        let pipelined = match opts.mode {
+            Mode::Backend(BackendKind::Fleet { pipelined, .. })
+            | Mode::BackendFast(BackendKind::Fleet { pipelined, .. }) => pipelined,
+            _ => true,
+        };
+        opts.mode = opts
+            .mode
+            .with_backend(BackendKind::Fleet { devices, pipelined });
     }
     if opts.smoke && opts.autotune {
         // The gate's committed baseline is recorded at the fixed smoke
@@ -496,9 +556,10 @@ fn run_best_of(
 }
 
 /// One `nodes_per_sec` figure of a baseline report, keyed by the backend
-/// name and the lookahead flag of its row.
+/// name, device count and lookahead flag of its row.
 struct BaselineRow {
     backend: String,
+    devices: usize,
     lookahead: bool,
     nodes_per_sec: f64,
 }
@@ -506,17 +567,19 @@ struct BaselineRow {
 /// Pulls the gate rows out of a report previously written by this binary (a
 /// full JSON parser is not warranted for our own format). In the v1
 /// single-object schema without a `backend` field the backend is `""`;
-/// pre-v3 rows without a `lookahead` field parse as `false`.
+/// pre-v3 rows without a `lookahead` field parse as `false`; pre-v4 rows
+/// without a `devices` field parse as 1.
 fn baseline_rows(text: &str) -> Vec<BaselineRow> {
     let nps_key = "\"nodes_per_sec\":";
     let backend_key = "\"backend\":";
+    let devices_key = "\"devices\":";
     let lookahead_key = "\"lookahead\":";
     let mut rows = Vec::new();
     let mut search_from = 0;
     while let Some(rel) = text[search_from..].find(nps_key) {
         let nps_at = search_from + rel;
-        // The backend name and lookahead flag, when present, precede
-        // nodes_per_sec in their row.
+        // The backend name, device count and lookahead flag, when present,
+        // precede nodes_per_sec in their row.
         let backend = text[..nps_at]
             .rfind(backend_key)
             .map(|b| {
@@ -527,6 +590,16 @@ fn baseline_rows(text: &str) -> Vec<BaselineRow> {
                     .collect::<String>()
             })
             .unwrap_or_default();
+        let devices = text[..nps_at]
+            .rfind(devices_key)
+            .and_then(|b| {
+                let rest = text[b + devices_key.len()..].trim_start();
+                let end = rest
+                    .find(|c: char| !c.is_ascii_digit())
+                    .unwrap_or(rest.len());
+                rest[..end].parse::<usize>().ok()
+            })
+            .unwrap_or(1);
         let lookahead = text[..nps_at]
             .rfind(lookahead_key)
             .map(|b| {
@@ -542,6 +615,7 @@ fn baseline_rows(text: &str) -> Vec<BaselineRow> {
         if let Ok(value) = rest[..end].parse::<f64>() {
             rows.push(BaselineRow {
                 backend,
+                devices,
                 lookahead,
                 nodes_per_sec: value,
             });
@@ -599,13 +673,28 @@ fn main() -> ExitCode {
             fast_forward: true,
             ..Default::default()
         };
-        let tuned = gpu_bnb::autotune::autotune_solver_config(&inst, &base, 16_384);
-        opts.pool_size = tuned.config.pool_size;
-        opts.pipeline_chunk = tuned.config.pipeline_chunk;
-        eprintln!(
-            "autotune: pool_size {} , pipeline_chunk {:?}",
-            opts.pool_size, opts.pipeline_chunk
-        );
+        if let Mode::Backend(BackendKind::Fleet { .. })
+        | Mode::BackendFast(BackendKind::Fleet { .. }) = opts.mode
+        {
+            // Fleet runs sweep the device count and the per-device chunk
+            // jointly (the best chunk depends on each device's share).
+            let tuned = gpu_bnb::autotune::autotune_fleet_config(&inst, &base, 16_384);
+            opts.pool_size = tuned.config.pool_size;
+            opts.pipeline_chunk = tuned.config.pipeline_chunk;
+            opts.mode = opts.mode.with_backend(tuned.config.backend);
+            eprintln!(
+                "autotune: pool_size {} , devices {} , pipeline_chunk {:?}",
+                opts.pool_size, tuned.fleet.best_devices, opts.pipeline_chunk
+            );
+        } else {
+            let tuned = gpu_bnb::autotune::autotune_solver_config(&inst, &base, 16_384);
+            opts.pool_size = tuned.config.pool_size;
+            opts.pipeline_chunk = tuned.config.pipeline_chunk;
+            eprintln!(
+                "autotune: pool_size {} , pipeline_chunk {:?}",
+                opts.pool_size, opts.pipeline_chunk
+            );
+        }
     }
 
     let problem = FspProblem::new(inst);
@@ -637,19 +726,30 @@ fn main() -> ExitCode {
         })
         .collect();
 
-    // The headline the smoke workload exists to demonstrate: the modelled
-    // device schedule of the cross-iteration pipeline vs the per-batch one.
+    // The headlines the smoke workload exists to demonstrate: the modelled
+    // device schedule of the cross-iteration pipeline vs the per-batch one,
+    // and of the two-device fleet vs the single-device pipeline.
     if opts.smoke {
-        let device = |lookahead: bool| {
+        let device = |backend: &str, lookahead: bool| {
             reports
                 .iter()
-                .find(|r| r.lookahead == lookahead && r.mode.backend_name() == "gpu-pipelined")
+                .find(|r| r.lookahead == lookahead && r.mode.backend_name() == backend)
                 .map(|r| r.metrics.device_seconds)
         };
-        if let (Some(per_batch), Some(cross)) = (device(false), device(true)) {
+        if let (Some(per_batch), Some(cross)) = (
+            device("gpu-pipelined", false),
+            device("gpu-pipelined", true),
+        ) {
             eprintln!(
                 "smoke: modelled device time {cross:.6}s cross-iteration vs {per_batch:.6}s per-batch pipelined ({:+.1} %)",
                 (cross / per_batch - 1.0) * 100.0
+            );
+        }
+        if let (Some(single), Some(fleet)) = (device("gpu-pipelined", true), device("fleet", true))
+        {
+            eprintln!(
+                "smoke: modelled device time {fleet:.6}s fleet:2 vs {single:.6}s single-device pipelined ({:+.1} %)",
+                (fleet / single - 1.0) * 100.0
             );
         }
     }
@@ -663,32 +763,52 @@ fn main() -> ExitCode {
         }
     }
 
-    if let Some(path) = &opts.baseline {
-        let text = match std::fs::read_to_string(path) {
-            Ok(text) => text,
-            Err(err) => {
-                eprintln!("error: cannot read baseline {path}: {err}");
+    let baseline = match &opts.baseline {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(err) => {
+                    eprintln!("error: cannot read baseline {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let rows = baseline_rows(&text);
+            if rows.is_empty() {
+                eprintln!("error: no nodes_per_sec in baseline {path}");
                 return ExitCode::FAILURE;
             }
-        };
-        let baseline = baseline_rows(&text);
-        if baseline.is_empty() {
-            eprintln!("error: no nodes_per_sec in baseline {path}");
+            Some(rows)
+        }
+        None => None,
+    };
+
+    // Match by backend name + device count + lookahead flag; a v1 baseline
+    // without backend names gates its single figure against every row.
+    let baseline_for = |report: &Report| -> Option<f64> {
+        baseline.as_ref().and_then(|rows| {
+            rows.iter()
+                .find(|b| {
+                    b.backend == report.mode.backend_name()
+                        && b.devices == report.mode.devices()
+                        && b.lookahead == report.lookahead
+                })
+                .or_else(|| rows.first().filter(|b| b.backend.is_empty()))
+                .map(|b| b.nodes_per_sec)
+        })
+    };
+
+    if let Some(path) = &opts.summary {
+        if let Err(err) = append_summary(path, &reports, &baseline_for) {
+            eprintln!("error: cannot write summary {path}: {err}");
             return ExitCode::FAILURE;
         }
+    }
+
+    if baseline.is_some() {
         let mut failed = false;
         for report in &reports {
             let name = report.label();
-            // Match by backend name + lookahead flag; a v1 baseline without
-            // backend names gates its single figure against every row.
-            let Some(base) = baseline
-                .iter()
-                .find(|b| {
-                    b.backend == report.mode.backend_name() && b.lookahead == report.lookahead
-                })
-                .or_else(|| baseline.first().filter(|b| b.backend.is_empty()))
-                .map(|b| b.nodes_per_sec)
-            else {
+            let Some(base) = baseline_for(report) else {
                 eprintln!("perf gate [{name}]: no baseline row — run --smoke --json to refresh");
                 failed = true;
                 continue;
@@ -710,4 +830,48 @@ fn main() -> ExitCode {
         eprintln!("perf gate: ok");
     }
     ExitCode::SUCCESS
+}
+
+/// Appends the baseline-vs-current comparison as a Markdown table — the
+/// payload the `bench-smoke` CI job drops into `$GITHUB_STEP_SUMMARY`
+/// (append, not truncate: the summary file is shared by every step).
+fn append_summary(
+    path: &str,
+    reports: &[Report],
+    baseline_for: &dyn Fn(&Report) -> Option<f64>,
+) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "### Perf smoke: baseline vs current\n");
+    let _ = writeln!(
+        out,
+        "| row | devices | baseline nodes/s | current nodes/s | Δ | modelled device ms |"
+    );
+    let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|");
+    for report in reports {
+        let nps = report.nodes_per_sec();
+        let (base_col, delta_col) = match baseline_for(report) {
+            Some(base) if base > 0.0 => (
+                format!("{base:.0}"),
+                format!("{:+.1} %", (nps / base - 1.0) * 100.0),
+            ),
+            _ => ("—".to_string(), "—".to_string()),
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {:.0} | {} | {:.3} |",
+            report.label(),
+            report.mode.devices(),
+            base_col,
+            nps,
+            delta_col,
+            report.metrics.device_seconds * 1e3,
+        );
+    }
+    let _ = writeln!(out);
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    file.write_all(out.as_bytes())
 }

@@ -239,6 +239,184 @@ pub fn autotune_pipeline_chunk(
     }
 }
 
+/// The device counts [`autotune_fleet`] sweeps when none are given.
+pub const DEFAULT_FLEET_DEVICE_CANDIDATES: [usize; 4] = [1, 2, 4, 8];
+
+/// Measurement for one `(devices, chunk)` fleet candidate.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetMeasurement {
+    /// Number of simulated devices of the candidate.
+    pub devices: usize,
+    /// Per-device pipeline chunk size of the candidate.
+    pub chunk_size: usize,
+    /// Modelled fleet device time (max over devices + merge) per bounded
+    /// node (seconds).
+    pub seconds_per_node: f64,
+    /// Fleet time over the single-device time at the same chunk size —
+    /// below 1 whenever adding devices actually helps.
+    pub scaling_ratio: f64,
+}
+
+/// Result of a joint fleet auto-tuning session.
+#[derive(Debug, Clone)]
+pub struct FleetAutotuneReport {
+    /// One measurement per `(devices, chunk)` candidate, devices-major.
+    pub measurements: Vec<FleetMeasurement>,
+    /// Device count of the fastest candidate (ties prefer fewer devices).
+    pub best_devices: usize,
+    /// Chunk size of the fastest candidate.
+    pub best_chunk_size: usize,
+}
+
+/// Auto-tunes the fleet shape for `inst`: sweeps the device count and the
+/// per-device pipeline chunk size **jointly** (the best chunk depends on how
+/// much of a batch each device sees), bounding the same frozen probe pool
+/// through a pipelined [`crate::fleet::FleetBackend`] in fast-forward mode
+/// for every candidate pair. The winner is the pair with the lowest modelled
+/// fleet time per node; ties prefer fewer devices, then smaller chunks (no
+/// point spinning up cards the model says are free).
+///
+/// `device_candidates` defaults to [`DEFAULT_FLEET_DEVICE_CANDIDATES`] and
+/// `chunk_candidates` to the same wave/batch-derived set as
+/// [`autotune_pipeline_chunk`] when empty. Persist the winners with
+/// [`autotune_fleet_config`].
+pub fn autotune_fleet(
+    inst: &Instance,
+    base_config: &GpuSolverConfig,
+    device_candidates: &[usize],
+    chunk_candidates: &[usize],
+    probe_budget_nodes: usize,
+) -> FleetAutotuneReport {
+    let problem = FspProblem::new(inst.clone());
+    let spec = DeviceSpec::tesla_c2050();
+    let target = base_config.pool_size.min(probe_budget_nodes.max(1)).max(1);
+
+    let device_candidates: Vec<usize> = if device_candidates.is_empty() {
+        DEFAULT_FLEET_DEVICE_CANDIDATES.to_vec()
+    } else {
+        device_candidates.to_vec()
+    };
+    let chunk_candidates: Vec<usize> = if chunk_candidates.is_empty() {
+        let mut c = default_chunk_candidates(&spec, base_config.block_threads);
+        c.push(target.div_ceil(base_config.pipeline_depth.max(1)).max(1));
+        c.push(target);
+        c.sort_unstable();
+        c.dedup();
+        c
+    } else {
+        chunk_candidates.to_vec()
+    };
+
+    let frozen = frozen_pool(&problem, target);
+    let nodes = &frozen.nodes;
+    let len = nodes.len().max(1);
+
+    // Per-candidate probe: one bound_batch through a fresh fleet backend
+    // (per-batch pipelines; no session state leaks between candidates).
+    let probe = |devices: usize, chunk: usize| -> f64 {
+        let config = GpuSolverConfig {
+            backend: crate::config::BackendKind::Fleet {
+                devices,
+                pipelined: true,
+            },
+            pipeline_chunk: Some(chunk),
+            fast_forward: true,
+            lookahead: false,
+            ..base_config.clone()
+        };
+        let mut backend = make_backend(&problem, &config, len);
+        backend
+            .bound_batch(nodes)
+            .accounting
+            .device_time
+            .as_secs_f64()
+    };
+
+    // The single-device figure is the scaling baseline of every row with the
+    // same chunk — probe it once per chunk, not once per (devices, chunk).
+    let mut single_by_chunk: std::collections::HashMap<usize, f64> =
+        std::collections::HashMap::new();
+    let mut measurements = Vec::with_capacity(device_candidates.len() * chunk_candidates.len());
+    for &devices in &device_candidates {
+        for &chunk in &chunk_candidates {
+            let single_time = *single_by_chunk
+                .entry(chunk)
+                .or_insert_with(|| probe(1, chunk));
+            let fleet_time = if devices == 1 {
+                single_time
+            } else {
+                probe(devices, chunk)
+            };
+            measurements.push(FleetMeasurement {
+                devices,
+                chunk_size: chunk,
+                seconds_per_node: fleet_time / len as f64,
+                scaling_ratio: if single_time > 0.0 {
+                    fleet_time / single_time
+                } else {
+                    1.0
+                },
+            });
+        }
+    }
+
+    let best = measurements
+        .iter()
+        .min_by(|a, b| {
+            a.seconds_per_node
+                .total_cmp(&b.seconds_per_node)
+                .then(a.devices.cmp(&b.devices))
+                .then(a.chunk_size.cmp(&b.chunk_size))
+        })
+        .expect("at least one candidate pair");
+
+    FleetAutotuneReport {
+        best_devices: best.devices,
+        best_chunk_size: best.chunk_size,
+        measurements,
+    }
+}
+
+/// The outcome of [`autotune_fleet_config`]: the tuned configuration plus
+/// the sweep reports for inspection.
+#[derive(Debug, Clone)]
+pub struct FleetAutotunedConfig {
+    /// `base` with the pool size, the fleet shape
+    /// ([`crate::config::BackendKind::Fleet`]) and the per-device chunk size
+    /// persisted from the sweeps.
+    pub config: GpuSolverConfig,
+    /// The pool-size sweep.
+    pub pool: AutotuneReport,
+    /// The joint devices × chunk sweep (run at the tuned pool size).
+    pub fleet: FleetAutotuneReport,
+}
+
+/// Runs the pool-size sweep, then the joint fleet sweep at the winning pool
+/// size, and returns `base` reconfigured to the winning fleet: `backend`
+/// becomes [`crate::config::BackendKind::Fleet`] with the best device count
+/// (pipelined), and [`GpuSolverConfig::pipeline_chunk`] carries the best
+/// per-device chunk.
+pub fn autotune_fleet_config(
+    inst: &Instance,
+    base: &GpuSolverConfig,
+    probe_budget_nodes: usize,
+) -> FleetAutotunedConfig {
+    let pool = autotune_pool_size(inst, base, &[], probe_budget_nodes);
+    let mut config = base.clone();
+    config.pool_size = pool.best_pool_size;
+    let fleet = autotune_fleet(inst, &config, &[], &[], probe_budget_nodes);
+    config.backend = crate::config::BackendKind::Fleet {
+        devices: fleet.best_devices,
+        pipelined: true,
+    };
+    config.pipeline_chunk = Some(fleet.best_chunk_size);
+    FleetAutotunedConfig {
+        config,
+        pool,
+        fleet,
+    }
+}
+
 /// The outcome of [`autotune_solver_config`]: the tuned configuration plus
 /// both sweep reports for inspection.
 #[derive(Debug, Clone)]
@@ -371,6 +549,69 @@ mod tests {
         sorted.dedup();
         assert_eq!(swept, sorted, "candidates must be sorted and deduped");
         assert!(swept.contains(&report.best_chunk_size));
+    }
+
+    #[test]
+    fn fleet_sweep_probes_every_candidate_pair() {
+        let inst = generate("t", 14, 8, 11);
+        let report = autotune_fleet(&inst, &base(), &[1, 2, 4], &[64, 256], 1_000);
+        assert_eq!(report.measurements.len(), 6);
+        assert!(report
+            .measurements
+            .iter()
+            .all(|m| m.seconds_per_node > 0.0 && m.scaling_ratio > 0.0));
+        assert!([1, 2, 4].contains(&report.best_devices));
+        assert!([64, 256].contains(&report.best_chunk_size));
+        // Single-device candidates are their own scaling baseline.
+        assert!(report
+            .measurements
+            .iter()
+            .filter(|m| m.devices == 1)
+            .all(|m| (m.scaling_ratio - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn fleet_sweep_finds_devices_that_help_on_device_filling_pools() {
+        // A pool that fills several devices' waves: 2 devices must model
+        // strictly less time per node than 1 at the same chunk, and the
+        // winner must use more than one device. (The instance must sustain a
+        // frontier of the probe size — a pool the freeze solves outright
+        // would measure nothing.)
+        let inst = generate("t", 18, 10, 3);
+        let cfg = GpuSolverConfig {
+            pool_size: 2_048,
+            ..base()
+        };
+        let report = autotune_fleet(&inst, &cfg, &[1, 2], &[], 2_048);
+        assert!(
+            report.measurements.iter().all(|m| m.seconds_per_node > 0.0),
+            "the probe pool must be non-empty"
+        );
+        let per_chunk_better = report
+            .measurements
+            .iter()
+            .filter(|m| m.devices == 2)
+            .all(|m| m.scaling_ratio < 1.0);
+        assert!(per_chunk_better, "2 devices must beat 1 on a full pool");
+        assert_eq!(report.best_devices, 2);
+    }
+
+    #[test]
+    fn fleet_autotuned_config_persists_the_winning_shape() {
+        let inst = generate("t", 14, 8, 7);
+        let tuned = autotune_fleet_config(&inst, &base(), 1_000);
+        assert_eq!(tuned.config.pool_size, tuned.pool.best_pool_size);
+        assert_eq!(
+            tuned.config.backend,
+            crate::config::BackendKind::Fleet {
+                devices: tuned.fleet.best_devices,
+                pipelined: true,
+            }
+        );
+        assert_eq!(
+            tuned.config.pipeline_chunk,
+            Some(tuned.fleet.best_chunk_size)
+        );
     }
 
     #[test]

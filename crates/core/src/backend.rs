@@ -5,14 +5,14 @@
 //! conclusion, though, compares GPU bounding against serial and multi-core
 //! bounding and calls for combining them. This module makes the bounding
 //! operator pluggable: **sequential host bounding**, the **multicore thread
-//! pool**, the **GPU off-load engine** and its **stream-pipelined** variant
-//! are four implementations of one trait, selected through
-//! [`crate::config::BackendKind`] by the solvers, the auto-tuner and the
-//! bench binaries alike. Every implementation returns bit-identical bounds
-//! (asserted by the workspace's backend-equivalence suite); what differs is
-//! the modelled cost accounting.
+//! pool**, the **GPU off-load engine**, its **stream-pipelined** variant and
+//! the **multi-device fleet** ([`crate::fleet`]) are five implementations of
+//! one trait, selected through [`crate::config::BackendKind`] by the
+//! solvers, the auto-tuner and the bench binaries alike. Every
+//! implementation returns bit-identical bounds (asserted by the workspace's
+//! backend-equivalence suite); what differs is the modelled cost accounting.
 //!
-//! Adding a fifth backend means implementing [`BoundingBackend`] (bounds in
+//! Adding another backend means implementing [`BoundingBackend`] (bounds in
 //! input order plus a [`BackendAccounting`]) and giving it a
 //! [`crate::config::BackendKind`] arm in [`make_backend`].
 
@@ -97,6 +97,31 @@ pub(crate) fn serial_accesses(jobs: usize, machines: usize, nodes: &[FspNode]) -
             }
         })
         .sum()
+}
+
+/// Chunk size for a batch of `len` nodes on `engine`: an explicit override
+/// (typically the chunk auto-tuner's winner) clamped to the engine capacity;
+/// otherwise one full device wave (`SMs × block threads`) — chunks must keep
+/// every SM busy or per-SM block quantization inflates the summed kernel
+/// time past what the overlap wins back — falling back to `pipeline_depth`
+/// equal chunks on batches too small to fill the device. Shared by the
+/// pipelined backend and the fleet so their chunking can never diverge.
+pub(crate) fn wave_chunk_for(
+    engine: &BoundingEngine,
+    pipeline_depth: usize,
+    chunk_override: Option<usize>,
+    len: usize,
+) -> usize {
+    if let Some(chunk) = chunk_override {
+        return chunk.clamp(1, engine.max_pool());
+    }
+    let spec = engine.device().spec();
+    let wave = (spec.multiprocessors * engine.block_threads()).max(1);
+    if len >= wave {
+        wave
+    } else {
+        len.div_ceil(pipeline_depth).max(1)
+    }
 }
 
 /// Packed byte footprint of the six bound matrices (input to the host cache
@@ -334,7 +359,9 @@ impl PipelinedGpuBackend {
             config.registers_per_thread,
             capacity,
         );
-        let session = config.lookahead.then(|| engine.pipeline_session());
+        let session = config
+            .lookahead
+            .then(|| engine.pipeline_session_with_depth(config.lookahead_depth.max(1)));
         Self {
             engine,
             host_lb: problem.bound_fn().clone(),
@@ -351,28 +378,11 @@ impl PipelinedGpuBackend {
         self.session.as_ref()
     }
 
-    /// Chunk size for a batch of `len` nodes.
-    ///
-    /// An explicit [`GpuSolverConfig::pipeline_chunk`] (typically from the
-    /// chunk auto-tuner) wins, clamped to the engine capacity. Otherwise
-    /// chunks must keep every SM busy, or the per-SM block quantization of
-    /// the cost model (and of real hardware) inflates the summed kernel
-    /// time past what the overlap wins back. Batches that can fill the
-    /// device are therefore cut at full device waves — `SMs × block
-    /// threads` — which leaves the total compute identical to the
-    /// one-launch schedule; smaller batches fall back to `pipeline_depth`
-    /// equal chunks (the overlap is then relative to their own schedule).
+    /// Chunk size for a batch of `len` nodes (see [`wave_chunk_for`]): an
+    /// explicit [`GpuSolverConfig::pipeline_chunk`] wins, then the
+    /// wave-aligned heuristic.
     fn chunk_for(&self, len: usize) -> usize {
-        if let Some(chunk) = self.chunk_override {
-            return chunk.clamp(1, self.engine.max_pool());
-        }
-        let spec = self.engine.device().spec();
-        let wave = (spec.multiprocessors * self.engine.block_threads()).max(1);
-        if len >= wave {
-            wave
-        } else {
-            len.div_ceil(self.pipeline_depth).max(1)
-        }
+        wave_chunk_for(&self.engine, self.pipeline_depth, self.chunk_override, len)
     }
 }
 
@@ -442,6 +452,9 @@ pub fn make_backend(
         }
         BackendKind::Gpu => Box::new(GpuBackend::new(problem, config, capacity)),
         BackendKind::GpuPipelined => Box::new(PipelinedGpuBackend::new(problem, config, capacity)),
+        BackendKind::Fleet { devices, pipelined } => Box::new(crate::fleet::FleetBackend::new(
+            problem, config, capacity, devices, pipelined,
+        )),
     }
 }
 

@@ -21,24 +21,57 @@ pub enum BackendKind {
     Gpu,
     /// GPU off-load with double-buffered, stream-overlapped chunking.
     GpuPipelined,
+    /// A fleet of simulated GPUs: every batch is partitioned into
+    /// wave-aligned, deficit-aware shards, each device bounds its shard on
+    /// its own independent timeline (pipelined when `pipelined` is set, one
+    /// launch per shard otherwise), and the bounds are merged back in input
+    /// order (see [`crate::fleet`]).
+    Fleet {
+        /// Number of simulated devices the pool is partitioned across.
+        devices: usize,
+        /// `true`: each device runs the stream-overlapped pipeline (plus a
+        /// persistent session under [`GpuSolverConfig::lookahead`]);
+        /// `false`: one launch per shard.
+        pipelined: bool,
+    },
 }
+
+/// The fleet size [`BackendKind::Fleet`] defaults to when parsed from the
+/// bare name `fleet` (and the size the [`BackendKind::ALL`] entry uses).
+pub const DEFAULT_FLEET_DEVICES: usize = 2;
 
 impl BackendKind {
     /// Every selectable backend, in comparison order.
-    pub const ALL: [BackendKind; 4] = [
+    pub const ALL: [BackendKind; 5] = [
         BackendKind::Sequential,
         BackendKind::Multicore,
         BackendKind::Gpu,
         BackendKind::GpuPipelined,
+        BackendKind::Fleet {
+            devices: DEFAULT_FLEET_DEVICES,
+            pipelined: true,
+        },
     ];
 
-    /// Stable name used in reports and on the command line.
+    /// Stable name used in reports and on the command line. Fleet backends
+    /// all report as `fleet` regardless of size — the device count travels
+    /// separately ([`BackendKind::devices`], the report's `devices` field).
     pub fn name(self) -> &'static str {
         match self {
             BackendKind::Sequential => "seq",
             BackendKind::Multicore => "multicore",
             BackendKind::Gpu => "gpu",
             BackendKind::GpuPipelined => "gpu-pipelined",
+            BackendKind::Fleet { .. } => "fleet",
+        }
+    }
+
+    /// Number of simulated devices this backend drives (1 for every
+    /// non-fleet kind).
+    pub fn devices(self) -> usize {
+        match self {
+            BackendKind::Fleet { devices, .. } => devices,
+            _ => 1,
         }
     }
 }
@@ -47,13 +80,42 @@ impl std::str::FromStr for BackendKind {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // Fleet spellings: `fleet`, `fleet:N`, `fleet:N:one-launch`.
+        if s == "fleet" {
+            return Ok(BackendKind::Fleet {
+                devices: DEFAULT_FLEET_DEVICES,
+                pipelined: true,
+            });
+        }
+        if let Some(spec) = s.strip_prefix("fleet:") {
+            let mut parts = spec.split(':');
+            let devices = parts
+                .next()
+                .filter(|n| !n.is_empty())
+                .ok_or_else(|| format!("bad fleet spec `{s}`"))?
+                .parse::<usize>()
+                .map_err(|e| format!("bad fleet device count in `{s}`: {e}"))?;
+            if devices == 0 {
+                return Err("a fleet needs at least one device".into());
+            }
+            let pipelined = match parts.next() {
+                None => true,
+                Some("one-launch") => false,
+                Some(other) => return Err(format!("unknown fleet mode `{other}` in `{s}`")),
+            };
+            if parts.next().is_some() {
+                return Err(format!("bad fleet spec `{s}`"));
+            }
+            return Ok(BackendKind::Fleet { devices, pipelined });
+        }
         match s {
             "seq" | "sequential" => Ok(BackendKind::Sequential),
             "multicore" | "mc" => Ok(BackendKind::Multicore),
             "gpu" => Ok(BackendKind::Gpu),
             "gpu-pipelined" | "pipelined" => Ok(BackendKind::GpuPipelined),
             other => Err(format!(
-                "unknown backend `{other}` (expected seq, multicore, gpu or gpu-pipelined)"
+                "unknown backend `{other}` (expected seq, multicore, gpu, gpu-pipelined, \
+                 fleet or fleet:<devices>)"
             )),
         }
     }
@@ -61,7 +123,16 @@ impl std::str::FromStr for BackendKind {
 
 impl std::fmt::Display for BackendKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
+        match self {
+            BackendKind::Fleet { devices, pipelined } => {
+                write!(f, "fleet:{devices}")?;
+                if !pipelined {
+                    f.write_str(":one-launch")?;
+                }
+                Ok(())
+            }
+            other => f.write_str(other.name()),
+        }
     }
 }
 
@@ -124,6 +195,14 @@ pub struct GpuSolverConfig {
     /// the visited node set provably matches the strict loop (constant
     /// incumbent).
     pub lookahead: bool,
+    /// Staging-gate depth of the persistent [`crate::offload::PipelineSession`]:
+    /// how many batches the host may have selected but not yet consumed the
+    /// bounds of. With depth *d*, the first encode of batch *b* waits for the
+    /// last D2H of batch *b − (d + 1)*. The single-threaded solver keeps one
+    /// batch in flight (depth 1, the default); the hybrid coordinator derives
+    /// `workers × in-flight chunks per worker` so several workers' lookahead
+    /// batches can be staged concurrently. Must be ≥ 1.
+    pub lookahead_depth: usize,
 }
 
 impl Default for GpuSolverConfig {
@@ -142,6 +221,7 @@ impl Default for GpuSolverConfig {
             pipeline_depth: 4,
             pipeline_chunk: None,
             lookahead: false,
+            lookahead_depth: 1,
         }
     }
 }
@@ -205,6 +285,34 @@ mod tests {
         // wave-aligned heuristic until the auto-tuner persists a sweep.
         assert!(!GpuSolverConfig::default().lookahead);
         assert_eq!(GpuSolverConfig::default().pipeline_chunk, None);
+        assert_eq!(GpuSolverConfig::default().lookahead_depth, 1);
+    }
+
+    #[test]
+    fn fleet_specs_parse_and_display() {
+        for (spec, devices, pipelined) in [
+            ("fleet", DEFAULT_FLEET_DEVICES, true),
+            ("fleet:1", 1, true),
+            ("fleet:4", 4, true),
+            ("fleet:3:one-launch", 3, false),
+        ] {
+            let kind: BackendKind = spec.parse().unwrap();
+            assert_eq!(kind, BackendKind::Fleet { devices, pipelined }, "{spec}");
+            assert_eq!(kind.name(), "fleet");
+            assert_eq!(kind.devices(), devices);
+            // The Display form round-trips with the full parameters.
+            assert_eq!(kind.to_string().parse::<BackendKind>().unwrap(), kind);
+        }
+        assert_eq!(BackendKind::Gpu.devices(), 1);
+        for bad in [
+            "fleet:",
+            "fleet:0",
+            "fleet:2:warp",
+            "fleets",
+            "fleet:2:one-launch:x",
+        ] {
+            assert!(bad.parse::<BackendKind>().is_err(), "{bad} must not parse");
+        }
     }
 
     #[test]

@@ -1,0 +1,585 @@
+//! Multi-device fleet bounding: partition each pool across several
+//! simulated GPUs.
+//!
+//! The paper targets a *cluster* of GPU-accelerated nodes; everything in
+//! this workspace so far drives exactly one simulated device. This module is
+//! the first scaling step toward that cluster: a [`FleetBackend`] owns `N`
+//! independent [`BoundingEngine`]s (one [`gpu_sim::Device`] each, with its
+//! own independently-clocked timeline), splits every batch into per-device
+//! shards, bounds the shards on their devices, and merges the bounds back in
+//! input order — so the rest of the workspace (solvers, auto-tuner, hybrid
+//! coordinator, bench binaries) drives a fleet through the very same
+//! [`BoundingBackend`] trait as a single card.
+//!
+//! **Sharding rules** ([`plan_shards`]): the batch is cut into wave-aligned
+//! chunks (the same granularity the pipelined backend launches at) and each
+//! chunk is dealt to the device with the smallest assigned load so far, ties
+//! to the lowest ordinal — deterministic round-robin on equal chunks,
+//! deficit-aware on ragged tails. When the batch has fewer chunks than
+//! devices, the chunk shrinks to `len / devices` (rounded up) so no device
+//! idles. The plan is a *partition*: every input index lands in exactly one
+//! shard, which is what keeps fleet bounds bit-identical to any
+//! single-device backend (each node's bound depends only on the node).
+//!
+//! **Stats aggregation**: kernel/transfer times and bytes sum over devices
+//! (total work), while the batch's modelled wall time is the **max** over
+//! the per-device schedules plus a host-side merge cost
+//! ([`FLEET_MERGE_CYCLES_PER_NODE`] cycles per bound) — the devices run
+//! concurrently, the merge does not. Per-device totals are kept in
+//! [`FleetDeviceStats`] for reports.
+
+use crate::backend::{BackendAccounting, BackendBatch, BoundingBackend};
+use crate::config::{BackendKind, GpuSolverConfig, DEFAULT_FLEET_DEVICES};
+use crate::offload::{BoundingEngine, PipelineSession, PipelinedBatch};
+use bb::{FspNode, FspProblem};
+use fsp::{JohnsonLowerBound, Time};
+use gpu_sim::{Device, HostModel};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Host cycles charged per bound merged back into input order (a branchy
+/// scatter write per node; the devices overlap, the merge does not).
+pub const FLEET_MERGE_CYCLES_PER_NODE: f64 = 4.0;
+
+/// One device's share of a batch: which chunk ranges of the input it bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetShard {
+    /// Ordinal of the device this shard is assigned to.
+    pub device: usize,
+    /// `(start, len)` chunk ranges into the input batch, in input order.
+    pub ranges: Vec<(usize, usize)>,
+}
+
+impl FleetShard {
+    /// Total nodes assigned to this device.
+    pub fn nodes(&self) -> usize {
+        self.ranges.iter().map(|&(_, len)| len).sum()
+    }
+}
+
+/// The chunk granularity a batch of `len` nodes is sharded at: the requested
+/// `chunk`, shrunk to `len / devices` (rounded **down**, min 1) whenever
+/// wave-aligned cutting would produce fewer chunks than devices — the
+/// deficit rule that keeps every device busy on batches too small for a full
+/// wave each. Rounding down guarantees at least `devices` chunks whenever
+/// `len ≥ devices` (rounding up would not: 9 nodes over 8 devices would cut
+/// five 2-node chunks and idle three devices).
+pub fn effective_chunk(len: usize, devices: usize, chunk: usize) -> usize {
+    let chunk = chunk.max(1);
+    if len.div_ceil(chunk) < devices {
+        (len / devices).max(1)
+    } else {
+        chunk
+    }
+}
+
+/// Plans the per-device shards of a batch of `len` nodes over `devices`
+/// devices at chunk granularity `chunk` (see the module docs for the
+/// rules). Always returns one [`FleetShard`] per device, in ordinal order;
+/// shards may be empty only when `len < devices`.
+///
+/// # Panics
+///
+/// Panics if `devices` is zero.
+pub fn plan_shards(len: usize, devices: usize, chunk: usize) -> Vec<FleetShard> {
+    assert!(devices > 0, "a fleet needs at least one device");
+    let mut shards: Vec<FleetShard> = (0..devices)
+        .map(|device| FleetShard {
+            device,
+            ranges: Vec::new(),
+        })
+        .collect();
+    if len == 0 {
+        return shards;
+    }
+    let eff = effective_chunk(len, devices, chunk);
+    let mut loads = vec![0usize; devices];
+    let mut start = 0;
+    while start < len {
+        let take = eff.min(len - start);
+        let device = (0..devices)
+            .min_by_key(|&d| (loads[d], d))
+            .expect("at least one device");
+        shards[device].ranges.push((start, take));
+        loads[device] += take;
+        start += take;
+    }
+    shards
+}
+
+/// Accumulated per-device accounting of a [`FleetBackend`], for reports and
+/// scaling analyses.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FleetDeviceStats {
+    /// Device ordinal (matches [`gpu_sim::Device::ordinal`]).
+    pub ordinal: usize,
+    /// Batches in which this device received a non-empty shard.
+    pub batches: u64,
+    /// Nodes this device bounded.
+    pub nodes_bounded: u64,
+    /// Summed kernel time of this device's launches.
+    pub kernel_time: Duration,
+    /// Summed PCIe transfer time of this device's copies.
+    pub transfer_time: Duration,
+    /// Modelled wall time of this device's schedule (summed critical-path
+    /// increments of its session, or standalone schedules without one).
+    pub device_time: Duration,
+    /// Kernel launches (pipeline chunks) on this device.
+    pub launches: u64,
+}
+
+/// One fleet member: its engine (owning its simulated device) and, under
+/// [`GpuSolverConfig::lookahead`], its persistent cross-iteration session.
+struct FleetMember {
+    engine: BoundingEngine,
+    session: Option<PipelineSession>,
+    /// Reusable gather buffer for this device's shard of the current batch.
+    gather: Vec<FspNode>,
+}
+
+/// A fleet of simulated devices behind the [`BoundingBackend`] trait: every
+/// batch is partitioned by [`plan_shards`], each shard rides its own device
+/// (stream-pipelined per device when built `pipelined`, one launch per
+/// shard otherwise), and the bounds are merged back in input order.
+pub struct FleetBackend {
+    members: Vec<FleetMember>,
+    host_lb: Arc<JohnsonLowerBound>,
+    fast_forward: bool,
+    pipelined: bool,
+    pipeline_depth: usize,
+    chunk_override: Option<usize>,
+    host: HostModel,
+    stats: Vec<FleetDeviceStats>,
+}
+
+impl FleetBackend {
+    /// Creates a fleet of `devices` Tesla C2050s, each engine sized for
+    /// batches of up to `capacity` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is zero, or if the fleet is pipelined and
+    /// `config.pipeline_depth` is zero.
+    pub fn new(
+        problem: &FspProblem<JohnsonLowerBound>,
+        config: &GpuSolverConfig,
+        capacity: usize,
+        devices: usize,
+        pipelined: bool,
+    ) -> Self {
+        assert!(devices > 0, "a fleet needs at least one device");
+        assert!(
+            !pipelined || config.pipeline_depth > 0,
+            "a pipelined fleet needs a positive pipeline depth"
+        );
+        let data = problem.bound_fn().data();
+        let members: Vec<FleetMember> = (0..devices)
+            .map(|ordinal| {
+                let engine = BoundingEngine::on_device(
+                    Device::tesla_c2050().with_ordinal(ordinal),
+                    data,
+                    config.placement.clone(),
+                    config.block_threads,
+                    config.registers_per_thread,
+                    capacity,
+                );
+                let session = (pipelined && config.lookahead)
+                    .then(|| engine.pipeline_session_with_depth(config.lookahead_depth.max(1)));
+                FleetMember {
+                    engine,
+                    session,
+                    gather: Vec::new(),
+                }
+            })
+            .collect();
+        Self {
+            members,
+            host_lb: problem.bound_fn().clone(),
+            fast_forward: config.fast_forward,
+            pipelined,
+            pipeline_depth: config.pipeline_depth,
+            chunk_override: config.pipeline_chunk,
+            host: HostModel::default(),
+            stats: (0..devices)
+                .map(|ordinal| FleetDeviceStats {
+                    ordinal,
+                    ..Default::default()
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of devices in the fleet.
+    pub fn devices(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when each device runs the stream-overlapped pipeline.
+    pub fn is_pipelined(&self) -> bool {
+        self.pipelined
+    }
+
+    /// Accumulated per-device accounting, in ordinal order.
+    pub fn device_stats(&self) -> &[FleetDeviceStats] {
+        &self.stats
+    }
+
+    /// Modelled host time to merge `nodes` bounds back into input order.
+    pub fn merge_time(&self, nodes: usize) -> Duration {
+        Duration::from_secs_f64(nodes as f64 * FLEET_MERGE_CYCLES_PER_NODE / self.host.clock_hz)
+    }
+
+    /// Chunk granularity for a batch of `len` nodes: the single-device
+    /// wave-aligned heuristic ([`crate::backend::wave_chunk_for`], shared so
+    /// the two backends can never diverge in chunking), applied before the
+    /// deficit rule of [`effective_chunk`].
+    fn chunk_for(&self, len: usize) -> usize {
+        crate::backend::wave_chunk_for(
+            &self.members[0].engine,
+            self.pipeline_depth,
+            self.chunk_override,
+            len,
+        )
+    }
+}
+
+impl BoundingBackend for FleetBackend {
+    fn name(&self) -> &'static str {
+        BackendKind::Fleet {
+            devices: DEFAULT_FLEET_DEVICES,
+            pipelined: true,
+        }
+        .name()
+    }
+
+    fn bound_batch(&mut self, nodes: &[FspNode]) -> BackendBatch {
+        if nodes.is_empty() {
+            return BackendBatch {
+                bounds: Vec::new(),
+                accounting: BackendAccounting::default(),
+            };
+        }
+        let chunk = self.chunk_for(nodes.len());
+        let eff = effective_chunk(nodes.len(), self.members.len(), chunk);
+        let shards = plan_shards(nodes.len(), self.members.len(), chunk);
+
+        let mut bounds = vec![Time::default(); nodes.len()];
+        let mut acc = BackendAccounting::default();
+        let mut slowest_device = Duration::ZERO;
+        for shard in &shards {
+            if shard.ranges.is_empty() {
+                continue;
+            }
+            let member = &mut self.members[shard.device];
+            // Gather this device's ranges contiguously (every range is one
+            // `eff`-sized chunk except the global tail, so chunking the
+            // gathered shard at `eff` reproduces the planned boundaries).
+            member.gather.clear();
+            for &(start, len) in &shard.ranges {
+                member.gather.extend_from_slice(&nodes[start..start + len]);
+            }
+            let host = self.fast_forward.then_some(self.host_lb.as_ref());
+            let result: PipelinedBatch = if self.pipelined {
+                match &mut member.session {
+                    Some(session) => {
+                        member
+                            .engine
+                            .bound_nodes_pipelined_in(&member.gather, eff, host, session)
+                    }
+                    None => {
+                        let r = member
+                            .engine
+                            .bound_nodes_pipelined(&member.gather, eff, host);
+                        PipelinedBatch {
+                            bounds: r.bounds,
+                            kernel_time: r.kernel_time,
+                            transfer_time: r.transfer_time,
+                            critical_path: r.overlapped_time,
+                            upload_bytes: r.upload_bytes,
+                            download_bytes: r.download_bytes,
+                            chunks: r.chunks,
+                        }
+                    }
+                }
+            } else {
+                let r = match host {
+                    Some(lb) => member.engine.bound_nodes_fast(&member.gather, lb),
+                    None => member.engine.bound_nodes(&member.gather),
+                };
+                PipelinedBatch {
+                    critical_path: r.device_time(),
+                    kernel_time: r.kernel.duration,
+                    transfer_time: r.transfer_time,
+                    upload_bytes: r.upload_bytes,
+                    download_bytes: r.download_bytes,
+                    chunks: 1,
+                    bounds: r.bounds,
+                }
+            };
+
+            // Scatter the shard's bounds back to their input positions.
+            let mut cursor = 0;
+            for &(start, len) in &shard.ranges {
+                bounds[start..start + len].copy_from_slice(&result.bounds[cursor..cursor + len]);
+                cursor += len;
+            }
+
+            let stats = &mut self.stats[shard.device];
+            stats.batches += 1;
+            stats.nodes_bounded += shard.nodes() as u64;
+            stats.kernel_time += result.kernel_time;
+            stats.transfer_time += result.transfer_time;
+            stats.device_time += result.critical_path;
+            stats.launches += result.chunks as u64;
+
+            acc.kernel_time += result.kernel_time;
+            acc.transfer_time += result.transfer_time;
+            acc.upload_bytes += result.upload_bytes as u64;
+            acc.download_bytes += result.download_bytes as u64;
+            acc.launches += result.chunks as u64;
+            slowest_device = slowest_device.max(result.critical_path);
+        }
+        // The devices run concurrently: the batch's modelled wall time is
+        // the slowest device's schedule plus the (serial) host-side merge.
+        acc.device_time = slowest_device + self.merge_time(nodes.len());
+        BackendBatch {
+            bounds,
+            accounting: acc,
+        }
+    }
+
+    fn max_batch(&self) -> Option<usize> {
+        Some(self.members[0].engine.max_pool())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{make_backend, PipelinedGpuBackend};
+    use crate::placement::DataPlacement;
+    use bb::frozen_pool;
+    use fsp::taillard::generate;
+
+    fn fixture(pool: usize) -> (FspProblem<JohnsonLowerBound>, Vec<FspNode>, GpuSolverConfig) {
+        let inst = generate("t", 12, 6, 2012);
+        let problem = FspProblem::new(inst);
+        let nodes = frozen_pool(&problem, pool).nodes;
+        let config = GpuSolverConfig {
+            pool_size: pool,
+            placement: DataPlacement::SharedJmPtm,
+            ..Default::default()
+        };
+        (problem, nodes, config)
+    }
+
+    fn assert_is_partition(len: usize, shards: &[FleetShard]) {
+        let mut seen = vec![0usize; len];
+        for shard in shards {
+            for &(start, range_len) in &shard.ranges {
+                for slot in &mut seen[start..start + range_len] {
+                    *slot += 1;
+                }
+            }
+        }
+        assert!(
+            seen.iter().all(|&count| count == 1),
+            "every input index must be covered exactly once"
+        );
+    }
+
+    #[test]
+    fn shard_plan_partitions_and_balances() {
+        // 10 chunks of 8 over 4 devices: round-robin with the two extra
+        // chunks landing on the least-loaded devices.
+        let shards = plan_shards(80, 4, 8);
+        assert_is_partition(80, &shards);
+        let loads: Vec<usize> = shards.iter().map(FleetShard::nodes).collect();
+        assert_eq!(loads, vec![24, 24, 16, 16]);
+    }
+
+    #[test]
+    fn ragged_tails_go_to_the_deficit_device() {
+        // Chunks [8, 8, 8, 3]: the short tail lands on the device with the
+        // least load (device 0 after one full round), not on a fresh device.
+        let shards = plan_shards(27, 3, 8);
+        assert_is_partition(27, &shards);
+        assert_eq!(shards[0].ranges, vec![(0, 8), (24, 3)]);
+        assert_eq!(shards[1].ranges, vec![(8, 8)]);
+        assert_eq!(shards[2].ranges, vec![(16, 8)]);
+    }
+
+    #[test]
+    fn small_batches_shrink_the_chunk_so_no_device_idles() {
+        // A wave-sized chunk would give 4 devices only 2 chunks; the deficit
+        // rule shrinks to len/devices so every device gets work.
+        assert_eq!(effective_chunk(100, 4, 64), 25);
+        let shards = plan_shards(100, 4, 64);
+        assert_is_partition(100, &shards);
+        assert!(shards.iter().all(|s| !s.ranges.is_empty()));
+        // With enough chunks the requested granularity is kept.
+        assert_eq!(effective_chunk(1000, 4, 64), 64);
+    }
+
+    #[test]
+    fn shrunk_chunks_round_down_so_every_device_still_works() {
+        // Regression: ceil(9/8) = 2 would cut five 2-node chunks and idle
+        // three of the eight devices; flooring to 1 keeps all eight busy.
+        assert_eq!(effective_chunk(9, 8, 2), 1);
+        for (len, devices, chunk) in [(9, 8, 2), (5, 4, 8), (13, 6, 4)] {
+            let shards = plan_shards(len, devices, chunk);
+            assert_is_partition(len, &shards);
+            assert!(
+                shards.iter().all(|s| s.nodes() > 0),
+                "{len} nodes over {devices} devices (chunk {chunk}) idled a device"
+            );
+        }
+    }
+
+    #[test]
+    fn fewer_nodes_than_devices_leaves_the_tail_devices_empty() {
+        let shards = plan_shards(2, 4, 8);
+        assert_is_partition(2, &shards);
+        assert_eq!(shards[0].nodes(), 1);
+        assert_eq!(shards[1].nodes(), 1);
+        assert_eq!(shards[2].nodes() + shards[3].nodes(), 0);
+    }
+
+    #[test]
+    fn empty_batch_plans_empty_shards() {
+        let shards = plan_shards(0, 3, 8);
+        assert_eq!(shards.len(), 3);
+        assert!(shards.iter().all(|s| s.ranges.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_device_plan_panics() {
+        plan_shards(10, 0, 4);
+    }
+
+    #[test]
+    fn fleet_bounds_match_the_single_device_backend_bit_for_bit() {
+        let (problem, nodes, config) = fixture(96);
+        let reference = PipelinedGpuBackend::new(&problem, &config, nodes.len())
+            .bound_batch(&nodes)
+            .bounds;
+        for devices in [1, 2, 3, 4] {
+            for pipelined in [false, true] {
+                let mut fleet =
+                    FleetBackend::new(&problem, &config, nodes.len(), devices, pipelined);
+                let batch = fleet.bound_batch(&nodes);
+                assert_eq!(
+                    batch.bounds, reference,
+                    "{devices} devices, pipelined={pipelined}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_devices_undercut_one_on_the_modelled_schedule() {
+        let (problem, nodes, config) = fixture(128);
+        let device_time = |devices: usize| {
+            FleetBackend::new(&problem, &config, nodes.len(), devices, true)
+                .bound_batch(&nodes)
+                .accounting
+                .device_time
+        };
+        let one = device_time(1);
+        let two = device_time(2);
+        assert!(
+            two < one,
+            "2-device fleet {two:?} must beat the single device {one:?}"
+        );
+    }
+
+    #[test]
+    fn fleet_accounting_sums_work_and_maxes_schedules() {
+        let (problem, nodes, config) = fixture(128);
+        let mut fleet = FleetBackend::new(&problem, &config, nodes.len(), 2, true);
+        let acc = fleet.bound_batch(&nodes).accounting;
+        let stats = fleet.device_stats();
+        assert_eq!(stats.len(), 2);
+        assert!(stats.iter().all(|s| s.nodes_bounded > 0));
+        assert_eq!(
+            stats.iter().map(|s| s.nodes_bounded).sum::<u64>(),
+            nodes.len() as u64
+        );
+        assert_eq!(acc.kernel_time, stats.iter().map(|s| s.kernel_time).sum());
+        assert_eq!(acc.launches, stats.iter().map(|s| s.launches).sum());
+        let slowest = stats.iter().map(|s| s.device_time).max().unwrap();
+        assert_eq!(
+            acc.device_time,
+            slowest + fleet.merge_time(nodes.len()),
+            "batch wall time = slowest device + merge"
+        );
+        assert!(fleet.merge_time(nodes.len()) > Duration::ZERO);
+    }
+
+    #[test]
+    fn single_device_fleet_matches_the_pipelined_backend_schedule() {
+        // A fleet of one is the pipelined backend plus the merge cost — the
+        // partition is the identity, so per-batch schedules agree exactly.
+        let (problem, nodes, config) = fixture(96);
+        let single = PipelinedGpuBackend::new(&problem, &config, nodes.len()).bound_batch(&nodes);
+        let mut fleet = FleetBackend::new(&problem, &config, nodes.len(), 1, true);
+        let batch = fleet.bound_batch(&nodes);
+        assert_eq!(batch.bounds, single.bounds);
+        assert_eq!(batch.accounting.kernel_time, single.accounting.kernel_time);
+        assert_eq!(
+            batch.accounting.device_time,
+            single.accounting.device_time + fleet.merge_time(nodes.len())
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_a_free_no_op() {
+        let (problem, _, config) = fixture(16);
+        let mut fleet = FleetBackend::new(&problem, &config, 16, 3, true);
+        let batch = fleet.bound_batch(&[]);
+        assert!(batch.bounds.is_empty());
+        assert_eq!(batch.accounting.device_time, Duration::ZERO);
+        assert_eq!(batch.accounting.launches, 0);
+    }
+
+    #[test]
+    fn make_backend_builds_fleets_from_the_config() {
+        let (problem, nodes, base) = fixture(64);
+        let config = GpuSolverConfig {
+            backend: BackendKind::Fleet {
+                devices: 3,
+                pipelined: true,
+            },
+            ..base
+        };
+        let mut backend = make_backend(&problem, &config, nodes.len());
+        assert_eq!(backend.name(), "fleet");
+        let batch = backend.bound_batch(&nodes);
+        assert_eq!(batch.bounds.len(), nodes.len());
+    }
+
+    #[test]
+    fn lookahead_fleet_sessions_overlap_across_batches() {
+        let (problem, nodes, base) = fixture(128);
+        let mk = |lookahead| GpuSolverConfig {
+            lookahead,
+            ..base.clone()
+        };
+        let mut per_batch = FleetBackend::new(&problem, &mk(false), 64, 2, true);
+        let mut cross = FleetBackend::new(&problem, &mk(true), 64, 2, true);
+        let mut t_per_batch = Duration::ZERO;
+        let mut t_cross = Duration::ZERO;
+        for half in nodes.chunks(64) {
+            let a = per_batch.bound_batch(half);
+            let b = cross.bound_batch(half);
+            assert_eq!(a.bounds, b.bounds);
+            t_per_batch += a.accounting.device_time;
+            t_cross += b.accounting.device_time;
+        }
+        assert!(
+            t_cross < t_per_batch,
+            "cross-iteration fleet {t_cross:?} must beat per-batch {t_per_batch:?}"
+        );
+    }
+}

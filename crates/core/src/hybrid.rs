@@ -172,6 +172,15 @@ impl HybridSolver {
         }
     }
 
+    /// The staging-gate depth the coordinator's persistent session models:
+    /// each worker keeps at most one lookahead chunk in flight, so up to
+    /// `workers × 1` batches can be selected before the oldest one's bounds
+    /// are consumed — not the single-threaded depth of one.
+    pub fn session_depth(&self) -> usize {
+        let in_flight_chunks_per_worker = 1;
+        (self.workers * in_flight_chunks_per_worker).max(1)
+    }
+
     /// Solves from the root, seeding the incumbent with NEH.
     pub fn solve(&self) -> HybridOutcome {
         let mut root = self.problem.root();
@@ -213,9 +222,13 @@ impl HybridSolver {
         let gpu = Mutex::new(GpuRunStats::default());
         // Sized so that one launch can carry every worker's batch at once.
         let capacity = self.config.pool_size + self.workers * n;
+        let coordinator_config = GpuSolverConfig {
+            lookahead_depth: self.session_depth(),
+            ..self.config.clone()
+        };
         let coordinator = LaunchCoordinator {
             queue: Mutex::new(VecDeque::new()),
-            backend: Mutex::new(make_backend(&self.problem, &self.config, capacity)),
+            backend: Mutex::new(make_backend(&self.problem, &coordinator_config, capacity)),
             capacity,
             gpu: &gpu,
             jobs: n,
@@ -492,6 +505,34 @@ mod tests {
                 "{workers} workers: every bounded node must also be eliminated"
             );
         }
+    }
+
+    #[test]
+    fn session_depth_scales_with_the_workers() {
+        // ROADMAP item: the coordinator's staging gate models
+        // `workers × in-flight chunks`, not a hard-coded depth of one.
+        let inst = generate("t", 6, 3, 1);
+        for workers in [1, 3, 8] {
+            let solver = HybridSolver::new(inst.clone(), config(8), workers);
+            assert_eq!(solver.session_depth(), workers);
+        }
+    }
+
+    #[test]
+    fn hybrid_drives_a_fleet_backend() {
+        let inst = generate("t", 8, 4, 23);
+        let (_, expected) = brute_force_optimal(&inst);
+        let cfg = GpuSolverConfig {
+            backend: BackendKind::Fleet {
+                devices: 3,
+                pipelined: true,
+            },
+            lookahead: true,
+            ..config(24)
+        };
+        let outcome = HybridSolver::new(inst, cfg, 2).solve();
+        assert_eq!(outcome.best_makespan, expected);
+        assert_eq!(outcome.gpu.nodes_bounded, outcome.stats.bounded);
     }
 
     #[test]

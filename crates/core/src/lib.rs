@@ -10,6 +10,7 @@
 pub mod autotune;
 pub mod backend;
 pub mod config;
+pub mod fleet;
 pub mod hybrid;
 pub mod kernel_lb;
 pub mod offload;
@@ -21,7 +22,8 @@ pub use backend::{
     make_backend, BackendAccounting, BackendBatch, BoundingBackend, GpuBackend, MulticoreBackend,
     PipelinedGpuBackend, SequentialBackend,
 };
-pub use config::{BackendKind, GpuSolverConfig};
+pub use config::{BackendKind, GpuSolverConfig, DEFAULT_FLEET_DEVICES};
+pub use fleet::{plan_shards, FleetBackend, FleetDeviceStats, FleetShard};
 pub use kernel_lb::LowerBoundKernel;
 pub use offload::{BoundingEngine, PipelineSession, PipelinedBatch, PipelinedBoundingResult};
 pub use placement::DataPlacement;

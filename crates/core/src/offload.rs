@@ -13,6 +13,7 @@ use gpu_sim::{
     AnalyticWorkload, Device, DeviceBuffer, DeviceStreams, KernelTiming, LaunchConfig, LaunchStats,
     Timeline,
 };
+use std::collections::VecDeque;
 use std::time::Duration;
 
 /// Result of bounding one off-loaded pool.
@@ -122,10 +123,13 @@ pub struct PipelinedBatch {
 ///   the kernel that last read it, and a kernel writing a slot's output must
 ///   wait for the download that last drained it (the WAR hazards real
 ///   double buffering has);
-/// * the **staging gate** — with a lookahead depth of one, the host selects
-///   and encodes batch *b* only after the bounds of batch *b − 2* have
-///   landed, so the first encode of a batch waits for the last D2H
-///   completion two batches back.
+/// * the **staging gate** — with a lookahead depth of *d*
+///   ([`BoundingEngine::pipeline_session_with_depth`]; the default depth is
+///   one), the host selects and encodes batch *b* only after the bounds of
+///   batch *b − (d + 1)* have landed, so the first encode of a batch waits
+///   for the last D2H completion `d + 1` batches back. The single-threaded
+///   solver keeps one batch in flight (depth 1); the hybrid coordinator
+///   derives its depth from `workers × in-flight chunks per worker`.
 ///
 /// Cross-batch dependencies are carried as completion-time floors
 /// (equivalent to event dependencies), which lets the session compact the
@@ -149,10 +153,12 @@ pub struct PipelineSession {
     /// Completion of the D2H that last drained each output slot (kernel WAR
     /// hazard).
     d2h_end_by_slot: [Option<Duration>; 2],
-    /// Completion of the last D2H of the previous batch and of the batch
-    /// before it (`[b − 1, b − 2]`); the latter gates the next batch's
-    /// staging.
-    batch_tail_ends: [Option<Duration>; 2],
+    /// Completion of the last D2H of the most recent `depth + 1` batches,
+    /// oldest first; once full, the front — batch *b − (depth + 1)* — gates
+    /// the next batch's staging.
+    batch_tails: VecDeque<Duration>,
+    /// The staging-gate lookahead depth (≥ 1).
+    depth: usize,
     batches: usize,
 }
 
@@ -174,6 +180,11 @@ impl PipelineSession {
     /// Number of batches bounded through this session.
     pub fn batches(&self) -> usize {
         self.batches
+    }
+
+    /// The staging-gate lookahead depth this session models.
+    pub fn depth(&self) -> usize {
+        self.depth
     }
 }
 
@@ -512,8 +523,23 @@ impl BoundingEngine {
     }
 
     /// Starts a fresh cross-iteration pipeline on this engine's device: an
-    /// empty timeline with the four standard streams, slot parity at zero.
+    /// empty timeline with the four standard streams, slot parity at zero,
+    /// staging-gate depth one (one batch in flight).
     pub fn pipeline_session(&self) -> PipelineSession {
+        self.pipeline_session_with_depth(1)
+    }
+
+    /// Like [`BoundingEngine::pipeline_session`], but with an explicit
+    /// staging-gate lookahead depth: the first encode of batch *b* waits for
+    /// the last D2H of batch *b − (depth + 1)*. Deeper gates model hosts
+    /// that keep several batches in flight at once (the hybrid coordinator
+    /// uses `workers × in-flight chunks per worker`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn pipeline_session_with_depth(&self, depth: usize) -> PipelineSession {
+        assert!(depth > 0, "the staging gate needs a positive depth");
         let (timeline, streams) = self.device.timeline();
         PipelineSession {
             timeline,
@@ -521,7 +547,8 @@ impl BoundingEngine {
             parity: 0,
             kernel_end_by_slot: [None; 2],
             d2h_end_by_slot: [None; 2],
-            batch_tail_ends: [None; 2],
+            batch_tails: VecDeque::with_capacity(depth + 1),
+            depth,
             batches: 0,
         }
     }
@@ -594,9 +621,14 @@ impl BoundingEngine {
             if functional {
                 self.encode(first, session.parity);
             }
-            let gate: &[Duration] = match &session.batch_tail_ends[1] {
-                Some(end) => std::slice::from_ref(end),
-                None => &[],
+            // The ring holds the tails of the most recent `depth + 1`
+            // batches; when full, its front is batch b − (depth + 1), whose
+            // bounds the host consumed before selecting this batch.
+            let gate: &[Duration] = match session.batch_tails.front() {
+                Some(end) if session.batch_tails.len() == session.depth + 1 => {
+                    std::slice::from_ref(end)
+                }
+                _ => &[],
             };
             encode_events.push(timeline.record_after(streams.host, Duration::ZERO, &[], gate));
         }
@@ -686,7 +718,12 @@ impl BoundingEngine {
         }
 
         if !chunks.is_empty() {
-            session.batch_tail_ends = [last_d2h_end, session.batch_tail_ends[0]];
+            if let Some(end) = last_d2h_end {
+                session.batch_tails.push_back(end);
+                if session.batch_tails.len() > session.depth + 1 {
+                    session.batch_tails.pop_front();
+                }
+            }
             session.batches += 1;
         }
 
@@ -1076,6 +1113,52 @@ mod tests {
             last_len = session.timeline().len();
         }
         assert_eq!(session.batches(), 3);
+    }
+
+    #[test]
+    fn deeper_staging_gates_never_lengthen_the_schedule() {
+        // A depth-d gate makes batch b wait for the bounds of batch
+        // b − (d + 1); a deeper gate is a weaker constraint, so the session
+        // makespan is monotonically non-increasing in the depth, and the
+        // default session is exactly the depth-1 session.
+        let inst = generate("t", 12, 6, 421);
+        let (mut engine, lb) = engine_for(&inst, DataPlacement::SharedJmPtm, 64);
+        let nodes = some_nodes(&inst, 60);
+        let run = |engine: &mut BoundingEngine, mut session: PipelineSession| {
+            let mut bounds = Vec::new();
+            for chunk in nodes.chunks(10) {
+                bounds.extend(
+                    engine
+                        .bound_nodes_pipelined_in(chunk, 5, Some(&lb), &mut session)
+                        .bounds,
+                );
+            }
+            (session.makespan(), bounds)
+        };
+        let default_session = engine.pipeline_session();
+        assert_eq!(default_session.depth(), 1);
+        let (default_makespan, reference) = run(&mut engine, default_session);
+        let mut last = None;
+        for depth in [1, 2, 4, 16] {
+            let session = engine.pipeline_session_with_depth(depth);
+            let (makespan, bounds) = run(&mut engine, session);
+            assert_eq!(bounds, reference, "depth {depth} must not change bounds");
+            if depth == 1 {
+                assert_eq!(makespan, default_makespan);
+            }
+            if let Some(prev) = last {
+                assert!(makespan <= prev, "depth {depth} lengthened the schedule");
+            }
+            last = Some(makespan);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive depth")]
+    fn zero_depth_session_panics() {
+        let inst = generate("t", 8, 4, 2);
+        let (engine, _) = engine_for(&inst, DataPlacement::AllGlobal, 8);
+        engine.pipeline_session_with_depth(0);
     }
 
     #[test]

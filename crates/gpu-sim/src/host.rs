@@ -90,12 +90,21 @@ pub struct LaunchResult {
 }
 
 /// A simulated CUDA device.
+///
+/// Each `Device` owns its allocations, its cost/transfer models and hands
+/// out fresh, independent [`crate::stream::Timeline`]s
+/// ([`Device::timeline`]), so a *fleet* of devices is simply several
+/// `Device` values: their modelled clocks advance independently by
+/// construction, exactly like the per-card timelines of a multi-GPU host.
+/// The `ordinal` distinguishes fleet members (`cudaSetDevice`-style) in
+/// per-device statistics.
 pub struct Device {
     spec: DeviceSpec,
     cost: CostModel,
     transfer: TransferModel,
     allocations: Vec<Allocation>,
     allocated_bytes: usize,
+    ordinal: usize,
 }
 
 impl Device {
@@ -107,12 +116,25 @@ impl Device {
             transfer: TransferModel::default(),
             allocations: Vec::new(),
             allocated_bytes: 0,
+            ordinal: 0,
         }
     }
 
     /// The Tesla C2050 of the paper.
     pub fn tesla_c2050() -> Self {
         Self::new(DeviceSpec::tesla_c2050())
+    }
+
+    /// Tags the device with a fleet ordinal (its index among the host's
+    /// devices, as `cudaSetDevice` would number them).
+    pub fn with_ordinal(mut self, ordinal: usize) -> Self {
+        self.ordinal = ordinal;
+        self
+    }
+
+    /// The device's ordinal among the host's devices (0 outside a fleet).
+    pub fn ordinal(&self) -> usize {
+        self.ordinal
     }
 
     /// Device specification.

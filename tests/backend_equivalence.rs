@@ -13,6 +13,12 @@
 //! 3. a timeline test — the overlapped stream schedule never reorders
 //!    dependent operations (each chunk's kernel after its upload, each
 //!    download after its kernel, FIFO within a stream).
+//!
+//! The CI `backend-matrix` job runs this suite once per backend by setting
+//! `BACKEND_FILTER` (e.g. `multicore`, `fleet:4`): the filtered kind is
+//! checked against the sequential reference only, so a backend-specific
+//! regression fails exactly the job named after it. Unset, every kind runs
+//! (the `BackendKind::ALL` set plus 1- and 4-device fleets).
 
 use flowshop_gpu_bnb::bb::{frozen_pool, FspProblem};
 use flowshop_gpu_bnb::fsp::{taillard, Time};
@@ -21,6 +27,34 @@ use flowshop_gpu_bnb::gpu_bnb::{
     BackendKind, BoundingEngine, DataPlacement, GpuBnbSolver, GpuSolverConfig,
 };
 use proptest::prelude::*;
+
+/// The backends this suite checks: `BACKEND_FILTER` (plus the sequential
+/// reference) when set, the full roster otherwise.
+fn gated_kinds() -> Vec<BackendKind> {
+    match std::env::var("BACKEND_FILTER") {
+        Ok(spec) if !spec.trim().is_empty() => {
+            let kind: BackendKind = spec
+                .trim()
+                .parse()
+                .unwrap_or_else(|e| panic!("invalid BACKEND_FILTER `{spec}`: {e}"));
+            let mut kinds = vec![BackendKind::Sequential];
+            if kind != BackendKind::Sequential {
+                kinds.push(kind);
+            }
+            kinds
+        }
+        _ => {
+            let mut kinds = BackendKind::ALL.to_vec();
+            for devices in [1, 4] {
+                kinds.push(BackendKind::Fleet {
+                    devices,
+                    pipelined: true,
+                });
+            }
+            kinds
+        }
+    }
+}
 
 fn config_for(kind: BackendKind, pool: usize) -> GpuSolverConfig {
     GpuSolverConfig {
@@ -56,7 +90,7 @@ proptest! {
         let nodes = frozen_pool(&problem, target).nodes;
 
         let mut reference: Option<Vec<Time>> = None;
-        for kind in BackendKind::ALL {
+        for kind in gated_kinds() {
             let mut backend = make_backend(&problem, &config_for(kind, target), nodes.len().max(1));
             let batch = backend.bound_batch(&nodes);
             prop_assert_eq!(batch.bounds.len(), nodes.len());
@@ -76,7 +110,7 @@ fn ta001_bounds_and_makespan_agree_across_backends() {
 
     // Per-node bounds: bit-identical across every backend.
     let mut reference: Option<Vec<Time>> = None;
-    for kind in BackendKind::ALL {
+    for kind in gated_kinds() {
         let mut backend = make_backend(&problem, &config_for(kind, 64), frozen.nodes.len());
         let bounds = backend.bound_batch(&frozen.nodes).bounds;
         match &reference {
@@ -89,7 +123,7 @@ fn ta001_bounds_and_makespan_agree_across_backends() {
     // (fast-forward keeps the functional 20×20 sweep out of debug builds —
     // the bounds are the host reference either way).
     let mut makespans = Vec::new();
-    for kind in BackendKind::ALL {
+    for kind in gated_kinds() {
         let cfg = GpuSolverConfig {
             node_limit: Some(3_000),
             fast_forward: true,

@@ -1,0 +1,236 @@
+//! Equivalence suite for the multi-device fleet backend.
+//!
+//! The fleet's contract has three parts, and this suite pins each down:
+//!
+//! 1. **Sharding is a permutation-free partition** — [`plan_shards`] covers
+//!    every input index exactly once, whatever the batch size, device count
+//!    and chunk granularity (property test), so every node is bounded
+//!    exactly once;
+//! 2. **bounds are bit-identical** to the single-device pipelined backend,
+//!    for random pools and for the authentic `instances/ta001.txt`;
+//! 3. on the deterministic ta001 prefix subtree, a 2-device fleet **visits
+//!    exactly the node set** of the single-device pipelined backend under a
+//!    pinned incumbent, and its modelled device schedule is **strictly
+//!    shorter** — the tentpole's scaling claim, checked on real data.
+//!
+//! Everything is modelled/deterministic — no timing flake.
+//!
+//! Like the other equivalence suites, this one honours `BACKEND_FILTER`
+//! (the CI `backend-matrix` job): a `fleet:N` filter pins the fleet size
+//! under test, a non-fleet filter skips the fleet-vs-single comparisons
+//! entirely (that job is not about fleets), and unset runs sizes 1, 2, 4.
+
+use flowshop_gpu_bnb::bb::{frozen_pool, FspNode, FspProblem};
+use flowshop_gpu_bnb::fsp::{taillard, Time};
+use flowshop_gpu_bnb::gpu_bnb::backend::make_backend;
+use flowshop_gpu_bnb::gpu_bnb::{
+    plan_shards, BackendKind, DataPlacement, FleetShard, GpuBnbSolver, GpuSolverConfig,
+};
+use proptest::prelude::*;
+
+/// Fleet sizes this suite exercises: `[N]` under a `fleet:N` filter, empty
+/// (suite skipped) under a non-fleet filter, `[1, 2, 4]` when unset.
+fn gated_device_counts() -> Vec<usize> {
+    match std::env::var("BACKEND_FILTER") {
+        Ok(spec) if !spec.trim().is_empty() => {
+            let kind: BackendKind = spec
+                .trim()
+                .parse()
+                .unwrap_or_else(|e| panic!("invalid BACKEND_FILTER `{spec}`: {e}"));
+            match kind {
+                BackendKind::Fleet { devices, .. } => vec![devices],
+                _ => Vec::new(),
+            }
+        }
+        _ => vec![1, 2, 4],
+    }
+}
+
+fn config(pool: usize, backend: BackendKind, lookahead: bool) -> GpuSolverConfig {
+    GpuSolverConfig {
+        pool_size: pool,
+        placement: DataPlacement::SharedJmPtm,
+        backend,
+        lookahead,
+        fast_forward: true,
+        ..Default::default()
+    }
+}
+
+fn ta001() -> flowshop_gpu_bnb::fsp::Instance {
+    let text = std::fs::read_to_string("instances/ta001.txt").expect("ta001 ships with the repo");
+    let (inst, _header) =
+        flowshop_gpu_bnb::fsp::io::parse_taillard("instances/ta001.txt", &text).expect("parses");
+    inst
+}
+
+/// The pinned ta001 sub-problem the lookahead suite also exhausts: an 8-job
+/// prefix whose optimum (1359) sits strictly above its Johnson bound (1351),
+/// so pinning the incumbent there leaves a non-trivial, exhaustible tree.
+fn ta001_pinned_entry(inst: &flowshop_gpu_bnb::fsp::Instance) -> (FspNode, Time) {
+    let problem = FspProblem::new(inst.clone());
+    let prefix = [3usize, 5, 15, 10, 1, 14, 11, 6];
+    let mut node = FspNode::from_prefix(inst, &prefix);
+    problem.bound(&mut node);
+    assert_eq!(node.bound(), 1351, "ta001 prefix bound drifted");
+    (node, 1359)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sharding is a partition: every index of the input lands in exactly
+    /// one shard (no node bounded twice, none dropped), shards stay in
+    /// ordinal order, and whenever the batch has at least as many nodes as
+    /// devices, no device idles.
+    #[test]
+    fn shard_plans_partition_the_batch(
+        len in 0usize..5_000,
+        devices in 1usize..9,
+        chunk in 1usize..4_000,
+    ) {
+        let shards = plan_shards(len, devices, chunk);
+        prop_assert_eq!(shards.len(), devices);
+        let mut covered = vec![0u32; len];
+        for (ordinal, shard) in shards.iter().enumerate() {
+            prop_assert_eq!(shard.device, ordinal);
+            for &(start, range_len) in &shard.ranges {
+                prop_assert!(range_len > 0);
+                prop_assert!(start + range_len <= len);
+                for slot in &mut covered[start..start + range_len] {
+                    *slot += 1;
+                }
+            }
+        }
+        prop_assert!(
+            covered.iter().all(|&count| count == 1),
+            "every node must be assigned to exactly one device"
+        );
+        if len >= devices {
+            prop_assert!(
+                shards.iter().all(|s| s.nodes() > 0),
+                "no device may idle when there is work for all"
+            );
+        }
+        prop_assert_eq!(shards.iter().map(FleetShard::nodes).sum::<usize>(), len);
+    }
+
+    /// Fleet bounds are bit-identical to the single-device pipelined
+    /// backend on random instances and frozen pools, for any fleet size.
+    #[test]
+    fn fleet_bounds_match_the_single_device_backend(
+        (jobs, machines, seed) in (6usize..=12, 3usize..=7, 1i64..1_000_000),
+        target in 16usize..80,
+    ) {
+        let inst = taillard::generate("fleet", jobs, machines, seed);
+        let problem = FspProblem::new(inst);
+        let nodes = frozen_pool(&problem, target).nodes;
+
+        let mut single = make_backend(
+            &problem,
+            &config(target, BackendKind::GpuPipelined, false),
+            nodes.len().max(1),
+        );
+        let reference = single.bound_batch(&nodes).bounds;
+        for devices in gated_device_counts() {
+            for pipelined in [false, true] {
+                let mut fleet = make_backend(
+                    &problem,
+                    &config(target, BackendKind::Fleet { devices, pipelined }, false),
+                    nodes.len().max(1),
+                );
+                let bounds = fleet.bound_batch(&nodes).bounds;
+                prop_assert_eq!(
+                    &bounds, &reference,
+                    "{} devices (pipelined={}) diverged", devices, pipelined
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ta001_fleet_bounds_are_bit_identical() {
+    let problem = FspProblem::new(ta001());
+    let frozen = frozen_pool(&problem, 256);
+    assert!(!frozen.nodes.is_empty());
+    let mut single = make_backend(
+        &problem,
+        &config(256, BackendKind::GpuPipelined, false),
+        frozen.nodes.len(),
+    );
+    let reference = single.bound_batch(&frozen.nodes).bounds;
+    for devices in gated_device_counts() {
+        let mut fleet = make_backend(
+            &problem,
+            &config(
+                256,
+                BackendKind::Fleet {
+                    devices,
+                    pipelined: true,
+                },
+                false,
+            ),
+            frozen.nodes.len(),
+        );
+        let bounds = fleet.bound_batch(&frozen.nodes).bounds;
+        assert_eq!(bounds, reference, "{devices} devices diverged on ta001");
+    }
+}
+
+#[test]
+fn ta001_fleet_visits_the_single_device_node_set_and_runs_faster() {
+    // Pinned incumbent ⇒ identical prune decisions ⇒ the fleet must visit
+    // exactly the node set of the single-device pipelined backend; and with
+    // the pool split across two devices, the fleet's modelled device
+    // schedule must be strictly shorter (the acceptance claim of the
+    // tentpole, on authentic data).
+    let Some(&devices) = gated_device_counts().iter().max() else {
+        eprintln!("skipping: BACKEND_FILTER pins a non-fleet backend");
+        return;
+    };
+    let inst = ta001();
+    let (entry, ub) = ta001_pinned_entry(&inst);
+    let run = |backend: BackendKind| {
+        let problem = FspProblem::new(inst.clone());
+        GpuBnbSolver::from_problem(problem, config(256, backend, true)).solve_from(
+            vec![entry.clone()],
+            Some(ub),
+            None,
+        )
+    };
+    let single = run(BackendKind::GpuPipelined);
+    let fleet = run(BackendKind::Fleet {
+        devices,
+        pipelined: true,
+    });
+
+    assert!(
+        single.stats.bounded > 10_000,
+        "the pinned tree must be real"
+    );
+    assert_eq!(single.stats.improvements, 0);
+    assert_eq!(fleet.stats.improvements, 0);
+    assert_eq!(single.best_makespan, fleet.best_makespan);
+    assert_eq!(single.stats.selected, fleet.stats.selected);
+    assert_eq!(single.stats.decomposed, fleet.stats.decomposed);
+    assert_eq!(single.stats.bounded, fleet.stats.bounded);
+    assert_eq!(single.stats.pruned, fleet.stats.pruned);
+    assert_eq!(single.stats.leaves, fleet.stats.leaves);
+    assert!(single.is_optimal() && fleet.is_optimal());
+    assert_eq!(fleet.gpu.nodes_bounded, fleet.stats.bounded);
+
+    // The strict-win claim needs genuine parallelism: a fleet of one is the
+    // single device plus the merge cost, so only assert it for ≥ 2 devices.
+    if devices >= 2 {
+        assert!(
+            fleet.gpu.overlapped_time < single.gpu.overlapped_time,
+            "{devices}-device fleet {:?} must undercut the single device {:?}",
+            fleet.gpu.overlapped_time,
+            single.gpu.overlapped_time
+        );
+    }
+    // Total modelled compute is conserved — the fleet wins by overlapping
+    // devices, not by doing less work.
+    assert_eq!(fleet.gpu.nodes_bounded, single.gpu.nodes_bounded);
+}
