@@ -3,24 +3,37 @@
 //! machine-readable JSON performance report: nodes bounded per second, the
 //! bounding share, the best makespan found.
 //!
-//! The report is the contract of the `bench-smoke` CI job: a run on a small
-//! frozen workload is compared against the committed `BENCH_baseline.json`
-//! and the job fails when the nodes/sec throughput regresses by more than the
-//! configured fraction. `--smoke` runs the workload once per gated row (the
-//! plain GPU off-load, its stream-pipelined variant with and without
-//! cross-iteration lookahead, and the two-device fleet) and emits one report
-//! row each; `--summary` appends the baseline-vs-current table as Markdown
-//! (what CI drops into `$GITHUB_STEP_SUMMARY`).
+//! The report drives two CI gates:
+//!
+//! * the **blocking cost gate** (`--cost-baseline BENCH_cost_baseline.json`)
+//!   compares the deterministic `CostReport` counters of every smoke row
+//!   against the committed baseline with **exact equality** — any
+//!   single-counter drift fails, on every machine, because the counters are
+//!   pure functions of the workload and the cost model;
+//! * the **advisory wall-clock gate** (`--baseline BENCH_baseline.json
+//!   --advisory`) compares machine-dependent nodes/sec throughput and only
+//!   warns, since the committed figures are tied to one hardware class.
+//!
+//! `--smoke` runs the frozen workload once per gated row (the plain GPU
+//! off-load, its stream-pipelined variant with and without cross-iteration
+//! lookahead, and the two-device fleet) and emits one report row each;
+//! `--summary` appends the comparison tables as Markdown (what CI drops into
+//! `$GITHUB_STEP_SUMMARY`); `--emit-cost-baseline` writes the
+//! machine-independent cost baseline for committing.
 //!
 //! ```text
-//! solve_taillard --smoke --baseline BENCH_baseline.json
+//! solve_taillard --smoke --cost-baseline BENCH_cost_baseline.json
+//! solve_taillard --smoke --baseline BENCH_baseline.json --advisory
 //! solve_taillard --file instances/ta021 --mode serial --node-limit 200000
 //! solve_taillard --jobs 20 --machines 20 --seed 2012 --backend fleet --devices 4 --json out.json
 //! ```
 
 use bb::{frozen_pool, FrozenPool, FspProblem, SerialSolver, SolverConfig};
 use fsp::taillard;
-use gpu_bnb::{BackendKind, DataPlacement, GpuBnbSolver, GpuSolverConfig};
+use gpu_bnb::cost::{CostTable, COST_COUNTERS};
+use gpu_bnb::{
+    BackendKind, CostReport, DataPlacement, GpuBnbSolver, GpuSolverConfig, SolveLatencies,
+};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -94,6 +107,10 @@ struct RunMetrics {
     /// Modelled wall time of the device schedule (overlapped when the
     /// backend pipelines; `kernel + transfer` otherwise).
     device_seconds: f64,
+    /// Deterministic cost counters of the run (the cost gate's figures).
+    cost: CostReport,
+    /// Log-bucketed latency histograms of the modelled schedule.
+    latencies: SolveLatencies,
 }
 
 /// Everything one run reports — serialised as one JSON row.
@@ -199,6 +216,21 @@ impl Report {
             "{indent}  \"modelled_device_seconds\": {:.6},",
             m.device_seconds
         );
+        let _ = writeln!(
+            out,
+            "{indent}  \"offloading_rate\": {:.6},",
+            m.cost.offloading_rate()
+        );
+        let _ = writeln!(
+            out,
+            "{indent}  \"cost\": {},",
+            m.cost.to_json(&format!("{indent}  "))
+        );
+        let _ = writeln!(
+            out,
+            "{indent}  \"latency_histograms\": {},",
+            m.latencies.to_json(&format!("{indent}  "))
+        );
         let _ = writeln!(out, "{indent}  \"makespan\": {},", m.makespan);
         let _ = writeln!(out, "{indent}  \"optimal\": {}", m.optimal);
     }
@@ -215,7 +247,7 @@ fn reports_to_json(reports: &[Report]) -> String {
         let _ = writeln!(out, "}}");
     } else {
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"schema\": \"flowshop-bnb-perf-report/v4\",");
+        let _ = writeln!(out, "  \"schema\": \"flowshop-bnb-perf-report/v5\",");
         let _ = writeln!(out, "  \"rows\": [");
         for (i, report) in reports.iter().enumerate() {
             let sep = if i + 1 < reports.len() { "," } else { "" };
@@ -245,6 +277,9 @@ struct Options {
     reps: usize,
     json: Option<String>,
     baseline: Option<String>,
+    cost_baseline: Option<String>,
+    emit_cost_baseline: Option<String>,
+    advisory: bool,
     summary: Option<String>,
     max_regression: f64,
     smoke: bool,
@@ -268,6 +303,9 @@ impl Default for Options {
             reps: 1,
             json: None,
             baseline: None,
+            cost_baseline: None,
+            emit_cost_baseline: None,
+            advisory: false,
             summary: None,
             max_regression: 0.25,
             smoke: false,
@@ -392,6 +430,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--json" => opts.json = Some(value(&args, &mut i, flag)?),
             "--baseline" => opts.baseline = Some(value(&args, &mut i, flag)?),
+            "--cost-baseline" => opts.cost_baseline = Some(value(&args, &mut i, flag)?),
+            "--emit-cost-baseline" => opts.emit_cost_baseline = Some(value(&args, &mut i, flag)?),
+            "--advisory" => opts.advisory = true,
             "--summary" => opts.summary = Some(value(&args, &mut i, flag)?),
             "--max-regression" => {
                 opts.max_regression = value(&args, &mut i, flag)?
@@ -408,11 +449,15 @@ fn parse_args() -> Result<Options, String> {
                      \x20         --autotune (sweep pool + chunk size; + device count for fleet)\n\
                      \x20         --pool-size P  --node-limit N  --frozen K  --reps R\n\
                      output:   --json <path>  --summary <markdown-path, appended>\n\
-                     CI gate:  --smoke  --baseline <BENCH_baseline.json>  --max-regression 0.25\n\n\
+                     \x20         --emit-cost-baseline <path> (machine-independent cost baseline)\n\
+                     CI gate:  --smoke  --cost-baseline <BENCH_cost_baseline.json> (blocking, exact)\n\
+                     \x20         --baseline <BENCH_baseline.json>  --max-regression 0.25\n\
+                     \x20         --advisory (wall-clock gate warns instead of failing)\n\n\
                      --smoke runs the frozen workload once per gated row (gpu, gpu-pipelined,\n\
                      gpu-pipelined+lookahead, fleet:2+lookahead) and emits one report row each;\n\
-                     the gate compares every row against the baseline row with the same\n\
-                     backend, device count and lookahead flag (schema v4, see\n\
+                     each gate compares every row against the baseline row with the same\n\
+                     backend, device count and lookahead flag — the cost gate on exact\n\
+                     counter equality, the wall-clock gate on nodes/sec (schema v5, see\n\
                      docs/BENCHMARKING.md)."
                 );
                 std::process::exit(0);
@@ -478,6 +523,12 @@ fn run_once(
                 Some(f) => solver.solve_from(f.nodes, Some(f.upper_bound), f.best_schedule),
                 None => solver.solve(),
             };
+            // The serial solver bounds everything on the host: its cost
+            // report is host-only (off-loading rate zero), with the host-op
+            // cycles still routed through the cost table.
+            let mut cost = CostReport::default();
+            cost.record_host_bound(outcome.stats.bounded);
+            cost.host_op_cycles = CostTable::cycles(CostTable::HOST_OPS, outcome.stats.bounded);
             RunMetrics {
                 nodes_bounded: outcome.stats.bounded,
                 elapsed: outcome.elapsed,
@@ -487,6 +538,8 @@ fn run_once(
                 kernel_seconds: 0.0,
                 transfer_seconds: 0.0,
                 device_seconds: 0.0,
+                cost,
+                latencies: SolveLatencies::default(),
             }
         }
         Mode::Backend(kind) | Mode::BackendFast(kind) => {
@@ -525,6 +578,8 @@ fn run_once(
                 kernel_seconds: outcome.gpu.kernel_time.as_secs_f64(),
                 transfer_seconds: outcome.gpu.transfer_time.as_secs_f64(),
                 device_seconds: outcome.gpu.device_schedule_time().as_secs_f64(),
+                cost: outcome.cost,
+                latencies: outcome.latencies,
             }
         }
     }
@@ -564,50 +619,58 @@ struct BaselineRow {
     nodes_per_sec: f64,
 }
 
-/// Pulls the gate rows out of a report previously written by this binary (a
-/// full JSON parser is not warranted for our own format). In the v1
+/// The `(backend, devices, lookahead)` key of the row a byte offset falls
+/// in, read from the fields that precede it in a report written by this
+/// binary — shared by the wall-clock and cost baseline parsers. In the v1
 /// single-object schema without a `backend` field the backend is `""`;
 /// pre-v3 rows without a `lookahead` field parse as `false`; pre-v4 rows
 /// without a `devices` field parse as 1.
-fn baseline_rows(text: &str) -> Vec<BaselineRow> {
-    let nps_key = "\"nodes_per_sec\":";
+fn row_key_before(text: &str, at: usize) -> (String, usize, bool) {
     let backend_key = "\"backend\":";
     let devices_key = "\"devices\":";
     let lookahead_key = "\"lookahead\":";
+    let backend = text[..at]
+        .rfind(backend_key)
+        .map(|b| {
+            let rest = text[b + backend_key.len()..].trim_start();
+            rest.trim_start_matches('"')
+                .chars()
+                .take_while(|c| *c != '"')
+                .collect::<String>()
+        })
+        .unwrap_or_default();
+    let devices = text[..at]
+        .rfind(devices_key)
+        .and_then(|b| {
+            let rest = text[b + devices_key.len()..].trim_start();
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].parse::<usize>().ok()
+        })
+        .unwrap_or(1);
+    let lookahead = text[..at]
+        .rfind(lookahead_key)
+        .map(|b| {
+            text[b + lookahead_key.len()..]
+                .trim_start()
+                .starts_with("true")
+        })
+        .unwrap_or(false);
+    (backend, devices, lookahead)
+}
+
+/// Pulls the gate rows out of a report previously written by this binary (a
+/// full JSON parser is not warranted for our own format).
+fn baseline_rows(text: &str) -> Vec<BaselineRow> {
+    let nps_key = "\"nodes_per_sec\":";
     let mut rows = Vec::new();
     let mut search_from = 0;
     while let Some(rel) = text[search_from..].find(nps_key) {
         let nps_at = search_from + rel;
         // The backend name, device count and lookahead flag, when present,
         // precede nodes_per_sec in their row.
-        let backend = text[..nps_at]
-            .rfind(backend_key)
-            .map(|b| {
-                let rest = text[b + backend_key.len()..].trim_start();
-                rest.trim_start_matches('"')
-                    .chars()
-                    .take_while(|c| *c != '"')
-                    .collect::<String>()
-            })
-            .unwrap_or_default();
-        let devices = text[..nps_at]
-            .rfind(devices_key)
-            .and_then(|b| {
-                let rest = text[b + devices_key.len()..].trim_start();
-                let end = rest
-                    .find(|c: char| !c.is_ascii_digit())
-                    .unwrap_or(rest.len());
-                rest[..end].parse::<usize>().ok()
-            })
-            .unwrap_or(1);
-        let lookahead = text[..nps_at]
-            .rfind(lookahead_key)
-            .map(|b| {
-                text[b + lookahead_key.len()..]
-                    .trim_start()
-                    .starts_with("true")
-            })
-            .unwrap_or(false);
+        let (backend, devices, lookahead) = row_key_before(text, nps_at);
         let rest = text[nps_at + nps_key.len()..].trim_start();
         let end = rest
             .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
@@ -623,6 +686,121 @@ fn baseline_rows(text: &str) -> Vec<BaselineRow> {
         search_from = nps_at + nps_key.len();
     }
     rows
+}
+
+/// One [`CostReport`] of a cost baseline (or of a v5 perf report — the
+/// parser accepts both), keyed like [`BaselineRow`].
+struct CostRow {
+    backend: String,
+    devices: usize,
+    lookahead: bool,
+    cost: CostReport,
+}
+
+/// Assigns one named counter parsed from a baseline. Returns `false` for
+/// unknown names so a future counter in the file is an error, not silence.
+fn set_counter(cost: &mut CostReport, name: &str, value: u64) -> bool {
+    match name {
+        "batches" => cost.batches = value,
+        "launches" => cost.launches = value,
+        "waves" => cost.waves = value,
+        "device_nodes" => cost.device_nodes = value,
+        "host_nodes" => cost.host_nodes = value,
+        "h2d_bytes" => cost.h2d_bytes = value,
+        "d2h_bytes" => cost.d2h_bytes = value,
+        "kernel_nanos" => cost.kernel_nanos = value,
+        "transfer_nanos" => cost.transfer_nanos = value,
+        "schedule_nanos" => cost.schedule_nanos = value,
+        "host_op_cycles" => cost.host_op_cycles = value,
+        "fleet_merge_cycles" => cost.fleet_merge_cycles = value,
+        "serial_accesses" => cost.serial_accesses = value,
+        _ => return false,
+    }
+    true
+}
+
+/// Pulls every `"cost": { ... }` block (a flat object of integer counters)
+/// out of a cost baseline or a v5 perf report, keyed by the row fields that
+/// precede it.
+fn cost_rows(text: &str) -> Result<Vec<CostRow>, String> {
+    let cost_key = "\"cost\":";
+    let mut rows = Vec::new();
+    let mut search_from = 0;
+    while let Some(rel) = text[search_from..].find(cost_key) {
+        let at = search_from + rel;
+        let (backend, devices, lookahead) = row_key_before(text, at);
+        let after = &text[at + cost_key.len()..];
+        let open = after
+            .find('{')
+            .ok_or_else(|| format!("no object after \"cost\": in row `{backend}`"))?;
+        let close = after[open..]
+            .find('}')
+            .ok_or_else(|| format!("unterminated cost object in row `{backend}`"))?;
+        let body = &after[open + 1..open + close];
+        let mut cost = CostReport::default();
+        let mut seen = 0usize;
+        for pair in body.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let (name, value) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("malformed counter `{pair}` in row `{backend}`"))?;
+            let name = name.trim().trim_matches('"');
+            let value: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("non-integer counter `{pair}` in row `{backend}`"))?;
+            if !set_counter(&mut cost, name, value) {
+                return Err(format!("unknown cost counter `{name}` in row `{backend}`"));
+            }
+            seen += 1;
+        }
+        if seen != COST_COUNTERS {
+            return Err(format!(
+                "row `{backend}` has {seen} cost counters, expected {COST_COUNTERS}"
+            ));
+        }
+        rows.push(CostRow {
+            backend,
+            devices,
+            lookahead,
+            cost,
+        });
+        search_from = at + cost_key.len() + open + close;
+    }
+    Ok(rows)
+}
+
+/// Serialises the deterministic cost counters of each row — and nothing
+/// else: no wall-clock field reaches the file, so it is bit-identical
+/// across machines and across runs on the same commit.
+fn cost_baseline_json(reports: &[Report]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"flowshop-bnb-cost-baseline/v1\",");
+    let _ = writeln!(out, "  \"rows\": [");
+    for (i, report) in reports.iter().enumerate() {
+        let sep = if i + 1 < reports.len() { "," } else { "" };
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(
+            out,
+            "      \"backend\": \"{}\",",
+            report.mode.backend_name()
+        );
+        let _ = writeln!(out, "      \"devices\": {},", report.mode.devices());
+        let _ = writeln!(out, "      \"lookahead\": {},", report.lookahead);
+        let _ = writeln!(
+            out,
+            "      \"cost\": {}",
+            report.metrics.cost.to_json("      ")
+        );
+        let _ = writeln!(out, "    }}{sep}");
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
 }
 
 fn main() -> ExitCode {
@@ -763,6 +941,52 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(path) = &opts.emit_cost_baseline {
+        let text = cost_baseline_json(&reports);
+        if let Err(err) = std::fs::write(path, &text) {
+            eprintln!("error: cannot write cost baseline {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("cost baseline: wrote {} rows to {path}", reports.len());
+    }
+
+    let cost_baseline = match &opts.cost_baseline {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(err) => {
+                    eprintln!("error: cannot read cost baseline {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let rows = match cost_rows(&text) {
+                Ok(rows) if rows.is_empty() => {
+                    eprintln!("error: no cost rows in baseline {path}");
+                    return ExitCode::FAILURE;
+                }
+                Ok(rows) => rows,
+                Err(msg) => {
+                    eprintln!("error: cannot parse cost baseline {path}: {msg}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            Some(rows)
+        }
+        None => None,
+    };
+
+    let cost_baseline_for = |report: &Report| -> Option<CostReport> {
+        cost_baseline.as_ref().and_then(|rows| {
+            rows.iter()
+                .find(|b| {
+                    b.backend == report.mode.backend_name()
+                        && b.devices == report.mode.devices()
+                        && b.lookahead == report.lookahead
+                })
+                .map(|b| b.cost)
+        })
+    };
+
     let baseline = match &opts.baseline {
         Some(path) => {
             let text = match std::fs::read_to_string(path) {
@@ -798,19 +1022,69 @@ fn main() -> ExitCode {
     };
 
     if let Some(path) = &opts.summary {
-        if let Err(err) = append_summary(path, &reports, &baseline_for) {
+        if let Err(err) = append_summary(
+            path,
+            &reports,
+            &baseline_for,
+            &cost_baseline_for,
+            opts.advisory,
+        ) {
             eprintln!("error: cannot write summary {path}: {err}");
             return ExitCode::FAILURE;
         }
     }
 
+    // The blocking tier: every counter is a pure function of the workload
+    // and the cost model, so the comparison is exact equality — no noise
+    // margin, no machine dependence.
+    let mut cost_failed = false;
+    if cost_baseline.is_some() {
+        for report in &reports {
+            let name = report.label();
+            let Some(base) = cost_baseline_for(report) else {
+                eprintln!("cost gate [{name}]: no baseline row");
+                cost_failed = true;
+                continue;
+            };
+            let current = report.metrics.cost;
+            if current == base {
+                eprintln!("cost gate [{name}]: ok — {COST_COUNTERS} counters exact");
+                continue;
+            }
+            cost_failed = true;
+            eprintln!("cost gate [{name}]: FAIL — counters drifted from the baseline:");
+            eprintln!(
+                "  {:<20} {:>16} {:>16} {:>14}",
+                "counter", "baseline", "current", "delta"
+            );
+            for ((cname, cur), (_, base_v)) in current.counters().iter().zip(base.counters().iter())
+            {
+                if cur != base_v {
+                    let delta = *cur as i128 - *base_v as i128;
+                    eprintln!("  {cname:<20} {base_v:>16} {cur:>16} {delta:>+14}");
+                }
+            }
+        }
+        if cost_failed {
+            eprintln!(
+                "cost gate: FAIL — the counters are deterministic, so any drift is a real \
+                 behaviour change. If it is intentional, refresh the baseline with \
+                 scripts/refresh_cost_baseline.sh and commit the result (see docs/BENCHMARKING.md)."
+            );
+        } else {
+            eprintln!("cost gate: ok");
+        }
+    }
+
+    // The advisory tier: wall-clock nodes/sec against a machine-dependent
+    // floor. With --advisory a regression warns but never fails the run.
+    let mut wall_failed = false;
     if baseline.is_some() {
-        let mut failed = false;
         for report in &reports {
             let name = report.label();
             let Some(base) = baseline_for(report) else {
                 eprintln!("perf gate [{name}]: no baseline row — run --smoke --json to refresh");
-                failed = true;
+                wall_failed = true;
                 continue;
             };
             let floor = base * (1.0 - opts.max_regression);
@@ -820,14 +1094,32 @@ fn main() -> ExitCode {
                 opts.max_regression * 100.0
             );
             if nps < floor {
-                eprintln!("perf gate [{name}]: FAIL — nodes/sec regressed past the floor");
-                failed = true;
+                if opts.advisory {
+                    eprintln!(
+                        "perf gate [{name}]: ADVISORY — nodes/sec regressed past the floor \
+                         (wall-clock is machine-dependent and not blocking; the cost gate is)"
+                    );
+                } else {
+                    eprintln!("perf gate [{name}]: FAIL — nodes/sec regressed past the floor");
+                    wall_failed = true;
+                }
             }
         }
-        if failed {
-            return ExitCode::FAILURE;
+        if wall_failed {
+            eprintln!(
+                "perf gate: FAIL — to refresh the wall-clock baseline, run \
+                 scripts/refresh_baseline.sh and commit the updated BENCH_baseline.json \
+                 (see docs/BENCHMARKING.md for the procedure and when a refresh is justified)."
+            );
+        } else {
+            eprintln!(
+                "perf gate: ok{}",
+                if opts.advisory { " (advisory)" } else { "" }
+            );
         }
-        eprintln!("perf gate: ok");
+    }
+    if cost_failed || wall_failed {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
@@ -839,15 +1131,23 @@ fn append_summary(
     path: &str,
     reports: &[Report],
     baseline_for: &dyn Fn(&Report) -> Option<f64>,
+    cost_baseline_for: &dyn Fn(&Report) -> Option<CostReport>,
+    advisory: bool,
 ) -> std::io::Result<()> {
     use std::io::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "### Perf smoke: baseline vs current\n");
+    if advisory {
+        let _ = writeln!(
+            out,
+            "_Wall-clock columns are advisory; the blocking tier is the deterministic cost gate._\n"
+        );
+    }
     let _ = writeln!(
         out,
-        "| row | devices | baseline nodes/s | current nodes/s | Δ | modelled device ms |"
+        "| row | devices | baseline nodes/s | current nodes/s | Δ | modelled device ms | offload rate | cost counters |"
     );
-    let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|");
+    let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|---:|---|");
     for report in reports {
         let nps = report.nodes_per_sec();
         let (base_col, delta_col) = match baseline_for(report) {
@@ -857,18 +1157,61 @@ fn append_summary(
             ),
             _ => ("—".to_string(), "—".to_string()),
         };
+        let cost_col = match cost_baseline_for(report) {
+            Some(base) if base == report.metrics.cost => "exact".to_string(),
+            Some(base) => {
+                let drifted = report
+                    .metrics
+                    .cost
+                    .counters()
+                    .iter()
+                    .zip(base.counters().iter())
+                    .filter(|((_, cur), (_, b))| cur != b)
+                    .count();
+                format!("**DRIFT** ({drifted} counters)")
+            }
+            None => "—".to_string(),
+        };
         let _ = writeln!(
             out,
-            "| {} | {} | {} | {:.0} | {} | {:.3} |",
+            "| {} | {} | {} | {:.0} | {} | {:.3} | {:.3} | {} |",
             report.label(),
             report.mode.devices(),
             base_col,
             nps,
             delta_col,
             report.metrics.device_seconds * 1e3,
+            report.metrics.cost.offloading_rate(),
+            cost_col,
         );
     }
     let _ = writeln!(out);
+    // Per-counter delta tables for the rows that drifted — the payload a
+    // cost-gate failure drops into the step summary.
+    for report in reports {
+        let Some(base) = cost_baseline_for(report) else {
+            continue;
+        };
+        if base == report.metrics.cost {
+            continue;
+        }
+        let _ = writeln!(out, "#### Cost counter drift: `{}`\n", report.label());
+        let _ = writeln!(out, "| counter | baseline | current | delta |");
+        let _ = writeln!(out, "|---|---:|---:|---:|");
+        for ((cname, cur), (_, base_v)) in report
+            .metrics
+            .cost
+            .counters()
+            .iter()
+            .zip(base.counters().iter())
+        {
+            if cur != base_v {
+                let delta = *cur as i128 - *base_v as i128;
+                let _ = writeln!(out, "| {cname} | {base_v} | {cur} | {delta:+} |");
+            }
+        }
+        let _ = writeln!(out);
+    }
     let mut file = std::fs::OpenOptions::new()
         .create(true)
         .append(true)

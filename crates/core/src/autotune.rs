@@ -129,6 +129,9 @@ pub struct ChunkSizeMeasurement {
     /// Overlapped makespan over the serialized `kernel + transfer` sum of
     /// the same probe — below 1 whenever the pipeline actually overlaps.
     pub overlap_ratio: f64,
+    /// Device block waves the probe's launches occupied (deterministic; the
+    /// chunking granularity's footprint on the SM schedule).
+    pub waves: u64,
 }
 
 /// Result of a pipeline-chunk auto-tuning session.
@@ -224,6 +227,7 @@ pub fn autotune_pipeline_chunk(
             } else {
                 1.0
             },
+            waves: result.waves,
         });
     }
 
@@ -521,7 +525,7 @@ mod tests {
         assert!(report
             .measurements
             .iter()
-            .all(|m| m.seconds_per_node > 0.0 && m.overlap_ratio > 0.0));
+            .all(|m| m.seconds_per_node > 0.0 && m.overlap_ratio > 0.0 && m.waves > 0));
         assert!([16, 64, 256].contains(&report.best_chunk_size));
     }
 

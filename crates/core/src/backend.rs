@@ -46,6 +46,16 @@ pub struct BackendAccounting {
     pub download_bytes: u64,
     /// Kernel launches this batch took (chunks for the pipelined backend).
     pub launches: u64,
+    /// Device block waves across those launches —
+    /// `ceil(grid_blocks / multiprocessors)` per launch, summed. Zero for
+    /// the CPU backends.
+    pub waves: u64,
+    /// Nodes of this batch bounded on a simulated device (zero for the CPU
+    /// backends; feeds the off-loading rate).
+    pub device_nodes: u64,
+    /// Host cycles merging fleet shards back into input order (zero off the
+    /// fleet backend).
+    pub merge_cycles: u64,
 }
 
 /// Result of bounding one batch through a [`BoundingBackend`].
@@ -55,6 +65,9 @@ pub struct BackendBatch {
     pub bounds: Vec<Time>,
     /// Modelled cost of producing them.
     pub accounting: BackendAccounting,
+    /// Modelled duration of every launch (or CPU bounding pass) the batch
+    /// took, in schedule order — the per-launch latency histogram's feed.
+    pub launch_times: Vec<Duration>,
 }
 
 /// A bounding operator over batches of sub-problems.
@@ -186,6 +199,14 @@ impl BoundingBackend for SequentialBackend {
                 upload_bytes: 0,
                 download_bytes: 0,
                 launches: u64::from(!nodes.is_empty()),
+                waves: 0,
+                device_nodes: 0,
+                merge_cycles: 0,
+            },
+            launch_times: if nodes.is_empty() {
+                Vec::new()
+            } else {
+                vec![compute]
             },
         }
     }
@@ -250,6 +271,14 @@ impl BoundingBackend for MulticoreBackend {
                 upload_bytes: 0,
                 download_bytes: 0,
                 launches: u64::from(!nodes.is_empty()),
+                waves: 0,
+                device_nodes: 0,
+                merge_cycles: 0,
+            },
+            launch_times: if nodes.is_empty() {
+                Vec::new()
+            } else {
+                vec![compute]
             },
         }
     }
@@ -300,6 +329,7 @@ impl BoundingBackend for GpuBackend {
         } else {
             self.engine.bound_nodes(nodes)
         };
+        let waves = self.engine.device().spec().waves(result.stats.grid_blocks) as u64;
         BackendBatch {
             bounds: result.bounds,
             accounting: BackendAccounting {
@@ -309,6 +339,14 @@ impl BoundingBackend for GpuBackend {
                 upload_bytes: result.upload_bytes as u64,
                 download_bytes: result.download_bytes as u64,
                 launches: u64::from(!nodes.is_empty()),
+                waves: if nodes.is_empty() { 0 } else { waves },
+                device_nodes: nodes.len() as u64,
+                merge_cycles: 0,
+            },
+            launch_times: if nodes.is_empty() {
+                Vec::new()
+            } else {
+                vec![result.kernel.duration]
             },
         }
     }
@@ -396,6 +434,7 @@ impl BoundingBackend for PipelinedGpuBackend {
             return BackendBatch {
                 bounds: Vec::new(),
                 accounting: BackendAccounting::default(),
+                launch_times: Vec::new(),
             };
         }
         let chunk = self.chunk_for(nodes.len());
@@ -417,6 +456,8 @@ impl BoundingBackend for PipelinedGpuBackend {
                     upload_bytes: result.upload_bytes,
                     download_bytes: result.download_bytes,
                     chunks: result.chunks,
+                    waves: result.waves,
+                    launch_times: result.launch_times,
                 }
             }
         };
@@ -429,7 +470,11 @@ impl BoundingBackend for PipelinedGpuBackend {
                 upload_bytes: result.upload_bytes as u64,
                 download_bytes: result.download_bytes as u64,
                 launches: result.chunks as u64,
+                waves: result.waves,
+                device_nodes: nodes.len() as u64,
+                merge_cycles: 0,
             },
+            launch_times: result.launch_times,
         }
     }
 

@@ -257,6 +257,7 @@ impl BoundingBackend for FleetBackend {
             return BackendBatch {
                 bounds: Vec::new(),
                 accounting: BackendAccounting::default(),
+                launch_times: Vec::new(),
             };
         }
         let chunk = self.chunk_for(nodes.len());
@@ -265,6 +266,7 @@ impl BoundingBackend for FleetBackend {
 
         let mut bounds = vec![Time::default(); nodes.len()];
         let mut acc = BackendAccounting::default();
+        let mut launch_times = Vec::new();
         let mut slowest_device = Duration::ZERO;
         for shard in &shards {
             if shard.ranges.is_empty() {
@@ -298,6 +300,8 @@ impl BoundingBackend for FleetBackend {
                             upload_bytes: r.upload_bytes,
                             download_bytes: r.download_bytes,
                             chunks: r.chunks,
+                            waves: r.waves,
+                            launch_times: r.launch_times,
                         }
                     }
                 }
@@ -306,6 +310,7 @@ impl BoundingBackend for FleetBackend {
                     Some(lb) => member.engine.bound_nodes_fast(&member.gather, lb),
                     None => member.engine.bound_nodes(&member.gather),
                 };
+                let shard_waves = member.engine.device().spec().waves(r.stats.grid_blocks) as u64;
                 PipelinedBatch {
                     critical_path: r.device_time(),
                     kernel_time: r.kernel.duration,
@@ -313,6 +318,8 @@ impl BoundingBackend for FleetBackend {
                     upload_bytes: r.upload_bytes,
                     download_bytes: r.download_bytes,
                     chunks: 1,
+                    waves: shard_waves,
+                    launch_times: vec![r.kernel.duration],
                     bounds: r.bounds,
                 }
             };
@@ -337,14 +344,20 @@ impl BoundingBackend for FleetBackend {
             acc.upload_bytes += result.upload_bytes as u64;
             acc.download_bytes += result.download_bytes as u64;
             acc.launches += result.chunks as u64;
+            acc.waves += result.waves;
+            launch_times.extend(result.launch_times);
             slowest_device = slowest_device.max(result.critical_path);
         }
         // The devices run concurrently: the batch's modelled wall time is
         // the slowest device's schedule plus the (serial) host-side merge.
         acc.device_time = slowest_device + self.merge_time(nodes.len());
+        acc.device_nodes = nodes.len() as u64;
+        acc.merge_cycles =
+            crate::cost::CostTable::cycles(crate::cost::CostTable::FLEET_MERGE, nodes.len() as u64);
         BackendBatch {
             bounds,
             accounting: acc,
+            launch_times,
         }
     }
 

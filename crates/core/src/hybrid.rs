@@ -19,6 +19,7 @@
 
 use crate::backend::{make_backend, BoundingBackend};
 use crate::config::GpuSolverConfig;
+use crate::cost::{CostReport, SolveLatencies};
 use crate::stats::GpuRunStats;
 use bb::pool::Pool;
 use bb::stats::SolveStats;
@@ -43,8 +44,25 @@ pub struct HybridOutcome {
     /// combined launches, so `average_pool()` exceeds the per-worker chunk
     /// whenever batches actually rode together.
     pub gpu: GpuRunStats,
+    /// Deterministic cost counters aggregated over all combined launches.
+    /// The counter totals are interleaving-independent (each combined
+    /// launch's charges are pure functions of its node set); only the
+    /// grouping of nodes into batches can vary across runs with several
+    /// workers.
+    pub cost: CostReport,
+    /// Log-bucketed latency histograms of the modelled schedule.
+    pub latencies: SolveLatencies,
     /// Number of exploration threads used.
     pub workers: usize,
+}
+
+/// The accounting a combined launch updates under one lock: legacy run
+/// stats, the deterministic cost counters and the latency histograms.
+#[derive(Default)]
+struct SharedAccounting {
+    gpu: GpuRunStats,
+    cost: CostReport,
+    latencies: SolveLatencies,
 }
 
 /// Nodes travelling back to their worker with the bounds attached (the
@@ -66,7 +84,7 @@ struct LaunchCoordinator<'a> {
     backend: Mutex<Box<dyn BoundingBackend>>,
     /// Largest combined pool one launch may carry.
     capacity: usize,
-    gpu: &'a Mutex<GpuRunStats>,
+    accounting: &'a Mutex<SharedAccounting>,
     jobs: usize,
     machines: usize,
 }
@@ -123,7 +141,9 @@ impl LaunchCoordinator<'_> {
             drop(backend);
             let acc = result.accounting;
             {
-                let mut g = self.gpu.lock().unwrap();
+                let accesses = crate::backend::serial_accesses(self.jobs, self.machines, &combined);
+                let mut shared = self.accounting.lock().unwrap();
+                let g = &mut shared.gpu;
                 g.iterations += 1;
                 g.nodes_bounded += combined.len() as u64;
                 g.kernel_time += acc.kernel_time;
@@ -131,8 +151,15 @@ impl LaunchCoordinator<'_> {
                 g.overlapped_time += acc.device_time;
                 g.upload_bytes += acc.upload_bytes;
                 g.download_bytes += acc.download_bytes;
-                g.serial_accesses +=
-                    crate::backend::serial_accesses(self.jobs, self.machines, &combined);
+                g.launches += acc.launches;
+                g.serial_accesses += accesses;
+                shared
+                    .cost
+                    .record_backend_batch(&acc, combined.len() as u64, accesses);
+                for launch in &result.launch_times {
+                    shared.latencies.launch.record(*launch);
+                }
+                shared.latencies.batch.record(acc.device_time);
             }
 
             // Hand every batch its slice of nodes and bounds back.
@@ -211,6 +238,7 @@ impl HybridSolver {
             None => SharedUpperBound::unbounded(),
         };
 
+        let initial_len = initial_nodes.len();
         let pool = Mutex::new(BestFirstPool::new());
         {
             let mut guard = pool.lock().unwrap();
@@ -219,7 +247,14 @@ impl HybridSolver {
             }
         }
 
-        let gpu = Mutex::new(GpuRunStats::default());
+        let accounting = Mutex::new(SharedAccounting::default());
+        // Whatever seeded the search was bounded by host code before the
+        // off-load loop (see `GpuBnbSolver::solve_from`).
+        accounting
+            .lock()
+            .unwrap()
+            .cost
+            .record_host_bound(initial_len as u64);
         // Sized so that one launch can carry every worker's batch at once.
         let capacity = self.config.pool_size + self.workers * n;
         let coordinator_config = GpuSolverConfig {
@@ -230,7 +265,7 @@ impl HybridSolver {
             queue: Mutex::new(VecDeque::new()),
             backend: Mutex::new(make_backend(&self.problem, &coordinator_config, capacity)),
             capacity,
-            gpu: &gpu,
+            accounting: &accounting,
             jobs: n,
             machines: m,
         };
@@ -382,14 +417,20 @@ impl HybridSolver {
             }
         });
 
-        let mut gpu_stats = gpu.into_inner().unwrap();
-        gpu_stats.wall_time = start.elapsed();
+        let mut shared = accounting.into_inner().unwrap();
+        shared.gpu.wall_time = start.elapsed();
+        shared
+            .latencies
+            .solve
+            .record(shared.gpu.device_schedule_time());
         let final_stats = stats.into_inner().unwrap();
         HybridOutcome {
             best_makespan: ub.get(),
             best_schedule: incumbent_schedule.into_inner().unwrap(),
             stats: final_stats,
-            gpu: gpu_stats,
+            gpu: shared.gpu,
+            cost: shared.cost,
+            latencies: shared.latencies,
             workers: self.workers,
         }
     }
@@ -468,6 +509,13 @@ mod tests {
         assert_eq!(outcome.gpu.nodes_bounded, outcome.stats.bounded);
         assert!(outcome.gpu.iterations >= 1);
         assert!(outcome.gpu.average_pool() >= 1.0);
+        // Cost counters track the same launches (+1 host-bounded root).
+        assert_eq!(outcome.cost.batches, outcome.gpu.iterations);
+        assert_eq!(outcome.cost.nodes_bounded(), outcome.stats.bounded + 1);
+        assert_eq!(outcome.cost.serial_accesses, outcome.gpu.serial_accesses);
+        assert_eq!(outcome.latencies.batch.samples(), outcome.gpu.iterations);
+        assert_eq!(outcome.latencies.solve.samples(), 1);
+        assert!(outcome.cost.offloading_rate() > 0.0);
     }
 
     #[test]

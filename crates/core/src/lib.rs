@@ -10,6 +10,7 @@
 pub mod autotune;
 pub mod backend;
 pub mod config;
+pub mod cost;
 pub mod fleet;
 pub mod hybrid;
 pub mod kernel_lb;
@@ -23,6 +24,7 @@ pub use backend::{
     PipelinedGpuBackend, SequentialBackend,
 };
 pub use config::{BackendKind, GpuSolverConfig, DEFAULT_FLEET_DEVICES};
+pub use cost::{CostReport, CostSummary, CostTable, LatencyHistogram, OpCost, SolveLatencies};
 pub use fleet::{plan_shards, FleetBackend, FleetDeviceStats, FleetShard};
 pub use kernel_lb::LowerBoundKernel;
 pub use offload::{BoundingEngine, PipelineSession, PipelinedBatch, PipelinedBoundingResult};

@@ -66,6 +66,11 @@ pub struct PipelinedBoundingResult {
     pub download_bytes: usize,
     /// Number of chunks (kernel launches) the batch was split into.
     pub chunks: usize,
+    /// Device block waves across those launches
+    /// (`ceil(grid_blocks / multiprocessors)` each, summed).
+    pub waves: u64,
+    /// Modelled duration of every launch, in schedule order.
+    pub launch_times: Vec<Duration>,
     /// The event timeline of the schedule (inspectable in tests and
     /// reports).
     pub timeline: Timeline,
@@ -106,6 +111,11 @@ pub struct PipelinedBatch {
     pub download_bytes: usize,
     /// Number of chunks (kernel launches) the batch was split into.
     pub chunks: usize,
+    /// Device block waves across those launches
+    /// (`ceil(grid_blocks / multiprocessors)` each, summed).
+    pub waves: u64,
+    /// Modelled duration of every launch, in schedule order.
+    pub launch_times: Vec<Duration>,
 }
 
 /// Persistent cross-iteration pipeline state: one event timeline spanning
@@ -518,6 +528,8 @@ impl BoundingEngine {
             upload_bytes: batch.upload_bytes,
             download_bytes: batch.download_bytes,
             chunks: batch.chunks,
+            waves: batch.waves,
+            launch_times: batch.launch_times,
             timeline: session.timeline,
         }
     }
@@ -595,6 +607,8 @@ impl BoundingEngine {
         let mut transfer_time = Duration::ZERO;
         let mut upload_total = 0usize;
         let mut download_total = 0usize;
+        let mut waves = 0u64;
+        let mut launch_times = Vec::new();
 
         let chunks: Vec<&[FspNode]> = nodes.chunks(chunk_size).collect();
         let functional = host_bound.is_none();
@@ -690,6 +704,8 @@ impl BoundingEngine {
             );
             session.kernel_end_by_slot[slot] = Some(timeline.completion(kernel_ev));
             kernel_time += launch.timing.duration;
+            waves += self.device.spec().waves(config.grid_blocks) as u64;
+            launch_times.push(launch.timing.duration);
 
             // Double buffering: encode chunk k+1 into the other slot while
             // chunk k is modelled in flight (no dependency on the device).
@@ -735,6 +751,8 @@ impl BoundingEngine {
             upload_bytes: upload_total,
             download_bytes: download_total,
             chunks: chunks.len(),
+            waves,
+            launch_times,
         }
     }
 

@@ -8,6 +8,7 @@
 
 use crate::backend::make_backend;
 use crate::config::GpuSolverConfig;
+use crate::cost::{CostReport, SolveLatencies};
 use crate::placement::MatrixId;
 use crate::stats::GpuRunStats;
 use bb::pool::Pool;
@@ -29,6 +30,12 @@ pub struct GpuSolveOutcome {
     pub stats: SolveStats,
     /// Device-side accounting (kernel/transfer time, modelled speedup).
     pub gpu: GpuRunStats,
+    /// Deterministic cost counters of the modelled work (the cost-gate
+    /// figures: launches, waves, bytes, cycles, off-loading rate).
+    pub cost: CostReport,
+    /// Log-bucketed latency histograms of the modelled schedule (per
+    /// launch, per batch, per solve).
+    pub latencies: SolveLatencies,
     /// Why the solve stopped.
     pub stop: StopReason,
 }
@@ -108,6 +115,12 @@ impl GpuBnbSolver {
 
         let mut stats = SolveStats::default();
         let mut gpu = GpuRunStats::default();
+        let mut cost = CostReport::default();
+        let mut latencies = SolveLatencies::default();
+        // Whatever seeded the search — the root bound of `solve()` or a
+        // frozen pool — was bounded by host code before the off-load loop,
+        // so it counts against the off-loading rate as host-side work.
+        cost.record_host_bound(initial_nodes.len() as u64);
 
         // Incumbent.
         let mut best_schedule = initial_schedule;
@@ -158,6 +171,8 @@ impl GpuBnbSolver {
                        pool: &mut BestFirstPool,
                        stats: &mut SolveStats,
                        gpu: &mut GpuRunStats,
+                       cost: &mut CostReport,
+                       latencies: &mut SolveLatencies,
                        best_schedule: &mut Option<Vec<Job>>| {
             let acc = result.accounting;
             gpu.iterations += 1;
@@ -167,7 +182,14 @@ impl GpuBnbSolver {
             gpu.overlapped_time += acc.device_time;
             gpu.upload_bytes += acc.upload_bytes;
             gpu.download_bytes += acc.download_bytes;
-            gpu.serial_accesses += crate::backend::serial_accesses(n, m, &batch);
+            gpu.launches += acc.launches;
+            let accesses = crate::backend::serial_accesses(n, m, &batch);
+            gpu.serial_accesses += accesses;
+            cost.record_backend_batch(&acc, batch.len() as u64, accesses);
+            for launch in &result.launch_times {
+                latencies.launch.record(*launch);
+            }
+            latencies.batch.record(acc.device_time);
 
             // Elimination on the CPU.
             for (mut child, bound) in batch.into_iter().zip(result.bounds) {
@@ -213,6 +235,8 @@ impl GpuBnbSolver {
                             &mut pool,
                             &mut stats,
                             &mut gpu,
+                            &mut cost,
+                            &mut latencies,
                             &mut best_schedule,
                         );
                     }
@@ -266,16 +290,21 @@ impl GpuBnbSolver {
                 &mut pool,
                 &mut stats,
                 &mut gpu,
+                &mut cost,
+                &mut latencies,
                 &mut best_schedule,
             );
         }
 
         gpu.wall_time = start.elapsed();
+        latencies.solve.record(gpu.device_schedule_time());
         GpuSolveOutcome {
             best_makespan: ub.get(),
             best_schedule,
             stats,
             gpu,
+            cost,
+            latencies,
             stop,
         }
     }
@@ -401,6 +430,38 @@ mod tests {
         assert!(outcome.gpu.serial_accesses > 0);
         let speedup = outcome.speedup(&HostModel::default(), footprint);
         assert!(speedup > 1.0, "expected a speedup, got {speedup}");
+    }
+
+    #[test]
+    fn cost_report_and_latencies_are_deterministic_and_consistent() {
+        let inst = generate("t", 10, 8, 3);
+        let cfg = GpuSolverConfig {
+            pool_size: 256,
+            node_limit: Some(2_000),
+            fast_forward: true,
+            ..Default::default()
+        };
+        let solver = GpuBnbSolver::new(inst, cfg);
+        let a = solver.solve();
+        let b = solver.solve();
+        // Bit-identical across runs: the counters and histograms are pure
+        // functions of the workload and the cost model.
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.latencies, b.latencies);
+        // Consistency with the legacy accounting.
+        assert_eq!(a.cost.batches, a.gpu.iterations);
+        assert_eq!(a.cost.launches, a.gpu.launches);
+        assert_eq!(a.cost.device_nodes, a.gpu.nodes_bounded);
+        assert_eq!(a.cost.serial_accesses, a.gpu.serial_accesses);
+        // The root was bounded on the host before the off-load loop, so the
+        // off-loading rate is meaningful (strictly between 0 and 1).
+        assert_eq!(a.cost.nodes_bounded(), a.stats.bounded + 1);
+        let rate = a.cost.offloading_rate();
+        assert!(rate > 0.0 && rate < 1.0, "rate {rate}");
+        assert!(a.cost.waves > 0);
+        assert_eq!(a.latencies.batch.samples(), a.gpu.iterations);
+        assert_eq!(a.latencies.launch.samples(), a.gpu.launches);
+        assert_eq!(a.latencies.solve.samples(), 1);
     }
 
     #[test]

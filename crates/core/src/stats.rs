@@ -30,6 +30,10 @@ pub struct GpuRunStats {
     pub upload_bytes: u64,
     /// Bytes shipped device→host.
     pub download_bytes: u64,
+    /// Kernel launches (pipeline chunks), summed over iterations. Zero
+    /// means "not tracked" (legacy accounting) and falls back to
+    /// `iterations` where a per-copy count is needed.
+    pub launches: u64,
     /// Matrix accesses the equivalent serial bounding would perform (drives
     /// the modelled serial time).
     pub serial_accesses: u64,
@@ -92,23 +96,56 @@ impl GpuRunStats {
         }
     }
 
-    /// Fraction of the modelled GPU time spent transferring data.
+    /// Fraction of the modelled GPU time spent transferring data, derived
+    /// from the schedule actually used: on an overlapped schedule only the
+    /// transfer time the kernels did *not* hide is charged
+    /// (`device_schedule − kernel`, capped at the summed transfer time), so
+    /// the share stays within `[0, 1]` even when the summed per-chunk
+    /// transfer time exceeds the overlapped wall time. On an unpipelined
+    /// schedule this reduces exactly to `transfer / total`.
     pub fn transfer_share(&self, host: &HostModel) -> f64 {
         let total = self.modeled_gpu_time(host).as_secs_f64();
         if total == 0.0 {
-            0.0
-        } else {
-            self.transfer_time.as_secs_f64() / total
+            return 0.0;
         }
+        let exposed = self
+            .device_schedule_time()
+            .saturating_sub(self.kernel_time)
+            .min(self.transfer_time);
+        (exposed.as_secs_f64() / total).clamp(0.0, 1.0)
     }
 
-    /// Effective PCIe bandwidth achieved by the uploads of this run.
+    /// The number of H2D (equally, D2H) copies this run paid latency for:
+    /// the tracked launch count, falling back to one copy per iteration for
+    /// legacy accounting that didn't track launches.
+    fn copy_count(&self) -> u64 {
+        self.launches.max(self.iterations).max(1)
+    }
+
+    /// Effective PCIe bandwidth achieved by the uploads of this run:
+    /// upload bytes over the modelled upload time (`TransferModel` latency
+    /// per copy plus bytes over link bandwidth). Download traffic does not
+    /// inflate the figure; the result never exceeds the link bandwidth.
     pub fn effective_upload_bandwidth(&self, transfer: &TransferModel) -> f64 {
-        let _ = transfer;
-        if self.transfer_time.is_zero() {
+        Self::directional_bandwidth(self.upload_bytes, self.copy_count(), transfer)
+    }
+
+    /// Effective PCIe bandwidth achieved by the downloads of this run (the
+    /// D2H analogue of [`GpuRunStats::effective_upload_bandwidth`]).
+    pub fn effective_download_bandwidth(&self, transfer: &TransferModel) -> f64 {
+        Self::directional_bandwidth(self.download_bytes, self.copy_count(), transfer)
+    }
+
+    fn directional_bandwidth(bytes: u64, copies: u64, transfer: &TransferModel) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        let secs =
+            copies as f64 * transfer.latency.as_secs_f64() + bytes as f64 / transfer.bandwidth_bps;
+        if secs == 0.0 {
             0.0
         } else {
-            (self.upload_bytes + self.download_bytes) as f64 / self.transfer_time.as_secs_f64()
+            bytes as f64 / secs
         }
     }
 }
@@ -126,6 +163,7 @@ mod tests {
             overlapped_time: Duration::ZERO,
             upload_bytes: 1_000_000,
             download_bytes: 40_000,
+            launches: 10,
             serial_accesses: 150_000_000,
             wall_time: Duration::from_secs(1),
         }
@@ -182,5 +220,81 @@ mod tests {
         let share = s.transfer_share(&host);
         assert!(share > 0.0 && share < 1.0);
         assert!(s.effective_upload_bandwidth(&TransferModel::default()) > 0.0);
+    }
+
+    #[test]
+    fn unpipelined_transfer_share_is_transfer_over_total() {
+        // With no overlap tracked, the fixed formula reduces exactly to the
+        // plain transfer / total ratio.
+        let host = HostModel::default();
+        let s = sample();
+        let expected = s.transfer_time.as_secs_f64() / s.modeled_gpu_time(&host).as_secs_f64();
+        assert!((s.transfer_share(&host) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipelined_transfer_share_never_exceeds_one() {
+        // Regression: a heavily overlapped schedule (summed per-chunk
+        // transfer time far above the overlapped wall time, as a fleet
+        // reports) used to yield a share > 1 because the serialized
+        // transfer sum was divided by the overlapped total.
+        let host = HostModel::default();
+        let s = GpuRunStats {
+            iterations: 4,
+            nodes_bounded: 4_000,
+            kernel_time: Duration::from_millis(5),
+            transfer_time: Duration::from_millis(20),
+            overlapped_time: Duration::from_millis(6),
+            upload_bytes: 400_000,
+            download_bytes: 16_000,
+            launches: 16,
+            serial_accesses: 60_000_000,
+            wall_time: Duration::from_millis(10),
+        };
+        assert!(
+            s.transfer_time > s.device_schedule_time(),
+            "fixture overlaps"
+        );
+        let share = s.transfer_share(&host);
+        assert!(share <= 1.0, "share {share} escaped [0, 1]");
+        // Only the exposed transfer time (schedule − kernel = 1 ms) counts.
+        let exposed = Duration::from_millis(1).as_secs_f64();
+        let expected = exposed / s.modeled_gpu_time(&host).as_secs_f64();
+        assert!((share - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upload_bandwidth_ignores_downloads_and_respects_the_link() {
+        // Regression: the old formula summed both directions' bytes over
+        // the combined transfer time, so download traffic inflated the
+        // "upload" bandwidth and the model argument was ignored outright.
+        let transfer = TransferModel::default();
+        let mut s = sample();
+        let upload = s.effective_upload_bandwidth(&transfer);
+        s.download_bytes *= 100;
+        assert_eq!(
+            s.effective_upload_bandwidth(&transfer),
+            upload,
+            "download traffic must not change the upload figure"
+        );
+        assert!(upload > 0.0);
+        assert!(
+            upload < transfer.bandwidth_bps,
+            "effective bandwidth {upload} must stay below the link peak {}",
+            transfer.bandwidth_bps
+        );
+        // The model argument is honoured: a slower link gives a lower figure.
+        let slow = TransferModel {
+            bandwidth_bps: transfer.bandwidth_bps / 10.0,
+            ..transfer
+        };
+        assert!(s.effective_upload_bandwidth(&slow) < upload);
+        // And the download direction is reported by its own metric.
+        let down = s.effective_download_bandwidth(&transfer);
+        assert!(down > 0.0 && down < transfer.bandwidth_bps);
+        assert_eq!(
+            GpuRunStats::default().effective_upload_bandwidth(&transfer),
+            0.0
+        );
     }
 }

@@ -100,6 +100,14 @@ impl DeviceSpec {
     pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
         cycles / self.clock_hz
     }
+
+    /// Block waves a grid of `grid_blocks` blocks occupies on this device:
+    /// `ceil(grid_blocks / multiprocessors)` — the number of rounds of SM
+    /// scheduling a launch needs when each SM runs one block at a time.
+    /// Zero blocks take zero waves.
+    pub fn waves(&self, grid_blocks: usize) -> usize {
+        grid_blocks.div_ceil(self.multiprocessors.max(1))
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +149,18 @@ mod tests {
         let d = DeviceSpec::tesla_c2050();
         let s = d.cycles_to_seconds(1.15e9);
         assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waves_round_up_to_full_sm_rounds() {
+        let d = DeviceSpec::tesla_c2050();
+        assert_eq!(d.waves(0), 0);
+        assert_eq!(d.waves(1), 1);
+        assert_eq!(d.waves(14), 1);
+        assert_eq!(d.waves(15), 2);
+        assert_eq!(d.waves(28), 2);
+        let tiny = DeviceSpec::tiny_test_device();
+        assert_eq!(tiny.waves(5), 3);
     }
 
     #[test]

@@ -149,6 +149,119 @@ fn ta001_bounds_and_makespan_agree_across_backends() {
 }
 
 #[test]
+fn ta001_cost_counters_are_exact_and_reproducible() {
+    let problem = FspProblem::new(ta001());
+    let frozen = frozen_pool(&problem, 64);
+    assert!(!frozen.nodes.is_empty());
+
+    // Same pinned-incumbent prefix as the makespan test: every backend
+    // explores the identical tree, so the workload-shaped counters must be
+    // *exactly* equal — the contract the cost gate's exact comparison
+    // rests on.
+    let solve = |kind: BackendKind| {
+        let cfg = GpuSolverConfig {
+            node_limit: Some(3_000),
+            fast_forward: true,
+            ..config_for(kind, 256)
+        };
+        let solver = GpuBnbSolver::from_problem(problem.clone(), cfg);
+        solver.solve_from(
+            frozen.nodes.clone(),
+            Some(frozen.upper_bound),
+            frozen.best_schedule.clone(),
+        )
+    };
+
+    let device_backed = |kind: &BackendKind| {
+        matches!(
+            kind,
+            BackendKind::Gpu | BackendKind::GpuPipelined | BackendKind::Fleet { .. }
+        )
+    };
+
+    let mut rows = Vec::new();
+    for kind in gated_kinds() {
+        let first = solve(kind);
+        let second = solve(kind);
+        assert_eq!(
+            first.cost, second.cost,
+            "{kind} cost counters differ between two identical runs"
+        );
+        assert_eq!(
+            first.latencies, second.latencies,
+            "{kind} latency histograms differ between two identical runs"
+        );
+
+        let cost = first.cost;
+        // Internal consistency: every bounded node is either a device node
+        // or a host node, and the initial pool is charged to the host.
+        assert_eq!(
+            cost.nodes_bounded(),
+            first.stats.bounded + frozen.nodes.len() as u64,
+            "{kind} lost nodes in the cost accounting"
+        );
+        assert_eq!(
+            first.latencies.launch.samples(),
+            cost.launches,
+            "{kind} launch histogram out of step with the launch counter"
+        );
+        assert_eq!(
+            first.latencies.batch.samples(),
+            cost.batches,
+            "{kind} batch histogram out of step with the batch counter"
+        );
+        if device_backed(&kind) {
+            assert_eq!(cost.device_nodes, first.gpu.nodes_bounded, "{kind}");
+            assert!(cost.waves > 0, "{kind} reported no device waves");
+            let rate = cost.offloading_rate();
+            assert!(
+                rate > 0.0 && rate < 1.0,
+                "{kind} off-loading rate {rate} must be in (0, 1): the \
+                 initial pool is host-bounded, the rest is device-bounded"
+            );
+        } else {
+            assert_eq!(cost.device_nodes, 0, "{kind} is host-only");
+            assert_eq!(cost.waves, 0, "{kind} is host-only");
+            assert_eq!(cost.offloading_rate(), 0.0, "{kind} is host-only");
+        }
+        assert_eq!(
+            matches!(kind, BackendKind::Fleet { .. }),
+            cost.fleet_merge_cycles > 0,
+            "{kind}: only the fleet pays the merge charge"
+        );
+        rows.push((kind, cost));
+    }
+
+    // Workload-shaped counters are equal across *every* backend…
+    let (_, reference) = rows[0];
+    for (kind, cost) in &rows {
+        assert_eq!(cost.batches, reference.batches, "{kind} batch count");
+        assert_eq!(
+            cost.nodes_bounded(),
+            reference.nodes_bounded(),
+            "{kind} total nodes"
+        );
+        assert_eq!(
+            cost.host_op_cycles, reference.host_op_cycles,
+            "{kind} host-op cycles"
+        );
+        assert_eq!(
+            cost.serial_accesses, reference.serial_accesses,
+            "{kind} serial accesses"
+        );
+    }
+    // …and the transfer/off-load counters agree across the device-backed
+    // kinds (chunking changes launches and the modelled times, not bytes).
+    if let Some((_, gpu_ref)) = rows.iter().find(|(kind, _)| device_backed(kind)) {
+        for (kind, cost) in rows.iter().filter(|(kind, _)| device_backed(kind)) {
+            assert_eq!(cost.device_nodes, gpu_ref.device_nodes, "{kind}");
+            assert_eq!(cost.h2d_bytes, gpu_ref.h2d_bytes, "{kind} H2D bytes");
+            assert_eq!(cost.d2h_bytes, gpu_ref.d2h_bytes, "{kind} D2H bytes");
+        }
+    }
+}
+
+#[test]
 fn ta001_pipelined_schedule_beats_the_serialized_sum() {
     let problem = FspProblem::new(ta001());
     let frozen = frozen_pool(&problem, 256);
