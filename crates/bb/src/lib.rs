@@ -12,6 +12,8 @@
 //! (`multicore-bnb`) reuse the node type, the pools and the protocol defined
 //! here; only the bounding step differs.
 
+#![warn(missing_docs)]
+
 pub mod bitset;
 pub mod node;
 pub mod pool;

@@ -17,12 +17,16 @@
 //! `--smoke` runs the frozen workload once per gated row (the plain GPU
 //! off-load, its stream-pipelined variant with and without cross-iteration
 //! lookahead, and the two-device fleet) and emits one report row each;
+//! `--service --jobs N` replays the same frozen workload as N concurrent
+//! jobs through [`gpu_bnb::SolveService`] on one shared fleet and emits one
+//! per-job cost row each (schema v6, rows carrying a `job` index);
 //! `--summary` appends the comparison tables as Markdown (what CI drops into
 //! `$GITHUB_STEP_SUMMARY`); `--emit-cost-baseline` writes the
 //! machine-independent cost baseline for committing.
 //!
 //! ```text
 //! solve_taillard --smoke --cost-baseline BENCH_cost_baseline.json
+//! solve_taillard --smoke --service --jobs 4 --cost-baseline BENCH_cost_baseline.json
 //! solve_taillard --smoke --baseline BENCH_baseline.json --advisory
 //! solve_taillard --file instances/ta021 --mode serial --node-limit 200000
 //! solve_taillard --jobs 20 --machines 20 --seed 2012 --backend fleet --devices 4 --json out.json
@@ -32,7 +36,8 @@ use bb::{frozen_pool, FrozenPool, FspProblem, SerialSolver, SolverConfig};
 use fsp::taillard;
 use gpu_bnb::cost::{CostTable, COST_COUNTERS};
 use gpu_bnb::{
-    BackendKind, CostReport, DataPlacement, GpuBnbSolver, GpuSolverConfig, SolveLatencies,
+    BackendKind, CostReport, DataPlacement, GpuBnbSolver, GpuSolverConfig, JobSpec, ServiceConfig,
+    SolveLatencies, SolveService,
 };
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -122,6 +127,9 @@ struct Report {
     /// Cross-iteration pipelining (lookahead batch + persistent stream
     /// session) was enabled for this run.
     lookahead: bool,
+    /// Index of the service job this row accounts for (`--service` rows
+    /// only; `None` for standalone rows).
+    job: Option<usize>,
     pool_size: usize,
     reps: usize,
     metrics: RunMetrics,
@@ -161,6 +169,9 @@ impl Report {
         if self.lookahead {
             label.push_str("+lookahead");
         }
+        if let Some(job) = self.job {
+            let _ = write!(label, "#job{job}");
+        }
         label
     }
 
@@ -183,6 +194,9 @@ impl Report {
         );
         let _ = writeln!(out, "{indent}  \"devices\": {},", self.mode.devices());
         let _ = writeln!(out, "{indent}  \"lookahead\": {},", self.lookahead);
+        if let Some(job) = self.job {
+            let _ = writeln!(out, "{indent}  \"job\": {job},");
+        }
         let _ = writeln!(out, "{indent}  \"pool_size\": {},", self.pool_size);
         let _ = writeln!(out, "{indent}  \"reps\": {},", self.reps);
         let _ = writeln!(out, "{indent}  \"nodes_bounded\": {},", m.nodes_bounded);
@@ -236,18 +250,28 @@ impl Report {
     }
 }
 
-/// Serialises one report as the v1 single-object schema, several as the v2
-/// `rows` schema (what the multi-backend smoke workload emits).
-fn reports_to_json(reports: &[Report]) -> String {
+/// Serialises one report as the v1 single-object schema, several as the
+/// `rows` schema (v5, or v6 with a top-level job count when a service run
+/// contributed per-job rows — see docs/BENCHMARKING.md).
+fn reports_to_json(reports: &[Report], service_jobs: Option<usize>) -> String {
     let mut out = String::new();
-    if let [report] = reports {
+    if reports.len() == 1 && service_jobs.is_none() {
+        let report = &reports[0];
         let _ = writeln!(out, "{{");
         let _ = writeln!(out, "  \"schema\": \"flowshop-bnb-perf-report/v1\",");
         report.write_fields(&mut out, "");
         let _ = writeln!(out, "}}");
     } else {
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"schema\": \"flowshop-bnb-perf-report/v5\",");
+        match service_jobs {
+            Some(jobs) => {
+                let _ = writeln!(out, "  \"schema\": \"flowshop-bnb-perf-report/v6\",");
+                let _ = writeln!(out, "  \"service_jobs\": {jobs},");
+            }
+            None => {
+                let _ = writeln!(out, "  \"schema\": \"flowshop-bnb-perf-report/v5\",");
+            }
+        }
         let _ = writeln!(out, "  \"rows\": [");
         for (i, report) in reports.iter().enumerate() {
             let sep = if i + 1 < reports.len() { "," } else { "" };
@@ -283,6 +307,13 @@ struct Options {
     summary: Option<String>,
     max_regression: f64,
     smoke: bool,
+    /// Replay the frozen smoke workload as concurrent jobs through the
+    /// solve service (one shared fleet, one report row per job).
+    service: bool,
+    /// How many concurrent service jobs (`--jobs` in service mode).
+    service_jobs: usize,
+    /// Seed each service job's incumbent from NEH at submission.
+    warm_start: bool,
 }
 
 impl Default for Options {
@@ -309,6 +340,9 @@ impl Default for Options {
             summary: None,
             max_regression: 0.25,
             smoke: false,
+            service: false,
+            service_jobs: 4,
+            warm_start: false,
         }
     }
 }
@@ -350,6 +384,9 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options::default();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
+    // `--jobs` is overloaded: the generated instance's job count normally,
+    // the concurrent-job count under `--service` (whose workload is frozen).
+    let mut jobs_flag: Option<usize> = None;
     let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
         *i += 1;
         args.get(*i)
@@ -360,11 +397,15 @@ fn parse_args() -> Result<Options, String> {
         let flag = args[i].as_str();
         match flag {
             "--smoke" => apply_smoke_preset(&mut opts),
+            "--service" => opts.service = true,
+            "--warm-start" => opts.warm_start = true,
             "--file" => opts.file = Some(value(&args, &mut i, flag)?),
             "--jobs" => {
-                opts.jobs = value(&args, &mut i, flag)?
+                let jobs = value(&args, &mut i, flag)?
                     .parse()
-                    .map_err(|e| format!("{e}"))?
+                    .map_err(|e| format!("{e}"))?;
+                opts.jobs = jobs;
+                jobs_flag = Some(jobs);
             }
             "--machines" => {
                 opts.machines = value(&args, &mut i, flag)?
@@ -448,16 +489,21 @@ fn parse_args() -> Result<Options, String> {
                      \x20         --lookahead (cross-iteration pipelining)  --pipeline-chunk C\n\
                      \x20         --autotune (sweep pool + chunk size; + device count for fleet)\n\
                      \x20         --pool-size P  --node-limit N  --frozen K  --reps R\n\
+                     service:  --service (replay the frozen smoke workload as concurrent jobs\n\
+                     \x20         through the solve service; --jobs N = job count, default 4)\n\
+                     \x20         --warm-start (seed each job's incumbent from NEH at submission)\n\
                      output:   --json <path>  --summary <markdown-path, appended>\n\
                      \x20         --emit-cost-baseline <path> (machine-independent cost baseline)\n\
                      CI gate:  --smoke  --cost-baseline <BENCH_cost_baseline.json> (blocking, exact)\n\
                      \x20         --baseline <BENCH_baseline.json>  --max-regression 0.25\n\
-                     \x20         --advisory (wall-clock gate warns instead of failing)\n\n\
+                     \x20         --advisory (wall-clock gate warns instead of failing)\n\
+                     misc:     --help (this message)\n\n\
                      --smoke runs the frozen workload once per gated row (gpu, gpu-pipelined,\n\
                      gpu-pipelined+lookahead, fleet:2+lookahead) and emits one report row each;\n\
-                     each gate compares every row against the baseline row with the same\n\
-                     backend, device count and lookahead flag — the cost gate on exact\n\
-                     counter equality, the wall-clock gate on nodes/sec (schema v5, see\n\
+                     --service adds one cost row per concurrent job (schema v6). Each gate\n\
+                     compares every row against the baseline row with the same backend,\n\
+                     device count, lookahead flag and job index — the cost gate on exact\n\
+                     counter equality, the wall-clock gate on nodes/sec (see\n\
                      docs/BENCHMARKING.md)."
                 );
                 std::process::exit(0);
@@ -497,6 +543,42 @@ fn parse_args() -> Result<Options, String> {
                     baseline is recorded at the fixed smoke configuration)"
                 .into(),
         );
+    }
+    if opts.warm_start && !opts.service {
+        // Standalone paths already seed NEH (`FspProblem::initial_upper_bound`
+        // in every solver, and `frozen_pool` for frozen starts) — the flag
+        // only changes behaviour on service job submission.
+        return Err(
+            "--warm-start requires --service (standalone solves and frozen \
+                    pools already seed the NEH incumbent)"
+                .into(),
+        );
+    }
+    if opts.service {
+        if opts.file.is_some() {
+            return Err(
+                "--service cannot be combined with --file (service rows replay \
+                        the frozen smoke workload)"
+                    .into(),
+            );
+        }
+        if opts.autotune {
+            return Err(
+                "--service cannot be combined with --autotune (service rows run \
+                        at the fixed smoke configuration)"
+                    .into(),
+            );
+        }
+        opts.service_jobs = jobs_flag.unwrap_or(4);
+        if opts.service_jobs == 0 {
+            return Err("--jobs must be at least 1 in service mode".into());
+        }
+        // Service rows replay the cost-gated smoke workload regardless of the
+        // instance flags: the per-job counters are only comparable against
+        // the committed baseline at the frozen configuration.
+        let smoke_was = opts.smoke;
+        apply_smoke_preset(&mut opts);
+        opts.smoke = smoke_was;
     }
     Ok(opts)
 }
@@ -610,27 +692,142 @@ fn run_best_of(
     best.expect("at least one rep")
 }
 
+/// The fixed backend the service rows run on: the smoke fleet row's kind,
+/// but *without* lookahead sessions, so every job's counters are a pure
+/// function of its own batches — bit-identical to a standalone solve of the
+/// same spec, and therefore exactly gateable per job.
+const SERVICE_ROW_KIND: BackendKind = BackendKind::Fleet {
+    devices: 2,
+    pipelined: true,
+};
+
+/// Replays the frozen smoke workload as `opts.service_jobs` concurrent jobs
+/// through the [`SolveService`] on one shared fleet — one report row per
+/// job, keyed by its job index, gated by the cost baseline like any other
+/// smoke row.
+fn run_service(
+    opts: &Options,
+    inst: &fsp::Instance,
+    label: &str,
+    frozen: &FrozenPool,
+) -> Vec<Report> {
+    let config = GpuSolverConfig {
+        pool_size: opts.pool_size,
+        placement: DataPlacement::SharedJmPtm,
+        node_limit: opts.node_limit,
+        fast_forward: true,
+        backend: SERVICE_ROW_KIND,
+        ..Default::default()
+    };
+    let service = SolveService::new(ServiceConfig {
+        max_concurrent: opts.service_jobs,
+    });
+    let handles: Vec<_> = (0..opts.service_jobs)
+        .map(|_| {
+            let mut spec =
+                JobSpec::new(inst.clone(), config.clone()).with_initial_nodes(frozen.nodes.clone());
+            if let Some(schedule) = frozen.best_schedule.clone() {
+                spec = spec.with_incumbent(schedule, frozen.upper_bound);
+            }
+            if opts.warm_start {
+                // NEH at submission; the frozen incumbent wins when tighter.
+                spec = spec.warm_start();
+            }
+            service.submit(spec)
+        })
+        .collect();
+    let _ = service.run_until_idle();
+    let shared = service.shared_cost();
+
+    let reports: Vec<Report> = handles
+        .iter()
+        .enumerate()
+        .map(|(k, handle)| {
+            let outcome = handle.outcome().expect("service drained every job");
+            let device = outcome.gpu.kernel_time + outcome.gpu.transfer_time;
+            let share = if device.is_zero() {
+                0.0
+            } else {
+                outcome.gpu.kernel_time.as_secs_f64() / device.as_secs_f64()
+            };
+            Report {
+                instance: label.to_string(),
+                jobs: inst.jobs(),
+                machines: inst.machines(),
+                mode: Mode::BackendFast(SERVICE_ROW_KIND),
+                lookahead: false,
+                job: Some(k),
+                pool_size: opts.pool_size,
+                reps: 1,
+                metrics: RunMetrics {
+                    nodes_bounded: outcome.stats.bounded,
+                    elapsed: outcome.gpu.wall_time,
+                    bounding_share: share,
+                    makespan: outcome.best_makespan,
+                    optimal: outcome.is_optimal(),
+                    kernel_seconds: outcome.gpu.kernel_time.as_secs_f64(),
+                    transfer_seconds: outcome.gpu.transfer_time.as_secs_f64(),
+                    device_seconds: outcome.gpu.device_schedule_time().as_secs_f64(),
+                    cost: outcome.cost,
+                    latencies: outcome.latencies,
+                },
+            }
+        })
+        .collect();
+
+    // The headlines the service rows exist to demonstrate: identical specs
+    // produce bit-identical per-job counters, and the per-job rows carve the
+    // shared fleet accounting up exactly (nothing double-counted or lost).
+    let identical = reports
+        .windows(2)
+        .all(|w| w[0].metrics.cost == w[1].metrics.cost);
+    let mut summed = CostReport::default();
+    for report in &reports {
+        summed.absorb(&report.metrics.cost);
+    }
+    eprintln!(
+        "service: {} concurrent jobs on one shared fleet — {} nodes bounded per job, per-job cost rows {}",
+        reports.len(),
+        reports.first().map_or(0, |r| r.metrics.nodes_bounded),
+        if identical { "bit-identical" } else { "DIVERGED" },
+    );
+    eprintln!(
+        "service: per-job rows {} the shared accounting ({} device nodes)",
+        if summed == shared {
+            "exactly partition"
+        } else {
+            "DO NOT partition"
+        },
+        shared.device_nodes,
+    );
+    reports
+}
+
 /// One `nodes_per_sec` figure of a baseline report, keyed by the backend
-/// name, device count and lookahead flag of its row.
+/// name, device count, lookahead flag and (for service rows) job index of
+/// its row.
 struct BaselineRow {
     backend: String,
     devices: usize,
     lookahead: bool,
+    job: Option<usize>,
     nodes_per_sec: f64,
 }
 
-/// The `(backend, devices, lookahead)` key of the row a byte offset falls
-/// in, read from the fields that precede it in a report written by this
-/// binary — shared by the wall-clock and cost baseline parsers. In the v1
-/// single-object schema without a `backend` field the backend is `""`;
+/// The `(backend, devices, lookahead, job)` key of the row a byte offset
+/// falls in, read from the fields that precede it in a report written by
+/// this binary — shared by the wall-clock and cost baseline parsers. In the
+/// v1 single-object schema without a `backend` field the backend is `""`;
 /// pre-v3 rows without a `lookahead` field parse as `false`; pre-v4 rows
-/// without a `devices` field parse as 1.
-fn row_key_before(text: &str, at: usize) -> (String, usize, bool) {
+/// without a `devices` field parse as 1; pre-v6 rows without a `job` field
+/// parse as `None`.
+fn row_key_before(text: &str, at: usize) -> (String, usize, bool, Option<usize>) {
     let backend_key = "\"backend\":";
     let devices_key = "\"devices\":";
     let lookahead_key = "\"lookahead\":";
-    let backend = text[..at]
-        .rfind(backend_key)
+    let job_key = "\"job\":";
+    let backend_at = text[..at].rfind(backend_key);
+    let backend = backend_at
         .map(|b| {
             let rest = text[b + backend_key.len()..].trim_start();
             rest.trim_start_matches('"')
@@ -657,7 +854,20 @@ fn row_key_before(text: &str, at: usize) -> (String, usize, bool) {
                 .starts_with("true")
         })
         .unwrap_or(false);
-    (backend, devices, lookahead)
+    // `job` is optional per row, so a bare rfind could bleed a *previous*
+    // row's key into a row that lacks one: only accept a `"job":` that sits
+    // after this row's `"backend":` key.
+    let job = text[..at].rfind(job_key).and_then(|j| {
+        if backend_at.is_none_or(|b| j < b) {
+            return None;
+        }
+        let rest = text[j + job_key.len()..].trim_start();
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        rest[..end].parse::<usize>().ok()
+    });
+    (backend, devices, lookahead, job)
 }
 
 /// Pulls the gate rows out of a report previously written by this binary (a
@@ -668,9 +878,9 @@ fn baseline_rows(text: &str) -> Vec<BaselineRow> {
     let mut search_from = 0;
     while let Some(rel) = text[search_from..].find(nps_key) {
         let nps_at = search_from + rel;
-        // The backend name, device count and lookahead flag, when present,
-        // precede nodes_per_sec in their row.
-        let (backend, devices, lookahead) = row_key_before(text, nps_at);
+        // The backend name, device count, lookahead flag and job index, when
+        // present, precede nodes_per_sec in their row.
+        let (backend, devices, lookahead, job) = row_key_before(text, nps_at);
         let rest = text[nps_at + nps_key.len()..].trim_start();
         let end = rest
             .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
@@ -680,6 +890,7 @@ fn baseline_rows(text: &str) -> Vec<BaselineRow> {
                 backend,
                 devices,
                 lookahead,
+                job,
                 nodes_per_sec: value,
             });
         }
@@ -694,6 +905,7 @@ struct CostRow {
     backend: String,
     devices: usize,
     lookahead: bool,
+    job: Option<usize>,
     cost: CostReport,
 }
 
@@ -728,7 +940,7 @@ fn cost_rows(text: &str) -> Result<Vec<CostRow>, String> {
     let mut search_from = 0;
     while let Some(rel) = text[search_from..].find(cost_key) {
         let at = search_from + rel;
-        let (backend, devices, lookahead) = row_key_before(text, at);
+        let (backend, devices, lookahead, job) = row_key_before(text, at);
         let after = &text[at + cost_key.len()..];
         let open = after
             .find('{')
@@ -766,6 +978,7 @@ fn cost_rows(text: &str) -> Result<Vec<CostRow>, String> {
             backend,
             devices,
             lookahead,
+            job,
             cost,
         });
         search_from = at + cost_key.len() + open + close;
@@ -791,6 +1004,9 @@ fn cost_baseline_json(reports: &[Report]) -> String {
         );
         let _ = writeln!(out, "      \"devices\": {},", report.mode.devices());
         let _ = writeln!(out, "      \"lookahead\": {},", report.lookahead);
+        if let Some(job) = report.job {
+            let _ = writeln!(out, "      \"job\": {job},");
+        }
         let _ = writeln!(
             out,
             "      \"cost\": {}",
@@ -875,10 +1091,12 @@ fn main() -> ExitCode {
         }
     }
 
+    // The service path submits per-job copies of the instance.
+    let service_inst = opts.service.then(|| inst.clone());
     let problem = FspProblem::new(inst);
     // Freezing is deterministic and untimed setup — do it once, not per rep
-    // (and shared by every smoke row, so the backends race on an identical
-    // workload).
+    // (and shared by every smoke row and every service job, so the backends
+    // race on an identical workload).
     let frozen = opts.frozen.map(|target| frozen_pool(&problem, target));
 
     let specs: Vec<(Mode, bool)> = if opts.smoke {
@@ -886,11 +1104,14 @@ fn main() -> ExitCode {
             .iter()
             .map(|&(kind, lookahead)| (Mode::BackendFast(kind), lookahead))
             .collect()
+    } else if opts.service {
+        // `--service` without `--smoke`: only the per-job service rows.
+        Vec::new()
     } else {
         vec![(opts.mode, opts.lookahead)]
     };
 
-    let reports: Vec<Report> = specs
+    let mut reports: Vec<Report> = specs
         .into_iter()
         .map(|(mode, lookahead)| Report {
             instance: label.clone(),
@@ -898,11 +1119,17 @@ fn main() -> ExitCode {
             machines,
             mode,
             lookahead,
+            job: None,
             pool_size: opts.pool_size,
             reps: opts.reps,
             metrics: run_best_of(&opts, mode, lookahead, &problem, frozen.as_ref()),
         })
         .collect();
+
+    if let Some(service_inst) = service_inst {
+        let frozen_ref = frozen.as_ref().expect("service mode freezes a pool");
+        reports.extend(run_service(&opts, &service_inst, &label, frozen_ref));
+    }
 
     // The headlines the smoke workload exists to demonstrate: the modelled
     // device schedule of the cross-iteration pipeline vs the per-batch one,
@@ -932,7 +1159,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let json = reports_to_json(&reports);
+    let json = reports_to_json(&reports, opts.service.then_some(opts.service_jobs));
     print!("{json}");
     if let Some(path) = &opts.json {
         if let Err(err) = std::fs::write(path, &json) {
@@ -982,6 +1209,7 @@ fn main() -> ExitCode {
                     b.backend == report.mode.backend_name()
                         && b.devices == report.mode.devices()
                         && b.lookahead == report.lookahead
+                        && b.job == report.job
                 })
                 .map(|b| b.cost)
         })
@@ -1006,8 +1234,9 @@ fn main() -> ExitCode {
         None => None,
     };
 
-    // Match by backend name + device count + lookahead flag; a v1 baseline
-    // without backend names gates its single figure against every row.
+    // Match by backend name + device count + lookahead flag + job index; a
+    // v1 baseline without backend names gates its single figure against
+    // every row.
     let baseline_for = |report: &Report| -> Option<f64> {
         baseline.as_ref().and_then(|rows| {
             rows.iter()
@@ -1015,6 +1244,7 @@ fn main() -> ExitCode {
                     b.backend == report.mode.backend_name()
                         && b.devices == report.mode.devices()
                         && b.lookahead == report.lookahead
+                        && b.job == report.job
                 })
                 .or_else(|| rows.first().filter(|b| b.backend.is_empty()))
                 .map(|b| b.nodes_per_sec)

@@ -207,6 +207,26 @@ impl CostReport {
         }
     }
 
+    /// Adds every counter of `other` into `self` — the aggregation dual of
+    /// [`CostReport::subtract`]. The service layer uses it to sum per-job
+    /// reports into fleet-wide totals (and the tests to prove the per-job
+    /// carve is exhaustive: the shared report equals the absorbed sum).
+    pub fn absorb(&mut self, other: &CostReport) {
+        self.batches += other.batches;
+        self.launches += other.launches;
+        self.waves += other.waves;
+        self.device_nodes += other.device_nodes;
+        self.host_nodes += other.host_nodes;
+        self.h2d_bytes += other.h2d_bytes;
+        self.d2h_bytes += other.d2h_bytes;
+        self.kernel_nanos += other.kernel_nanos;
+        self.transfer_nanos += other.transfer_nanos;
+        self.schedule_nanos += other.schedule_nanos;
+        self.host_op_cycles += other.host_op_cycles;
+        self.fleet_merge_cycles += other.fleet_merge_cycles;
+        self.serial_accesses += other.serial_accesses;
+    }
+
     /// Total nodes bounded (device + host).
     pub fn nodes_bounded(&self) -> u64 {
         self.device_nodes + self.host_nodes

@@ -7,29 +7,36 @@
 //! children — and the batches of every worker that is ready **ride one
 //! kernel launch together** instead of serializing on the engine lock.
 //!
-//! The multi-pool batching works through a launch coordinator: a worker
-//! enqueues its batch, then either becomes the launcher (drains every queued
-//! batch up to the backend capacity, bounds the combined pool in one call,
-//! distributes the bounds back) or, when another worker is already
-//! launching, simply waits for its bounds. The bounding itself goes through
-//! the [`BoundingBackend`] selected by the configuration, so the hybrid
-//! solver pairs multi-core exploration with any of the four backends —
-//! including the stream-pipelined GPU, which overlaps the combined pool's
-//! transfers with its kernels.
+//! The multi-pool batching works through the service layer's
+//! `LaunchDispatcher` (formerly a private coordinator of this module,
+//! lifted into [`crate::service`] so many *solves* can share it too): a
+//! worker enqueues its batch, then either becomes the launcher (drains every
+//! queued batch up to the backend capacity, bounds the combined pool in one
+//! call, distributes the bounds back) or, when another worker is already
+//! launching, simply waits for its bounds. Every worker submits under the
+//! same job id, so the whole solve forms one dispatch group exactly as
+//! before. The bounding itself goes through the [`crate::BoundingBackend`]
+//! selected by the configuration, so the hybrid solver pairs multi-core
+//! exploration with any of the backends — including the stream-pipelined
+//! GPU, which overlaps the combined pool's transfers with its kernels.
 
-use crate::backend::{make_backend, BoundingBackend};
+use crate::backend::make_backend;
 use crate::config::GpuSolverConfig;
 use crate::cost::{CostReport, SolveLatencies};
+use crate::service::{BoundedBatch, LaunchDispatcher};
 use crate::stats::GpuRunStats;
 use bb::pool::Pool;
 use bb::stats::SolveStats;
 use bb::{BestFirstPool, FspNode, FspProblem, SharedUpperBound};
 use fsp::{Instance, Job, JohnsonLowerBound, Time};
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Sender};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// The single job id every hybrid worker submits under: one solve, one
+/// dispatch group, so the dispatcher's per-job split degenerates to the old
+/// single-solve combined launches.
+const HYBRID_JOB: u64 = 0;
 
 /// Result of a hybrid (multi-core exploration + GPU bounding) solve.
 #[derive(Debug, Clone)]
@@ -54,126 +61,6 @@ pub struct HybridOutcome {
     pub latencies: SolveLatencies,
     /// Number of exploration threads used.
     pub workers: usize,
-}
-
-/// The accounting a combined launch updates under one lock: legacy run
-/// stats, the deterministic cost counters and the latency histograms.
-#[derive(Default)]
-struct SharedAccounting {
-    gpu: GpuRunStats,
-    cost: CostReport,
-    latencies: SolveLatencies,
-}
-
-/// Nodes travelling back to their worker with the bounds attached (the
-/// launcher owns the combined pool, so ownership round-trips instead of
-/// cloning).
-type BoundedBatch = (Vec<FspNode>, Vec<Time>);
-
-/// A batch a worker has submitted for bounding, with the channel its bounds
-/// travel back on.
-struct PendingBatch {
-    nodes: Vec<FspNode>,
-    done: Sender<BoundedBatch>,
-}
-
-/// Shares one bounding backend between the workers and merges their batches
-/// into combined launches.
-struct LaunchCoordinator<'a> {
-    queue: Mutex<VecDeque<PendingBatch>>,
-    backend: Mutex<Box<dyn BoundingBackend>>,
-    /// Largest combined pool one launch may carry.
-    capacity: usize,
-    accounting: &'a Mutex<SharedAccounting>,
-    jobs: usize,
-    machines: usize,
-}
-
-impl LaunchCoordinator<'_> {
-    /// Bounds `batch`, possibly riding other workers' pending batches in the
-    /// same launch. Returns the nodes (ownership travels through the queue)
-    /// with their bounds, in input order.
-    fn bound(&self, batch: Vec<FspNode>) -> BoundedBatch {
-        let (done, rx) = channel();
-        self.queue
-            .lock()
-            .unwrap()
-            .push_back(PendingBatch { nodes: batch, done });
-        loop {
-            // Another launcher may already have bounded our batch.
-            if let Ok(result) = rx.try_recv() {
-                return result;
-            }
-            // Park on the backend mutex (no spinning): either we become the
-            // launcher, or we wake when the current launcher — who may well
-            // have bounded our batch — releases it.
-            let mut backend = self.backend.lock().unwrap();
-            // We are the launcher: drain every pending batch that fits.
-            let taken = {
-                let mut queue = self.queue.lock().unwrap();
-                let mut taken: Vec<PendingBatch> = Vec::new();
-                let mut total = 0;
-                while let Some(front) = queue.front() {
-                    if !taken.is_empty() && total + front.nodes.len() > self.capacity {
-                        break;
-                    }
-                    let batch = queue.pop_front().expect("front exists");
-                    total += batch.nodes.len();
-                    taken.push(batch);
-                }
-                taken
-            };
-            if taken.is_empty() {
-                // The queue is empty, so some other launcher owns our batch
-                // and will deliver its bounds.
-                drop(backend);
-                return rx.recv().expect("the launcher delivers our bounds");
-            }
-
-            // One launch for every batch taken.
-            let mut parts: Vec<(usize, Sender<BoundedBatch>)> = Vec::with_capacity(taken.len());
-            let mut combined: Vec<FspNode> = Vec::new();
-            for batch in taken {
-                parts.push((batch.nodes.len(), batch.done));
-                combined.extend(batch.nodes);
-            }
-            let result = backend.bound_batch(&combined);
-            drop(backend);
-            let acc = result.accounting;
-            {
-                let accesses = crate::backend::serial_accesses(self.jobs, self.machines, &combined);
-                let mut shared = self.accounting.lock().unwrap();
-                let g = &mut shared.gpu;
-                g.iterations += 1;
-                g.nodes_bounded += combined.len() as u64;
-                g.kernel_time += acc.kernel_time;
-                g.transfer_time += acc.transfer_time;
-                g.overlapped_time += acc.device_time;
-                g.upload_bytes += acc.upload_bytes;
-                g.download_bytes += acc.download_bytes;
-                g.launches += acc.launches;
-                g.serial_accesses += accesses;
-                shared
-                    .cost
-                    .record_backend_batch(&acc, combined.len() as u64, accesses);
-                for launch in &result.launch_times {
-                    shared.latencies.launch.record(*launch);
-                }
-                shared.latencies.batch.record(acc.device_time);
-            }
-
-            // Hand every batch its slice of nodes and bounds back.
-            let mut nodes = combined.into_iter();
-            let mut bounds = result.bounds.into_iter();
-            for (len, done) in parts {
-                let part_nodes: Vec<FspNode> = nodes.by_ref().take(len).collect();
-                let part_bounds: Vec<Time> = bounds.by_ref().take(len).collect();
-                // A worker that hit its node budget may have gone; its
-                // bounds are then simply dropped.
-                let _ = done.send((part_nodes, part_bounds));
-            }
-        }
-    }
 }
 
 /// Hybrid solver: `workers` CPU threads explore the tree, the configured
@@ -247,28 +134,21 @@ impl HybridSolver {
             }
         }
 
-        let accounting = Mutex::new(SharedAccounting::default());
-        // Whatever seeded the search was bounded by host code before the
-        // off-load loop (see `GpuBnbSolver::solve_from`).
-        accounting
-            .lock()
-            .unwrap()
-            .cost
-            .record_host_bound(initial_len as u64);
         // Sized so that one launch can carry every worker's batch at once.
         let capacity = self.config.pool_size + self.workers * n;
         let coordinator_config = GpuSolverConfig {
             lookahead_depth: self.session_depth(),
             ..self.config.clone()
         };
-        let coordinator = LaunchCoordinator {
-            queue: Mutex::new(VecDeque::new()),
-            backend: Mutex::new(make_backend(&self.problem, &coordinator_config, capacity)),
+        let coordinator = LaunchDispatcher::new(
+            make_backend(&self.problem, &coordinator_config, capacity),
             capacity,
-            accounting: &accounting,
-            jobs: n,
-            machines: m,
-        };
+            n,
+            m,
+        );
+        // Whatever seeded the search was bounded by host code before the
+        // off-load loop (see `GpuBnbSolver::solve_from`).
+        coordinator.record_host_bound(HYBRID_JOB, initial_len as u64);
 
         // Per-worker chunk: the combined pool is filled cooperatively.
         let chunk_target = (self.config.pool_size / self.workers).max(1);
@@ -373,8 +253,8 @@ impl HybridSolver {
                                 } else {
                                     // Bounding: ride the combined launch
                                     // (device-side accounting happens in the
-                                    // coordinator).
-                                    let flight = coordinator.bound(batch);
+                                    // dispatcher).
+                                    let flight = coordinator.bound(HYBRID_JOB, batch);
                                     bounded_so_far.fetch_add(flight.0.len(), Ordering::Relaxed);
                                     Some(flight)
                                 }
@@ -403,7 +283,7 @@ impl HybridSolver {
                         if lookahead && pool.lock().unwrap().len() >= chunk_target {
                             let next = select_batch(&mut local_stats);
                             if !next.is_empty() {
-                                let flight = coordinator.bound(next);
+                                let flight = coordinator.bound(HYBRID_JOB, next);
                                 bounded_so_far.fetch_add(flight.0.len(), Ordering::Relaxed);
                                 in_flight = Some(flight);
                             }
@@ -417,7 +297,7 @@ impl HybridSolver {
             }
         });
 
-        let mut shared = accounting.into_inner().unwrap();
+        let mut shared = coordinator.into_shared();
         shared.gpu.wall_time = start.elapsed();
         shared
             .latencies

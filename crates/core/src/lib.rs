@@ -16,6 +16,7 @@ pub mod hybrid;
 pub mod kernel_lb;
 pub mod offload;
 pub mod placement;
+pub mod service;
 pub mod solver;
 pub mod stats;
 
@@ -29,5 +30,9 @@ pub use fleet::{plan_shards, FleetBackend, FleetDeviceStats, FleetShard};
 pub use kernel_lb::LowerBoundKernel;
 pub use offload::{BoundingEngine, PipelineSession, PipelinedBatch, PipelinedBoundingResult};
 pub use placement::DataPlacement;
+pub use service::{
+    IncumbentUpdate, JobHandle, JobId, JobOutcome, JobSpec, JobStatus, JobStopReason,
+    ServiceConfig, SolveService,
+};
 pub use solver::{GpuBnbSolver, GpuSolveOutcome};
 pub use stats::GpuRunStats;

@@ -1,0 +1,1234 @@
+//! Solver-as-a-service: a job front door over one shared bounding fleet.
+//!
+//! Everything below [`SolveService`] turns the one-instance solvers of this
+//! crate into a long-lived multi-tenant service, the setting the paper's
+//! cluster story assumes: callers **submit** solve jobs (instance +
+//! [`GpuSolverConfig`] + optional node/deadline budget), the service queues
+//! and prioritizes them, and a deterministic scheduler multiplexes every
+//! running job onto **one shared fleet** — the launch dispatcher lifted out
+//! of the hybrid solver, its merge key generalized from worker-id to job-id,
+//! so batches from several solves ride the same backend (and, under
+//! [`GpuSolverConfig::lookahead`], the same persistent pipeline sessions)
+//! back to back while the accounting still splits exactly per job.
+//!
+//! Three guarantees, all covered by `tests/service_equivalence.rs`:
+//!
+//! * **Per-job exactness** — without persistent sessions each job's visited
+//!   node set, [`CostReport`] and latency histograms are bit-identical to a
+//!   standalone [`crate::solver::GpuBnbSolver`] run of the same spec,
+//!   however many jobs run concurrently.
+//! * **Anytime semantics** — a job stopped by its node budget, deadline or a
+//!   [`JobHandle::cancel`] still returns its best incumbent together with a
+//!   proven lower bound and optimality gap, and incumbent improvements can
+//!   be polled while the job runs ([`JobHandle::poll_incumbents`]).
+//! * **Carved accounting** — the per-job [`CostReport`]s sum exactly to the
+//!   shared fleet accounting ([`SolveService::shared_cost`]), so the cost
+//!   gate extends to service-mode runs unchanged.
+//!
+//! See `docs/SERVICE.md` for the lifecycle, scheduling and fairness rules.
+
+use crate::backend::{make_backend, BackendAccounting, BoundingBackend};
+use crate::config::GpuSolverConfig;
+use crate::cost::{CostReport, SolveLatencies};
+use crate::stats::GpuRunStats;
+use bb::pool::Pool;
+use bb::stats::SolveStats;
+use bb::{BestFirstPool, FspNode, FspProblem, SharedUpperBound};
+use fsp::{Instance, Job, JohnsonLowerBound, Time};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The accounting one combined launch updates under one lock: legacy run
+/// stats, the deterministic cost counters and the latency histograms. The
+/// dispatcher keeps one shared instance (the fleet-wide totals) plus one per
+/// job (the carve the service returns in each [`JobOutcome`]).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct SharedAccounting {
+    pub(crate) gpu: GpuRunStats,
+    pub(crate) cost: CostReport,
+    pub(crate) latencies: SolveLatencies,
+}
+
+impl SharedAccounting {
+    fn record_batch(
+        &mut self,
+        acc: &BackendAccounting,
+        launch_times: &[Duration],
+        nodes: u64,
+        serial_accesses: u64,
+    ) {
+        self.gpu.absorb_batch(acc, nodes, serial_accesses);
+        self.cost.record_backend_batch(acc, nodes, serial_accesses);
+        for launch in launch_times {
+            self.latencies.launch.record(*launch);
+        }
+        self.latencies.batch.record(acc.device_time);
+    }
+}
+
+/// Nodes travelling back to their submitter with the bounds attached (the
+/// launcher owns the combined pool, so ownership round-trips instead of
+/// cloning).
+pub(crate) type BoundedBatch = (Vec<FspNode>, Vec<Time>);
+
+/// A batch a client (service job or hybrid worker) has submitted for
+/// bounding, with the channel its bounds travel back on.
+struct PendingBatch {
+    job: u64,
+    nodes: Vec<FspNode>,
+    done: Sender<BoundedBatch>,
+}
+
+/// Shares one bounding backend between many submitters and merges their
+/// batches into combined launches, keyed by **job id**: batches of the same
+/// job ride one launch together, batches of different jobs run back to back
+/// on the same backend (and through its persistent sessions, when the
+/// backend keeps any) — cross-solve batching with exact per-job accounting.
+///
+/// This is the launch coordinator formerly private to the hybrid solver,
+/// lifted here so the service owns it; the hybrid solver now submits every
+/// worker's batch under one job id and gets the old single-solve combined
+/// launches back unchanged.
+pub(crate) struct LaunchDispatcher {
+    queue: Mutex<VecDeque<PendingBatch>>,
+    backend: Mutex<Box<dyn BoundingBackend>>,
+    /// Largest combined pool one launch may carry.
+    capacity: usize,
+    accounting: Mutex<SharedAccounting>,
+    per_job: Mutex<HashMap<u64, SharedAccounting>>,
+    jobs: usize,
+    machines: usize,
+}
+
+impl LaunchDispatcher {
+    pub(crate) fn new(
+        backend: Box<dyn BoundingBackend>,
+        capacity: usize,
+        jobs: usize,
+        machines: usize,
+    ) -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+            backend: Mutex::new(backend),
+            capacity,
+            accounting: Mutex::new(SharedAccounting::default()),
+            per_job: Mutex::new(HashMap::new()),
+            jobs,
+            machines,
+        }
+    }
+
+    /// Records `nodes` bounded by host code outside any backend batch (the
+    /// root bound / initial pool of `job`), in both the shared and the
+    /// per-job accounting.
+    pub(crate) fn record_host_bound(&self, job: u64, nodes: u64) {
+        self.accounting
+            .lock()
+            .unwrap()
+            .cost
+            .record_host_bound(nodes);
+        self.per_job
+            .lock()
+            .unwrap()
+            .entry(job)
+            .or_default()
+            .cost
+            .record_host_bound(nodes);
+    }
+
+    /// Bounds `batch` on behalf of `job`, possibly riding other pending
+    /// batches of the same job in one launch; pending batches of *other*
+    /// jobs drained in the same turn are bounded in separate, back-to-back
+    /// launches on the same backend. Returns the nodes (ownership travels
+    /// through the queue) with their bounds, in input order.
+    pub(crate) fn bound(&self, job: u64, batch: Vec<FspNode>) -> BoundedBatch {
+        let (done, rx) = channel();
+        self.queue.lock().unwrap().push_back(PendingBatch {
+            job,
+            nodes: batch,
+            done,
+        });
+        loop {
+            // Another launcher may already have bounded our batch.
+            if let Ok(result) = rx.try_recv() {
+                return result;
+            }
+            // Park on the backend mutex (no spinning): either we become the
+            // launcher, or we wake when the current launcher — who may well
+            // have bounded our batch — releases it.
+            let mut backend = self.backend.lock().unwrap();
+            // We are the launcher: drain every pending batch that fits.
+            let taken = {
+                let mut queue = self.queue.lock().unwrap();
+                let mut taken: Vec<PendingBatch> = Vec::new();
+                let mut total = 0;
+                while let Some(front) = queue.front() {
+                    if !taken.is_empty() && total + front.nodes.len() > self.capacity {
+                        break;
+                    }
+                    let batch = queue.pop_front().expect("front exists");
+                    total += batch.nodes.len();
+                    taken.push(batch);
+                }
+                taken
+            };
+            if taken.is_empty() {
+                // The queue is empty, so some other launcher owns our batch
+                // and will deliver its bounds.
+                drop(backend);
+                return rx.recv().expect("the launcher delivers our bounds");
+            }
+
+            // Group the drained batches by job, preserving first-appearance
+            // order: one combined launch per job keeps every device-side
+            // charge attributable to exactly one job, while the groups still
+            // run back to back on the shared backend.
+            let mut groups: Vec<(u64, Vec<PendingBatch>)> = Vec::new();
+            for pending in taken {
+                match groups.iter_mut().find(|(j, _)| *j == pending.job) {
+                    Some((_, list)) => list.push(pending),
+                    None => groups.push((pending.job, vec![pending])),
+                }
+            }
+
+            for (group_job, batches) in groups {
+                // One launch for every batch of this job taken.
+                let mut parts: Vec<(usize, Sender<BoundedBatch>)> =
+                    Vec::with_capacity(batches.len());
+                let mut combined: Vec<FspNode> = Vec::new();
+                for batch in batches {
+                    parts.push((batch.nodes.len(), batch.done));
+                    combined.extend(batch.nodes);
+                }
+                let result = backend.bound_batch(&combined);
+                let acc = result.accounting;
+                let accesses = crate::backend::serial_accesses(self.jobs, self.machines, &combined);
+                let nodes = combined.len() as u64;
+                self.accounting.lock().unwrap().record_batch(
+                    &acc,
+                    &result.launch_times,
+                    nodes,
+                    accesses,
+                );
+                self.per_job
+                    .lock()
+                    .unwrap()
+                    .entry(group_job)
+                    .or_default()
+                    .record_batch(&acc, &result.launch_times, nodes, accesses);
+
+                // Hand every batch its slice of nodes and bounds back.
+                let mut nodes = combined.into_iter();
+                let mut bounds = result.bounds.into_iter();
+                for (len, done) in parts {
+                    let part_nodes: Vec<FspNode> = nodes.by_ref().take(len).collect();
+                    let part_bounds: Vec<Time> = bounds.by_ref().take(len).collect();
+                    // A submitter that hit its budget may have gone; its
+                    // bounds are then simply dropped.
+                    let _ = done.send((part_nodes, part_bounds));
+                }
+            }
+            drop(backend);
+        }
+    }
+
+    /// Removes and returns the accounting carved for `job`.
+    pub(crate) fn take_job(&self, job: u64) -> SharedAccounting {
+        self.per_job
+            .lock()
+            .unwrap()
+            .remove(&job)
+            .unwrap_or_default()
+    }
+
+    /// A snapshot of the shared (fleet-wide) accounting.
+    pub(crate) fn shared_snapshot(&self) -> SharedAccounting {
+        self.accounting.lock().unwrap().clone()
+    }
+
+    /// Consumes the dispatcher, returning the shared accounting (the hybrid
+    /// solver's single-job path).
+    pub(crate) fn into_shared(self) -> SharedAccounting {
+        self.accounting.into_inner().unwrap()
+    }
+}
+
+/// Opaque identifier of a submitted job, unique within one [`SolveService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(u64);
+
+impl JobId {
+    /// The raw numeric id (submission order: lower ids were submitted
+    /// earlier).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Everything one solve job needs: the instance, the solver configuration,
+/// and the optional service-level knobs (priority, budgets, a seeded
+/// incumbent or starting pool).
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The Flow-Shop instance to solve.
+    pub instance: Instance,
+    /// Solver configuration (backend, pool size, limits — identical in
+    /// meaning to a standalone [`crate::solver::GpuBnbSolver`] run).
+    pub config: GpuSolverConfig,
+    /// Scheduling priority: higher runs first; ties go to the earlier
+    /// submission. Zero by default.
+    pub priority: i32,
+    /// Stop after this many lower-bound evaluations (overrides
+    /// [`GpuSolverConfig::node_limit`] when set).
+    pub node_budget: Option<u64>,
+    /// Stop after this much wall-clock time from the moment the job starts
+    /// running (overrides [`GpuSolverConfig::time_limit`] when set).
+    pub deadline: Option<Duration>,
+    /// Explicit starting pool (the frozen-pool protocol). `None`: the job
+    /// starts from the root node, bounded on the host at admission.
+    pub initial_nodes: Option<Vec<FspNode>>,
+    /// Explicit incumbent value to seed the upper bound with. `None`: NEH
+    /// when [`GpuSolverConfig::use_initial_ub`] is set, unbounded otherwise.
+    pub initial_upper_bound: Option<Time>,
+    /// The schedule achieving [`JobSpec::initial_upper_bound`], when known.
+    pub initial_schedule: Option<Vec<Job>>,
+}
+
+impl JobSpec {
+    /// A job solving `instance` under `config`, with default service knobs
+    /// (priority 0, no extra budgets, root start).
+    pub fn new(instance: Instance, config: GpuSolverConfig) -> Self {
+        Self {
+            instance,
+            config,
+            priority: 0,
+            node_budget: None,
+            deadline: None,
+            initial_nodes: None,
+            initial_upper_bound: None,
+            initial_schedule: None,
+        }
+    }
+
+    /// Sets the scheduling priority (higher runs first).
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Caps the job at `nodes` lower-bound evaluations (anytime result
+    /// beyond it).
+    pub fn with_node_budget(mut self, nodes: u64) -> Self {
+        self.node_budget = Some(nodes);
+        self
+    }
+
+    /// Caps the job at `deadline` of wall-clock time once running (anytime
+    /// result beyond it).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Seeds the incumbent with an explicit schedule and its makespan.
+    pub fn with_incumbent(mut self, schedule: Vec<Job>, makespan: Time) -> Self {
+        self.initial_upper_bound = Some(makespan);
+        self.initial_schedule = Some(schedule);
+        self
+    }
+
+    /// Starts the job from an explicit pending pool instead of the root (the
+    /// frozen-pool protocol; the nodes count as host-bounded work).
+    pub fn with_initial_nodes(mut self, nodes: Vec<FspNode>) -> Self {
+        self.initial_nodes = Some(nodes);
+        self
+    }
+
+    /// Warm-starts the incumbent from the NEH heuristic (`fsp::neh`),
+    /// computed **at submission time**: if an incumbent is already seeded,
+    /// the better of the two wins. With a warm start the very first anytime
+    /// gap a job reports is measured against a real schedule, not infinity.
+    pub fn warm_start(mut self) -> Self {
+        let (schedule, makespan) = fsp::neh::neh(&self.instance);
+        if self.initial_upper_bound.is_none_or(|ub| makespan < ub) {
+            self.initial_upper_bound = Some(makespan);
+            self.initial_schedule = Some(schedule);
+        }
+        self
+    }
+}
+
+/// Lifecycle state of a job (see `docs/SERVICE.md` for the full diagram):
+/// `Queued → Running → {Done, Cancelled, DeadlineExpired}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, waiting for a scheduler slot.
+    Queued,
+    /// Admitted: the scheduler steps this job every round.
+    Running,
+    /// Finished by exhausting its tree (optimal) or its node budget.
+    Done,
+    /// Stopped by [`JobHandle::cancel`] (while queued or running).
+    Cancelled,
+    /// Stopped by its wall-clock deadline with an anytime result.
+    DeadlineExpired,
+}
+
+/// Why a job stopped (the service-level analogue of
+/// [`bb::solver::StopReason`], extended with the service-only exits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStopReason {
+    /// The pending tree was exhausted: the result is proven optimal.
+    Exhausted,
+    /// The node budget ran out; the result is the best incumbent + gap.
+    NodeBudget,
+    /// The deadline expired; the result is the best incumbent + gap.
+    Deadline,
+    /// The caller cancelled the job.
+    Cancelled,
+}
+
+/// One streamed incumbent improvement (see [`JobHandle::poll_incumbents`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncumbentUpdate {
+    /// The improved makespan.
+    pub makespan: Time,
+    /// How many nodes the job had bounded when the improvement landed (0
+    /// for a seeded incumbent — NEH or an explicit one).
+    pub after_nodes: u64,
+}
+
+/// The final result of a job: the solver outcome plus the anytime
+/// certificate (proven lower bound and optimality gap) and the per-job
+/// accounting carved out of the shared fleet.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Which job this is.
+    pub job: JobId,
+    /// Best makespan found ([`Time::MAX`] when no incumbent exists — e.g. a
+    /// job cancelled before finding any schedule, with no seed).
+    pub best_makespan: Time,
+    /// Schedule achieving it, when one was reached or supplied.
+    pub best_schedule: Option<Vec<Job>>,
+    /// Node counters (same semantics as the standalone solvers').
+    pub stats: SolveStats,
+    /// Device-side accounting of this job's launches alone.
+    pub gpu: GpuRunStats,
+    /// Deterministic cost counters of this job's share of the fleet.
+    pub cost: CostReport,
+    /// Latency histograms of this job's launches/batches.
+    pub latencies: SolveLatencies,
+    /// Why the job stopped.
+    pub stop: JobStopReason,
+    /// Proven lower bound on the optimum at stop time: the best pending
+    /// bound still in the pool (capped by the incumbent), or the incumbent
+    /// itself when the tree was exhausted.
+    pub lower_bound: Time,
+    /// Relative optimality gap `(best_makespan − lower_bound) /
+    /// best_makespan`, clamped to `[0, 1]`; `0.0` exactly when optimal,
+    /// `1.0` when no incumbent exists.
+    pub gap: f64,
+}
+
+impl JobOutcome {
+    /// `true` when the search proved optimality.
+    pub fn is_optimal(&self) -> bool {
+        self.stop == JobStopReason::Exhausted
+    }
+}
+
+/// The state a handle shares with the scheduler.
+#[derive(Debug)]
+struct JobShared {
+    status: Mutex<JobStatus>,
+    cancelled: AtomicBool,
+    updates: Mutex<Vec<IncumbentUpdate>>,
+    outcome: Mutex<Option<JobOutcome>>,
+}
+
+impl JobShared {
+    fn new() -> Self {
+        Self {
+            status: Mutex::new(JobStatus::Queued),
+            cancelled: AtomicBool::new(false),
+            updates: Mutex::new(Vec::new()),
+            outcome: Mutex::new(None),
+        }
+    }
+}
+
+/// A caller's view of one submitted job: poll its status and streamed
+/// incumbent improvements, cancel it, and collect the outcome. Clone-able
+/// and `Send`, so a handle can be watched from another thread while the
+/// scheduler runs.
+#[derive(Debug, Clone)]
+pub struct JobHandle {
+    id: JobId,
+    shared: Arc<JobShared>,
+}
+
+impl JobHandle {
+    /// The job's identifier.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Current lifecycle state.
+    pub fn status(&self) -> JobStatus {
+        *self.shared.status.lock().unwrap()
+    }
+
+    /// Requests cancellation. Queued jobs are dropped before starting;
+    /// running jobs stop at the next scheduler round with an anytime
+    /// outcome ([`JobStopReason::Cancelled`]). Idempotent.
+    pub fn cancel(&self) {
+        self.shared.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Drains the incumbent improvements streamed since the last poll, in
+    /// the order they were found (strictly decreasing makespans; a seeded
+    /// incumbent appears first with `after_nodes == 0`).
+    pub fn poll_incumbents(&self) -> Vec<IncumbentUpdate> {
+        std::mem::take(&mut *self.shared.updates.lock().unwrap())
+    }
+
+    /// The final outcome, once the job finished (in any terminal state);
+    /// `None` while queued or running.
+    pub fn outcome(&self) -> Option<JobOutcome> {
+        self.shared.outcome.lock().unwrap().clone()
+    }
+}
+
+/// Service-level configuration (the per-job knobs live in [`JobSpec`]).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum number of jobs running concurrently; further jobs wait in
+    /// the queue (admission control). Must be ≥ 1.
+    pub max_concurrent: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self { max_concurrent: 4 }
+    }
+}
+
+/// A job accepted but not yet admitted.
+struct QueuedJob {
+    id: JobId,
+    shared: Arc<JobShared>,
+    spec: JobSpec,
+}
+
+/// One shared backend (and its dispatcher), reused by every job whose
+/// instance and engine-relevant configuration hash to the same key.
+struct BackendSlot {
+    key: u64,
+    dispatcher: LaunchDispatcher,
+}
+
+/// A running job: the strict solver loop of
+/// [`crate::solver::GpuBnbSolver::solve_from`], unrolled so the scheduler
+/// can interleave one batch per job per round.
+struct JobRun {
+    id: JobId,
+    shared: Arc<JobShared>,
+    priority: i32,
+    problem: FspProblem<JohnsonLowerBound>,
+    config: GpuSolverConfig,
+    backend_slot: usize,
+    pool: BestFirstPool,
+    ub: SharedUpperBound,
+    best_schedule: Option<Vec<Job>>,
+    stats: SolveStats,
+    node_budget: Option<u64>,
+    deadline: Option<Duration>,
+    started: Instant,
+    finished: bool,
+}
+
+impl JobRun {
+    /// Selection + branching on the CPU, exactly as the standalone solver:
+    /// accumulate children until the configured pool size is reached or the
+    /// pending pool runs dry.
+    fn select_batch(&mut self) -> Vec<FspNode> {
+        let n = self.problem.instance().jobs();
+        let mut batch: Vec<FspNode> = Vec::with_capacity(self.config.pool_size + n);
+        while batch.len() < self.config.pool_size {
+            let Some(node) = self.pool.pop() else { break };
+            self.stats.selected += 1;
+            if self.ub.prunes(node.bound()) {
+                self.stats.pruned += 1;
+                continue;
+            }
+            self.stats.decomposed += 1;
+            self.problem.branch_into(&node, &mut batch);
+        }
+        batch
+    }
+
+    /// Elimination of one bounded batch + incumbent updates (streamed to
+    /// the handle).
+    fn consume(&mut self, children: Vec<FspNode>, bounds: Vec<Time>) {
+        for (mut child, bound) in children.into_iter().zip(bounds) {
+            child.set_bound(bound);
+            self.stats.bounded += 1;
+            if self.problem.is_leaf(&child) {
+                self.stats.leaves += 1;
+                let cost = self.problem.leaf_cost(&child);
+                if self.ub.try_improve(cost) {
+                    self.stats.improvements += 1;
+                    self.best_schedule = Some(child.prefix_vec());
+                    self.shared.updates.lock().unwrap().push(IncumbentUpdate {
+                        makespan: cost,
+                        after_nodes: self.stats.bounded,
+                    });
+                }
+            } else if self.ub.prunes(bound) {
+                self.stats.pruned += 1;
+            } else {
+                self.pool.push(child);
+            }
+        }
+        self.stats.max_pool = self.stats.max_pool.max(self.pool.len());
+    }
+
+    /// One scheduler round for this job: budget checks, then select → bound
+    /// → eliminate one batch. Returns the stop reason when the job is over.
+    fn step(&mut self, dispatcher: &LaunchDispatcher) -> Option<JobStopReason> {
+        if self.shared.cancelled.load(Ordering::Relaxed) {
+            return Some(JobStopReason::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            if self.started.elapsed() >= deadline {
+                return Some(JobStopReason::Deadline);
+            }
+        }
+        if let Some(limit) = self.node_budget {
+            if self.stats.bounded >= limit {
+                return Some(JobStopReason::NodeBudget);
+            }
+        }
+        let batch = self.select_batch();
+        if batch.is_empty() {
+            return if self.pool.is_empty() {
+                Some(JobStopReason::Exhausted)
+            } else {
+                // Defensive: a non-empty pool of nothing-but-prunable nodes
+                // drains on the next round.
+                None
+            };
+        }
+        let (nodes, bounds) = dispatcher.bound(self.id.0, batch);
+        self.consume(nodes, bounds);
+        None
+    }
+}
+
+/// The relative optimality gap, `1.0` when no incumbent exists.
+fn optimality_gap(upper: Time, lower: Time) -> f64 {
+    if upper == Time::MAX {
+        return 1.0;
+    }
+    if upper == 0 {
+        return 0.0;
+    }
+    ((upper.saturating_sub(lower)) as f64 / upper as f64).clamp(0.0, 1.0)
+}
+
+/// The key under which jobs share a backend: the instance content plus
+/// every configuration field the backend construction depends on. Jobs with
+/// equal keys ride one [`LaunchDispatcher`].
+fn backend_key(instance: &Instance, config: &GpuSolverConfig) -> u64 {
+    let mut h = DefaultHasher::new();
+    instance.jobs().hash(&mut h);
+    instance.machines().hash(&mut h);
+    instance.raw().hash(&mut h);
+    config.pool_size.hash(&mut h);
+    config.block_threads.hash(&mut h);
+    config.registers_per_thread.hash(&mut h);
+    format!("{:?}", config.placement).hash(&mut h);
+    config.fast_forward.hash(&mut h);
+    config.backend.to_string().hash(&mut h);
+    config.multicore_threads.hash(&mut h);
+    config.pipeline_depth.hash(&mut h);
+    config.pipeline_chunk.hash(&mut h);
+    config.lookahead.hash(&mut h);
+    config.lookahead_depth.hash(&mut h);
+    h.finish()
+}
+
+/// Scheduler state: the admitted jobs, the waiting queue and the shared
+/// backends.
+#[derive(Default)]
+struct ServiceState {
+    queued: Vec<QueuedJob>,
+    running: Vec<JobRun>,
+    backends: Vec<BackendSlot>,
+}
+
+/// The solve service: submit jobs, run the deterministic scheduler, collect
+/// anytime outcomes. See the [module docs](self) for the architecture and
+/// `docs/SERVICE.md` for the full semantics.
+///
+/// # Examples
+///
+/// Two jobs sharing one fleet, both solved to proven optimality:
+///
+/// ```
+/// use gpu_bnb::service::{JobSpec, ServiceConfig, SolveService};
+/// use gpu_bnb::{BackendKind, GpuSolverConfig};
+/// use fsp::taillard;
+///
+/// let config = GpuSolverConfig {
+///     pool_size: 16,
+///     backend: BackendKind::Sequential,
+///     fast_forward: true,
+///     ..Default::default()
+/// };
+/// let service = SolveService::new(ServiceConfig::default());
+/// let a = service.submit(JobSpec::new(taillard::generate("a", 6, 3, 7), config.clone()));
+/// let b = service.submit(JobSpec::new(taillard::generate("b", 6, 3, 8), config));
+///
+/// let outcomes = service.run_until_idle();
+/// assert_eq!(outcomes.len(), 2);
+/// for handle in [&a, &b] {
+///     let outcome = handle.outcome().expect("finished");
+///     assert!(outcome.is_optimal());
+///     assert_eq!(outcome.gap, 0.0);
+/// }
+/// ```
+///
+/// Anytime semantics: a job cancelled before it starts still yields an
+/// outcome, and a deadline of zero returns the seeded (NEH) incumbent with
+/// a non-trivial optimality gap instead of failing:
+///
+/// ```
+/// use gpu_bnb::service::{JobSpec, JobStatus, JobStopReason, ServiceConfig, SolveService};
+/// use gpu_bnb::{BackendKind, GpuSolverConfig};
+/// use fsp::taillard;
+/// use std::time::Duration;
+///
+/// let config = GpuSolverConfig {
+///     pool_size: 16,
+///     backend: BackendKind::Sequential,
+///     fast_forward: true,
+///     ..Default::default()
+/// };
+/// let service = SolveService::new(ServiceConfig::default());
+/// let inst = taillard::generate("t", 10, 8, 21);
+///
+/// let cancelled = service.submit(JobSpec::new(inst.clone(), config.clone()));
+/// cancelled.cancel();
+/// let rushed = service
+///     .submit(JobSpec::new(inst, config).warm_start().with_deadline(Duration::ZERO));
+///
+/// service.run_until_idle();
+/// assert_eq!(cancelled.status(), JobStatus::Cancelled);
+/// let anytime = rushed.outcome().expect("finished");
+/// assert_eq!(anytime.stop, JobStopReason::Deadline);
+/// assert!(anytime.best_schedule.is_some(), "the NEH warm start survives");
+/// assert!(anytime.gap > 0.0 && anytime.gap <= 1.0);
+/// ```
+pub struct SolveService {
+    config: ServiceConfig,
+    next_id: AtomicU64,
+    /// Submissions land here (cheap lock), the scheduler drains it once per
+    /// round — so `submit`/`cancel` never contend with a running round.
+    pending: Mutex<Vec<QueuedJob>>,
+    state: Mutex<ServiceState>,
+}
+
+impl SolveService {
+    /// Creates a service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_concurrent == 0`.
+    pub fn new(config: ServiceConfig) -> Self {
+        assert!(
+            config.max_concurrent >= 1,
+            "the service needs at least one scheduler slot"
+        );
+        Self {
+            config,
+            next_id: AtomicU64::new(0),
+            pending: Mutex::new(Vec::new()),
+            state: Mutex::new(ServiceState::default()),
+        }
+    }
+
+    /// A service with the default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(ServiceConfig::default())
+    }
+
+    /// Accepts a job. The returned handle observes and controls it; the job
+    /// starts running once [`SolveService::run_until_idle`] (or
+    /// [`SolveService::run_rounds`]) admits it.
+    pub fn submit(&self, spec: JobSpec) -> JobHandle {
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let shared = Arc::new(JobShared::new());
+        self.pending.lock().unwrap().push(QueuedJob {
+            id,
+            shared: Arc::clone(&shared),
+            spec,
+        });
+        JobHandle { id, shared }
+    }
+
+    /// `true` when no job is queued or running.
+    pub fn is_idle(&self) -> bool {
+        self.pending.lock().unwrap().is_empty() && {
+            let state = self.state.lock().unwrap();
+            state.queued.is_empty() && state.running.is_empty()
+        }
+    }
+
+    /// The fleet-wide cost counters: the sum over every shared backend of
+    /// the work all jobs charged it. Equals the absorbed sum of the per-job
+    /// [`JobOutcome::cost`] reports — the carve is exhaustive.
+    pub fn shared_cost(&self) -> CostReport {
+        let state = self.state.lock().unwrap();
+        let mut total = CostReport::default();
+        for slot in &state.backends {
+            total.absorb(&slot.dispatcher.shared_snapshot().cost);
+        }
+        total
+    }
+
+    /// Runs the deterministic scheduler until every job reached a terminal
+    /// state, returning the outcomes in completion order. See
+    /// [`SolveService::run_rounds`] for the round semantics.
+    pub fn run_until_idle(&self) -> Vec<JobOutcome> {
+        self.run_rounds(u64::MAX)
+    }
+
+    /// Runs at most `rounds` scheduler rounds, returning the outcomes of
+    /// the jobs that finished. Each round:
+    ///
+    /// 1. drains new submissions into the queue;
+    /// 2. admits queued jobs (priority descending, then submission order)
+    ///    while fewer than `max_concurrent` run — cancelled queued jobs are
+    ///    finalized without starting;
+    /// 3. steps every running job once — budget/deadline/cancel checks,
+    ///    then one select → bound → eliminate batch — in priority order
+    ///    (descending, ties by submission order).
+    ///
+    /// Single batches from several jobs ride the shared backends back to
+    /// back, and the fixed round order makes the whole schedule — including
+    /// every per-job counter — deterministic.
+    pub fn run_rounds(&self, rounds: u64) -> Vec<JobOutcome> {
+        let mut state = self.state.lock().unwrap();
+        let mut finished = Vec::new();
+        for _ in 0..rounds {
+            state.queued.append(&mut self.pending.lock().unwrap());
+            self.admit(&mut state, &mut finished);
+            if state.running.is_empty() && state.queued.is_empty() {
+                break;
+            }
+            Self::round(&mut state, &mut finished);
+        }
+        finished
+    }
+
+    /// Admission: move queued jobs into scheduler slots, best first.
+    fn admit(&self, state: &mut ServiceState, finished: &mut Vec<JobOutcome>) {
+        while state.running.len() < self.config.max_concurrent && !state.queued.is_empty() {
+            // Highest priority first; ties to the earliest submission.
+            let best = state
+                .queued
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    b.spec.priority.cmp(&a.spec.priority).then(a.id.cmp(&b.id))
+                })
+                .map(|(i, _)| i)
+                .expect("queue is non-empty");
+            let queued = state.queued.remove(best);
+            if queued.shared.cancelled.load(Ordering::Relaxed) {
+                Self::finalize_queued(queued, finished);
+                continue;
+            }
+            Self::start_job(state, queued);
+        }
+    }
+
+    /// A queued job cancelled before admission: terminal outcome with no
+    /// work done (the seeded incumbent, if any, is all it returns).
+    fn finalize_queued(queued: QueuedJob, finished: &mut Vec<JobOutcome>) {
+        let best_makespan = queued.spec.initial_upper_bound.unwrap_or(Time::MAX);
+        let outcome = JobOutcome {
+            job: queued.id,
+            best_makespan,
+            best_schedule: queued.spec.initial_schedule.clone(),
+            stats: SolveStats::default(),
+            gpu: GpuRunStats::default(),
+            cost: CostReport::default(),
+            latencies: SolveLatencies::default(),
+            stop: JobStopReason::Cancelled,
+            lower_bound: 0,
+            gap: optimality_gap(best_makespan, 0),
+        };
+        *queued.shared.status.lock().unwrap() = JobStatus::Cancelled;
+        *queued.shared.outcome.lock().unwrap() = Some(outcome.clone());
+        finished.push(outcome);
+    }
+
+    /// Admits one job: builds (or finds) its shared backend, seeds the
+    /// incumbent and the pending pool exactly as the standalone solver
+    /// does, and marks it running.
+    fn start_job(state: &mut ServiceState, queued: QueuedJob) {
+        let QueuedJob { id, shared, spec } = queued;
+        let problem = FspProblem::new(spec.instance.clone());
+        let n = spec.instance.jobs();
+        let m = spec.instance.machines();
+
+        // One shared backend per (instance, engine-relevant config) key.
+        let key = backend_key(&spec.instance, &spec.config);
+        let slot = match state.backends.iter().position(|s| s.key == key) {
+            Some(i) => i,
+            None => {
+                let capacity = spec.config.pool_size + n;
+                let backend = make_backend(&problem, &spec.config, capacity);
+                state.backends.push(BackendSlot {
+                    key,
+                    dispatcher: LaunchDispatcher::new(backend, capacity, n, m),
+                });
+                state.backends.len() - 1
+            }
+        };
+
+        // Incumbent: explicit seed, else NEH, else unbounded — the same
+        // three-way choice as `GpuBnbSolver::solve_from`.
+        let mut best_schedule = spec.initial_schedule;
+        let ub = match spec.initial_upper_bound {
+            Some(v) => SharedUpperBound::new(v),
+            None if spec.config.use_initial_ub => {
+                let (perm, value) = problem.initial_upper_bound();
+                best_schedule = Some(perm);
+                SharedUpperBound::new(value)
+            }
+            None => SharedUpperBound::unbounded(),
+        };
+        if ub.get() != Time::MAX {
+            shared.updates.lock().unwrap().push(IncumbentUpdate {
+                makespan: ub.get(),
+                after_nodes: 0,
+            });
+        }
+
+        // Pending pool: the supplied nodes, or the root bounded on the
+        // host. Either way the seed counts as host-bounded work.
+        let initial_nodes = spec.initial_nodes.unwrap_or_else(|| {
+            let mut root = problem.root();
+            problem.bound(&mut root);
+            vec![root]
+        });
+        state.backends[slot]
+            .dispatcher
+            .record_host_bound(id.0, initial_nodes.len() as u64);
+        let mut pool = BestFirstPool::new();
+        for node in initial_nodes {
+            pool.push(node);
+        }
+        let stats = SolveStats {
+            max_pool: pool.len(),
+            ..Default::default()
+        };
+
+        *shared.status.lock().unwrap() = JobStatus::Running;
+        state.running.push(JobRun {
+            id,
+            shared,
+            priority: spec.priority,
+            problem,
+            backend_slot: slot,
+            pool,
+            ub,
+            best_schedule,
+            stats,
+            node_budget: spec.node_budget.or(spec.config.node_limit),
+            deadline: spec.deadline.or(spec.config.time_limit),
+            started: Instant::now(),
+            finished: false,
+            config: spec.config,
+        });
+    }
+
+    /// One scheduler round over the running jobs.
+    fn round(state: &mut ServiceState, finished: &mut Vec<JobOutcome>) {
+        let mut order: Vec<usize> = (0..state.running.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (ja, jb) = (&state.running[a], &state.running[b]);
+            jb.priority.cmp(&ja.priority).then(ja.id.cmp(&jb.id))
+        });
+        let ServiceState {
+            running, backends, ..
+        } = state;
+        for idx in order {
+            let run = &mut running[idx];
+            let dispatcher = &backends[run.backend_slot].dispatcher;
+            if let Some(stop) = run.step(dispatcher) {
+                let outcome = Self::finalize(run, dispatcher, stop);
+                *run.shared.status.lock().unwrap() = match stop {
+                    JobStopReason::Cancelled => JobStatus::Cancelled,
+                    JobStopReason::Deadline => JobStatus::DeadlineExpired,
+                    JobStopReason::Exhausted | JobStopReason::NodeBudget => JobStatus::Done,
+                };
+                *run.shared.outcome.lock().unwrap() = Some(outcome.clone());
+                finished.push(outcome);
+                run.finished = true;
+            }
+        }
+        state.running.retain(|r| !r.finished);
+    }
+
+    /// Builds the terminal outcome of `run`: carve the job's accounting out
+    /// of the dispatcher, close the books the way the standalone solver
+    /// does, and attach the anytime certificate.
+    fn finalize(
+        run: &mut JobRun,
+        dispatcher: &LaunchDispatcher,
+        stop: JobStopReason,
+    ) -> JobOutcome {
+        let mut acc = dispatcher.take_job(run.id.0);
+        acc.gpu.wall_time = run.started.elapsed();
+        acc.latencies.solve.record(acc.gpu.device_schedule_time());
+        let upper = run.ub.get();
+        let lower_bound = match stop {
+            JobStopReason::Exhausted => upper,
+            _ => run.pool.best_bound().map_or(upper, |b| b.min(upper)),
+        };
+        JobOutcome {
+            job: run.id,
+            best_makespan: upper,
+            best_schedule: run.best_schedule.take(),
+            stats: run.stats,
+            gpu: acc.gpu,
+            cost: acc.cost,
+            latencies: acc.latencies,
+            stop,
+            lower_bound,
+            gap: optimality_gap(upper, lower_bound),
+        }
+    }
+}
+
+// Compile and run the `docs/SERVICE.md` examples as doc-tests, so the
+// worked examples in the service guide can never drift from the API.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/SERVICE.md")]
+pub struct ServiceGuideDocTests;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BackendKind;
+    use crate::placement::DataPlacement;
+    use crate::solver::GpuBnbSolver;
+    use fsp::brute::brute_force_optimal;
+    use fsp::taillard::generate;
+
+    fn config(backend: BackendKind, pool: usize) -> GpuSolverConfig {
+        GpuSolverConfig {
+            pool_size: pool,
+            backend,
+            placement: DataPlacement::SharedJmPtm,
+            fast_forward: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn concurrent_jobs_reach_their_optima() {
+        let service = SolveService::with_defaults();
+        let mut expected = Vec::new();
+        let mut handles = Vec::new();
+        for seed in [3, 5, 9] {
+            let inst = generate(format!("t{seed}"), 7, 4, seed);
+            let (_, optimal) = brute_force_optimal(&inst);
+            expected.push(optimal);
+            handles.push(service.submit(JobSpec::new(inst, config(BackendKind::Gpu, 24))));
+        }
+        let outcomes = service.run_until_idle();
+        assert_eq!(outcomes.len(), 3);
+        assert!(service.is_idle());
+        for (handle, optimal) in handles.iter().zip(expected) {
+            let outcome = handle.outcome().expect("finished");
+            assert_eq!(handle.status(), JobStatus::Done);
+            assert!(outcome.is_optimal());
+            assert_eq!(outcome.best_makespan, optimal);
+            assert_eq!(outcome.gap, 0.0);
+            assert_eq!(outcome.lower_bound, optimal);
+            assert_eq!(outcome.gpu.nodes_bounded, outcome.stats.bounded);
+        }
+    }
+
+    #[test]
+    fn per_job_accounting_matches_the_standalone_solver() {
+        // Three concurrent jobs over distinct instances: every per-job
+        // counter must be bit-identical to a standalone solve of the same
+        // spec (the full suite in tests/service_equivalence.rs runs this
+        // across backends).
+        let cfg = config(BackendKind::GpuPipelined, 32);
+        let service = SolveService::with_defaults();
+        let mut handles = Vec::new();
+        let instances: Vec<Instance> = [11, 22, 33]
+            .iter()
+            .map(|&seed| generate(format!("t{seed}"), 8, 5, seed))
+            .collect();
+        for inst in &instances {
+            handles.push(service.submit(JobSpec::new(inst.clone(), cfg.clone())));
+        }
+        service.run_until_idle();
+        for (inst, handle) in instances.iter().zip(&handles) {
+            let job = handle.outcome().expect("finished");
+            let alone = GpuBnbSolver::new(inst.clone(), cfg.clone()).solve();
+            assert_eq!(job.best_makespan, alone.best_makespan);
+            assert_eq!(job.stats.bounded, alone.stats.bounded);
+            assert_eq!(job.stats.selected, alone.stats.selected);
+            assert_eq!(job.stats.pruned, alone.stats.pruned);
+            assert_eq!(job.cost, alone.cost, "cost counters must carve exactly");
+            assert_eq!(job.latencies.batch, alone.latencies.batch);
+            assert_eq!(job.latencies.launch, alone.latencies.launch);
+        }
+    }
+
+    #[test]
+    fn shared_cost_equals_the_absorbed_per_job_sum() {
+        let cfg = config(BackendKind::Gpu, 16);
+        let service = SolveService::with_defaults();
+        let inst = generate("t", 8, 4, 77);
+        for _ in 0..3 {
+            service.submit(JobSpec::new(inst.clone(), cfg.clone()));
+        }
+        let outcomes = service.run_until_idle();
+        let mut summed = CostReport::default();
+        for outcome in &outcomes {
+            summed.absorb(&outcome.cost);
+        }
+        assert_eq!(service.shared_cost(), summed);
+    }
+
+    #[test]
+    fn same_spec_jobs_share_one_backend_distinct_specs_do_not() {
+        let service = SolveService::with_defaults();
+        let inst = generate("t", 7, 4, 13);
+        let cfg = config(BackendKind::Gpu, 16);
+        service.submit(JobSpec::new(inst.clone(), cfg.clone()));
+        service.submit(JobSpec::new(inst.clone(), cfg.clone()));
+        let other = config(BackendKind::Sequential, 16);
+        service.submit(JobSpec::new(inst, other));
+        service.run_until_idle();
+        assert_eq!(service.state.lock().unwrap().backends.len(), 2);
+    }
+
+    #[test]
+    fn priority_orders_admission_when_oversubscribed() {
+        // One slot: the high-priority job must finish before the default
+        // one even though it was submitted later.
+        let service = SolveService::new(ServiceConfig { max_concurrent: 1 });
+        let inst = generate("t", 7, 4, 21);
+        let cfg = config(BackendKind::Sequential, 16);
+        let low = service.submit(JobSpec::new(inst.clone(), cfg.clone()));
+        let high = service.submit(JobSpec::new(inst, cfg).with_priority(10));
+        let outcomes = service.run_until_idle();
+        assert_eq!(outcomes[0].job, high.id());
+        assert_eq!(outcomes[1].job, low.id());
+    }
+
+    #[test]
+    fn cancelled_while_running_returns_an_anytime_outcome() {
+        let service = SolveService::with_defaults();
+        let inst = generate("t", 10, 6, 31);
+        let handle = service.submit(JobSpec::new(inst, config(BackendKind::Gpu, 16)));
+        // Run a few rounds, then cancel mid-flight.
+        service.run_rounds(3);
+        assert_eq!(handle.status(), JobStatus::Running);
+        handle.cancel();
+        service.run_until_idle();
+        let outcome = handle.outcome().expect("finished");
+        assert_eq!(handle.status(), JobStatus::Cancelled);
+        assert_eq!(outcome.stop, JobStopReason::Cancelled);
+        assert!(outcome.stats.bounded > 0, "some work happened");
+        assert!(outcome.lower_bound <= outcome.best_makespan);
+        assert!(outcome.gap >= 0.0);
+    }
+
+    #[test]
+    fn node_budget_yields_an_anytime_result_with_a_gap() {
+        let service = SolveService::with_defaults();
+        let inst = generate("t", 12, 8, 3);
+        let handle = service.submit(
+            JobSpec::new(inst, config(BackendKind::Gpu, 64))
+                .warm_start()
+                .with_node_budget(200),
+        );
+        service.run_until_idle();
+        let outcome = handle.outcome().expect("finished");
+        assert_eq!(outcome.stop, JobStopReason::NodeBudget);
+        assert!(outcome.stats.bounded >= 200);
+        assert!(outcome.best_schedule.is_some());
+        assert!(outcome.lower_bound <= outcome.best_makespan);
+        assert!(outcome.gap > 0.0, "a truncated search keeps a gap open");
+        // The streamed updates start at the NEH seed.
+        let updates = handle.poll_incumbents();
+        assert!(!updates.is_empty());
+        assert_eq!(updates[0].after_nodes, 0);
+        for pair in updates.windows(2) {
+            assert!(pair[1].makespan < pair[0].makespan);
+        }
+    }
+
+    #[test]
+    fn cross_solve_sessions_shrink_the_shared_schedule() {
+        // Four jobs over the same instance with persistent pipeline
+        // sessions: riding one shared backend lets job k+1's uploads
+        // overlap job k's tail, so the fleet-wide modelled schedule beats
+        // four standalone solves (each paying its own fill and drain).
+        let mut cfg = config(BackendKind::GpuPipelined, 64);
+        cfg.lookahead = true;
+        let inst = generate("t", 10, 8, 3);
+        let jobs = 4;
+        let service = SolveService::with_defaults();
+        for _ in 0..jobs {
+            service.submit(JobSpec::new(inst.clone(), cfg.clone()));
+        }
+        service.run_until_idle();
+        let shared_nanos = service.shared_cost().schedule_nanos;
+        let alone = GpuBnbSolver::new(inst, cfg).solve();
+        let standalone_nanos = alone.cost.schedule_nanos * jobs as u64;
+        assert!(
+            shared_nanos < standalone_nanos,
+            "shared schedule {shared_nanos} ns must beat {jobs} standalone solves \
+             ({standalone_nanos} ns)"
+        );
+    }
+
+    #[test]
+    fn optimality_gap_handles_the_edges() {
+        assert_eq!(optimality_gap(Time::MAX, 0), 1.0);
+        assert_eq!(optimality_gap(0, 0), 0.0);
+        assert_eq!(optimality_gap(100, 100), 0.0);
+        assert!((optimality_gap(100, 80) - 0.2).abs() < 1e-12);
+        assert_eq!(optimality_gap(100, 200), 0.0, "clamped");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scheduler slot")]
+    fn zero_slots_panics() {
+        SolveService::new(ServiceConfig { max_concurrent: 0 });
+    }
+}

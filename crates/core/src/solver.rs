@@ -175,16 +175,8 @@ impl GpuBnbSolver {
                        latencies: &mut SolveLatencies,
                        best_schedule: &mut Option<Vec<Job>>| {
             let acc = result.accounting;
-            gpu.iterations += 1;
-            gpu.nodes_bounded += batch.len() as u64;
-            gpu.kernel_time += acc.kernel_time;
-            gpu.transfer_time += acc.transfer_time;
-            gpu.overlapped_time += acc.device_time;
-            gpu.upload_bytes += acc.upload_bytes;
-            gpu.download_bytes += acc.download_bytes;
-            gpu.launches += acc.launches;
             let accesses = crate::backend::serial_accesses(n, m, &batch);
-            gpu.serial_accesses += accesses;
+            gpu.absorb_batch(&acc, batch.len() as u64, accesses);
             cost.record_backend_batch(&acc, batch.len() as u64, accesses);
             for launch in &result.launch_times {
                 latencies.launch.record(*launch);

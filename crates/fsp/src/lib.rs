@@ -23,6 +23,8 @@
 //! * [`neh`] — the NEH constructive heuristic, used to seed the upper bound;
 //! * [`brute`] — exhaustive enumeration for tiny instances (test oracle).
 
+#![warn(missing_docs)]
+
 pub mod brute;
 pub mod instance;
 pub mod io;

@@ -7,6 +7,8 @@
 //! regenerate Table IV and Figure 5 on hardware that does not have six
 //! physical cores.
 
+#![warn(missing_docs)]
+
 pub mod flops;
 pub mod highlevel;
 pub mod model;

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Docs-drift check: the command-line flags advertised by
+# `solve_taillard --help` and the "Command-line flags" table in
+# docs/BENCHMARKING.md must agree exactly. CI runs this script; it fails
+# (with a diff) when a flag is added, renamed or removed on one side only.
+#
+# Usage: scripts/check_docs_drift.sh [path-to-solve_taillard]
+#        (default: builds and uses target/release/solve_taillard)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin="${1:-target/release/solve_taillard}"
+if [ ! -x "$bin" ]; then
+    cargo build --release -q -p bench --bin solve_taillard
+    bin=target/release/solve_taillard
+fi
+
+# Every `--flag` token in the help text, deduplicated.
+help_flags="$("$bin" --help | grep -oE '\-\-[a-z][a-z-]*' | sort -u)"
+# Every `--flag` leading a row of the docs table (rows look like
+# "| `--flag` | meaning |").
+doc_flags="$(grep -oE '^\| `--[a-z][a-z-]*`' docs/BENCHMARKING.md \
+    | grep -oE '\-\-[a-z][a-z-]*' | sort -u)"
+
+if ! diff -u \
+    --label 'solve_taillard --help' \
+    --label 'docs/BENCHMARKING.md flags table' \
+    <(printf '%s\n' "$help_flags") <(printf '%s\n' "$doc_flags"); then
+    echo >&2
+    echo "docs drift: the flags table in docs/BENCHMARKING.md disagrees with" >&2
+    echo "solve_taillard --help — update both sides together." >&2
+    exit 1
+fi
+
+count="$(printf '%s\n' "$help_flags" | wc -l | tr -d ' ')"
+echo "docs drift: ok — $count flags agree between --help and docs/BENCHMARKING.md"

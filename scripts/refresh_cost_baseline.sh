@@ -15,16 +15,20 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_cost_baseline.json}"
 
 cargo build --release -p bench --bin solve_taillard
-./target/release/solve_taillard --smoke --emit-cost-baseline "$out" >/dev/null
+# The four standalone smoke rows plus the four per-job service rows — the
+# same command the cost-gate CI job runs.
+./target/release/solve_taillard --smoke --service --jobs 4 \
+    --emit-cost-baseline "$out" >/dev/null
 
 # Determinism self-check: a second run must reproduce the file byte for
 # byte. If it does not, the counters picked up a nondeterministic input —
 # fix that before committing anything.
 second="$(mktemp)"
 trap 'rm -f "$second"' EXIT
-./target/release/solve_taillard --smoke --emit-cost-baseline "$second" >/dev/null
+./target/release/solve_taillard --smoke --service --jobs 4 \
+    --emit-cost-baseline "$second" >/dev/null
 cmp "$out" "$second"
 
 echo "wrote $out (bit-identical across two runs):"
-grep -E '"(backend|devices|lookahead)"' "$out" | sed 's/^ */  /'
+grep -E '"(backend|devices|lookahead|job)"' "$out" | sed 's/^ */  /'
 echo "commit $out together with the change that moved the counters"
