@@ -130,6 +130,10 @@ struct Report {
     /// Index of the service job this row accounts for (`--service` rows
     /// only; `None` for standalone rows).
     job: Option<usize>,
+    /// Normalized deal-weight shares of the fleet members (fleet rows only;
+    /// `None` for single-device and CPU rows) — the spec-derived model's
+    /// shares, or the `--fleet-weights` override, normalized to sum to 1.
+    fleet_weights: Option<Vec<f64>>,
     pool_size: usize,
     reps: usize,
     metrics: RunMetrics,
@@ -194,6 +198,10 @@ impl Report {
         );
         let _ = writeln!(out, "{indent}  \"devices\": {},", self.mode.devices());
         let _ = writeln!(out, "{indent}  \"lookahead\": {},", self.lookahead);
+        if let Some(weights) = &self.fleet_weights {
+            let cells: Vec<String> = weights.iter().map(|w| format!("{w:.6}")).collect();
+            let _ = writeln!(out, "{indent}  \"fleet_weights\": [{}],", cells.join(", "));
+        }
         if let Some(job) = self.job {
             let _ = writeln!(out, "{indent}  \"job\": {job},");
         }
@@ -251,7 +259,7 @@ impl Report {
 }
 
 /// Serialises one report as the v1 single-object schema, several as the
-/// `rows` schema (v5, or v6 with a top-level job count when a service run
+/// `rows` schema (v7; a top-level job count is present when a service run
 /// contributed per-job rows — see docs/BENCHMARKING.md).
 fn reports_to_json(reports: &[Report], service_jobs: Option<usize>) -> String {
     let mut out = String::new();
@@ -263,14 +271,9 @@ fn reports_to_json(reports: &[Report], service_jobs: Option<usize>) -> String {
         let _ = writeln!(out, "}}");
     } else {
         let _ = writeln!(out, "{{");
-        match service_jobs {
-            Some(jobs) => {
-                let _ = writeln!(out, "  \"schema\": \"flowshop-bnb-perf-report/v6\",");
-                let _ = writeln!(out, "  \"service_jobs\": {jobs},");
-            }
-            None => {
-                let _ = writeln!(out, "  \"schema\": \"flowshop-bnb-perf-report/v5\",");
-            }
+        let _ = writeln!(out, "  \"schema\": \"flowshop-bnb-perf-report/v7\",");
+        if let Some(jobs) = service_jobs {
+            let _ = writeln!(out, "  \"service_jobs\": {jobs},");
         }
         let _ = writeln!(out, "  \"rows\": [");
         for (i, report) in reports.iter().enumerate() {
@@ -294,6 +297,11 @@ struct Options {
     lookahead: bool,
     autotune: bool,
     devices: Option<usize>,
+    /// Upgrade the fleet backend to mixed device specs (C2050 + GTX 580).
+    hetero: bool,
+    /// Override the fleet's deal weights (one per member; `None` = the
+    /// spec-derived throughput model).
+    fleet_weights: Option<Vec<f64>>,
     pool_size: usize,
     pipeline_chunk: Option<usize>,
     node_limit: Option<u64>,
@@ -327,6 +335,8 @@ impl Default for Options {
             lookahead: false,
             autotune: false,
             devices: None,
+            hetero: false,
+            fleet_weights: None,
             pool_size: 4_096,
             pipeline_chunk: None,
             node_limit: None,
@@ -364,10 +374,12 @@ fn apply_smoke_preset(opts: &mut Options) {
 
 /// The `(backend, lookahead)` rows the smoke workload gates: the paper's
 /// one-launch off-load, the per-batch stream pipeline (PR 3), the
-/// cross-iteration pipeline (lookahead batch + persistent session), and the
+/// cross-iteration pipeline (lookahead batch + persistent session), the
 /// two-device fleet riding per-device cross-iteration pipelines (PR 5 —
-/// its modelled device time must undercut the single-device rows).
-const SMOKE_ROWS: [(BackendKind, bool); 4] = [
+/// its modelled device time must undercut the single-device rows), and the
+/// mixed-spec fleet with deterministic stealing (PR 8 — its modelled device
+/// time must undercut the equal-deal fleet row on the identical node set).
+const SMOKE_ROWS: [(BackendKind, bool); 5] = [
     (BackendKind::Gpu, false),
     (BackendKind::GpuPipelined, false),
     (BackendKind::GpuPipelined, true),
@@ -375,6 +387,17 @@ const SMOKE_ROWS: [(BackendKind, bool); 4] = [
         BackendKind::Fleet {
             devices: 2,
             pipelined: true,
+            hetero: false,
+            stealing: false,
+        },
+        true,
+    ),
+    (
+        BackendKind::Fleet {
+            devices: 2,
+            pipelined: true,
+            hetero: true,
+            stealing: true,
         },
         true,
     ),
@@ -431,6 +454,14 @@ fn parse_args() -> Result<Options, String> {
             }
             "--lookahead" => opts.lookahead = true,
             "--autotune" => opts.autotune = true,
+            "--hetero" => opts.hetero = true,
+            "--fleet-weights" => {
+                let weights: Result<Vec<f64>, _> = value(&args, &mut i, flag)?
+                    .split(',')
+                    .map(|w| w.trim().parse::<f64>())
+                    .collect();
+                opts.fleet_weights = Some(weights.map_err(|e| format!("{e}"))?);
+            }
             "--devices" => {
                 opts.devices = Some(
                     value(&args, &mut i, flag)?
@@ -485,9 +516,13 @@ fn parse_args() -> Result<Options, String> {
                     "solve_taillard — solve a Taillard FSP instance and emit a JSON perf report\n\n\
                      input:    --file <ta-file> | --jobs N --machines M --seed S\n\
                      solve:    --mode serial|gpu|gpu-fast\n\
-                     \x20         --backend seq|multicore|gpu|gpu-pipelined|fleet[:N]  --devices N\n\
+                     \x20         --backend seq|multicore|gpu|gpu-pipelined|fleet[:N][:hetero][:steal]\n\
+                     \x20         --devices N  --hetero (mixed-spec fleet: C2050 + GTX 580)\n\
+                     \x20         --fleet-weights w1,w2,... (override the fleet's deal weights;\n\
+                     \x20         one positive weight per member, default spec-derived)\n\
                      \x20         --lookahead (cross-iteration pipelining)  --pipeline-chunk C\n\
-                     \x20         --autotune (sweep pool + chunk size; + device count for fleet)\n\
+                     \x20         --autotune (sweep pool + chunk size; + device count and deal\n\
+                     \x20         weights for fleet)\n\
                      \x20         --pool-size P  --node-limit N  --frozen K  --reps R\n\
                      service:  --service (replay the frozen smoke workload as concurrent jobs\n\
                      \x20         through the solve service; --jobs N = job count, default 4)\n\
@@ -499,7 +534,8 @@ fn parse_args() -> Result<Options, String> {
                      \x20         --advisory (wall-clock gate warns instead of failing)\n\
                      misc:     --help (this message)\n\n\
                      --smoke runs the frozen workload once per gated row (gpu, gpu-pipelined,\n\
-                     gpu-pipelined+lookahead, fleet:2+lookahead) and emits one report row each;\n\
+                     gpu-pipelined+lookahead, fleet:2+lookahead, fleet:2:hetero:steal+lookahead)\n\
+                     and emits one report row each;\n\
                      --service adds one cost row per concurrent job (schema v6). Each gate\n\
                      compares every row against the baseline row with the same backend,\n\
                      device count, lookahead flag and job index — the cost gate on exact\n\
@@ -525,14 +561,86 @@ fn parse_args() -> Result<Options, String> {
                         fleet row is fixed at 2 devices)"
                 .into());
         }
-        let pipelined = match opts.mode {
-            Mode::Backend(BackendKind::Fleet { pipelined, .. })
-            | Mode::BackendFast(BackendKind::Fleet { pipelined, .. }) => pipelined,
-            _ => true,
+        let (pipelined, hetero, stealing) = match opts.mode {
+            Mode::Backend(BackendKind::Fleet {
+                pipelined,
+                hetero,
+                stealing,
+                ..
+            })
+            | Mode::BackendFast(BackendKind::Fleet {
+                pipelined,
+                hetero,
+                stealing,
+                ..
+            }) => (pipelined, hetero, stealing),
+            _ => (true, false, false),
         };
-        opts.mode = opts
-            .mode
-            .with_backend(BackendKind::Fleet { devices, pipelined });
+        opts.mode = opts.mode.with_backend(BackendKind::Fleet {
+            devices,
+            pipelined,
+            hetero,
+            stealing,
+        });
+    }
+    // `--hetero` upgrades the fleet to mixed specs (C2050 + GTX 580).
+    if opts.hetero {
+        if opts.smoke {
+            return Err("--hetero cannot be combined with --smoke (the gate's \
+                        hetero row is fixed)"
+                .into());
+        }
+        match opts.mode {
+            Mode::Backend(BackendKind::Fleet {
+                devices,
+                pipelined,
+                stealing,
+                ..
+            })
+            | Mode::BackendFast(BackendKind::Fleet {
+                devices,
+                pipelined,
+                stealing,
+                ..
+            }) => {
+                opts.mode = opts.mode.with_backend(BackendKind::Fleet {
+                    devices,
+                    pipelined,
+                    hetero: true,
+                    stealing,
+                });
+            }
+            _ => {
+                return Err(
+                    "--hetero requires a fleet backend (--backend fleet[:N] or --devices N)".into(),
+                )
+            }
+        }
+    }
+    if let Some(weights) = &opts.fleet_weights {
+        if opts.smoke {
+            return Err("--fleet-weights cannot be combined with --smoke (the \
+                        gate's fleet rows use the spec-derived deal)"
+                .into());
+        }
+        let devices = match opts.mode {
+            Mode::Backend(kind @ BackendKind::Fleet { .. })
+            | Mode::BackendFast(kind @ BackendKind::Fleet { .. }) => kind.devices(),
+            _ => {
+                return Err("--fleet-weights requires a fleet backend \
+                            (--backend fleet[:N] or --devices N)"
+                    .into())
+            }
+        };
+        if weights.len() != devices {
+            return Err(format!(
+                "--fleet-weights needs one weight per fleet member ({} given, {devices} members)",
+                weights.len()
+            ));
+        }
+        if !weights.iter().all(|w| w.is_finite() && *w > 0.0) {
+            return Err("--fleet-weights must all be finite and positive".into());
+        }
     }
     if opts.smoke && opts.autotune {
         // The gate's committed baseline is recorded at the fixed smoke
@@ -635,6 +743,7 @@ fn run_once(
                     backend: kind,
                     lookahead,
                     pipeline_chunk: opts.pipeline_chunk,
+                    fleet_weights: opts.fleet_weights.clone(),
                     ..Default::default()
                 },
             );
@@ -699,6 +808,8 @@ fn run_best_of(
 const SERVICE_ROW_KIND: BackendKind = BackendKind::Fleet {
     devices: 2,
     pipelined: true,
+    hetero: false,
+    stealing: false,
 };
 
 /// Replays the frozen smoke workload as `opts.service_jobs` concurrent jobs
@@ -757,6 +868,12 @@ fn run_service(
                 mode: Mode::BackendFast(SERVICE_ROW_KIND),
                 lookahead: false,
                 job: Some(k),
+                fleet_weights: gpu_bnb::fleet_weight_shares(
+                    SERVICE_ROW_KIND,
+                    &config,
+                    inst.jobs(),
+                    inst.machines(),
+                ),
                 pool_size: opts.pool_size,
                 reps: 1,
                 metrics: RunMetrics {
@@ -925,11 +1042,19 @@ fn set_counter(cost: &mut CostReport, name: &str, value: u64) -> bool {
         "schedule_nanos" => cost.schedule_nanos = value,
         "host_op_cycles" => cost.host_op_cycles = value,
         "fleet_merge_cycles" => cost.fleet_merge_cycles = value,
+        "fleet_steals" => cost.fleet_steals = value,
+        "fleet_stolen_nodes" => cost.fleet_stolen_nodes = value,
+        "fleet_idle_nanos" => cost.fleet_idle_nanos = value,
         "serial_accesses" => cost.serial_accesses = value,
         _ => return false,
     }
     true
 }
+
+/// Counters per row of a pre-v7 baseline (before the fleet steal/idle
+/// counters): those rows parse with the missing counters at zero, which is
+/// exactly what the old backends recorded.
+const LEGACY_COST_COUNTERS: usize = 13;
 
 /// Pulls every `"cost": { ... }` block (a flat object of integer counters)
 /// out of a cost baseline or a v5 perf report, keyed by the row fields that
@@ -969,9 +1094,10 @@ fn cost_rows(text: &str) -> Result<Vec<CostRow>, String> {
             }
             seen += 1;
         }
-        if seen != COST_COUNTERS {
+        if seen != COST_COUNTERS && seen != LEGACY_COST_COUNTERS {
             return Err(format!(
-                "row `{backend}` has {seen} cost counters, expected {COST_COUNTERS}"
+                "row `{backend}` has {seen} cost counters, expected {COST_COUNTERS} \
+                 (or the legacy {LEGACY_COST_COUNTERS})"
             ));
         }
         rows.push(CostRow {
@@ -1067,18 +1193,28 @@ fn main() -> ExitCode {
             fast_forward: true,
             ..Default::default()
         };
-        if let Mode::Backend(BackendKind::Fleet { .. })
-        | Mode::BackendFast(BackendKind::Fleet { .. }) = opts.mode
+        if let Mode::Backend(kind @ BackendKind::Fleet { .. })
+        | Mode::BackendFast(kind @ BackendKind::Fleet { .. }) = opts.mode
         {
-            // Fleet runs sweep the device count and the per-device chunk
-            // jointly (the best chunk depends on each device's share).
-            let tuned = gpu_bnb::autotune::autotune_fleet_config(&inst, &base, 16_384);
+            // Fleet runs sweep the device count, the per-device chunk and
+            // the deal weights jointly (the best chunk depends on each
+            // device's share); hetero/stealing modes carry over from the
+            // configured fleet.
+            let fleet_base = GpuSolverConfig {
+                backend: kind,
+                ..base.clone()
+            };
+            let tuned = gpu_bnb::autotune::autotune_fleet_config(&inst, &fleet_base, 16_384);
             opts.pool_size = tuned.config.pool_size;
             opts.pipeline_chunk = tuned.config.pipeline_chunk;
             opts.mode = opts.mode.with_backend(tuned.config.backend);
+            // A `--fleet-weights` override outranks the learned weights.
+            if opts.fleet_weights.is_none() {
+                opts.fleet_weights = tuned.config.fleet_weights.clone();
+            }
             eprintln!(
-                "autotune: pool_size {} , devices {} , pipeline_chunk {:?}",
-                opts.pool_size, tuned.fleet.best_devices, opts.pipeline_chunk
+                "autotune: pool_size {} , devices {} , pipeline_chunk {:?} , fleet_weights {:?}",
+                opts.pool_size, tuned.fleet.best_devices, opts.pipeline_chunk, opts.fleet_weights
             );
         } else {
             let tuned = gpu_bnb::autotune::autotune_solver_config(&inst, &base, 16_384);
@@ -1111,6 +1247,24 @@ fn main() -> ExitCode {
         vec![(opts.mode, opts.lookahead)]
     };
 
+    // Fleet rows report their normalized deal-weight shares — the
+    // spec-derived model's, or the `--fleet-weights` override.
+    let weight_shares = |mode: Mode| -> Option<Vec<f64>> {
+        let kind = match mode {
+            Mode::Serial => return None,
+            Mode::Backend(kind) | Mode::BackendFast(kind) => kind,
+        };
+        gpu_bnb::fleet_weight_shares(
+            kind,
+            &GpuSolverConfig {
+                fleet_weights: opts.fleet_weights.clone(),
+                ..Default::default()
+            },
+            jobs,
+            machines,
+        )
+    };
+
     let mut reports: Vec<Report> = specs
         .into_iter()
         .map(|(mode, lookahead)| Report {
@@ -1120,6 +1274,7 @@ fn main() -> ExitCode {
             mode,
             lookahead,
             job: None,
+            fleet_weights: weight_shares(mode),
             pool_size: opts.pool_size,
             reps: opts.reps,
             metrics: run_best_of(&opts, mode, lookahead, &problem, frozen.as_ref()),
@@ -1155,6 +1310,14 @@ fn main() -> ExitCode {
             eprintln!(
                 "smoke: modelled device time {fleet:.6}s fleet:2 vs {single:.6}s single-device pipelined ({:+.1} %)",
                 (fleet / single - 1.0) * 100.0
+            );
+        }
+        if let (Some(equal), Some(hetero)) =
+            (device("fleet", true), device("fleet-hetero-steal", true))
+        {
+            eprintln!(
+                "smoke: modelled device time {hetero:.6}s fleet:2:hetero:steal vs {equal:.6}s equal-deal fleet:2 ({:+.1} %)",
+                (hetero / equal - 1.0) * 100.0
             );
         }
     }

@@ -246,6 +246,17 @@ pub fn autotune_pipeline_chunk(
 /// The device counts [`autotune_fleet`] sweeps when none are given.
 pub const DEFAULT_FLEET_DEVICE_CANDIDATES: [usize; 4] = [1, 2, 4, 8];
 
+/// The `(hetero, stealing)` modes of `config`'s fleet, or `(false, false)`
+/// when the configured backend is not a fleet.
+fn fleet_modes(config: &GpuSolverConfig) -> (bool, bool) {
+    match config.backend {
+        crate::config::BackendKind::Fleet {
+            hetero, stealing, ..
+        } => (hetero, stealing),
+        _ => (false, false),
+    }
+}
+
 /// Measurement for one `(devices, chunk)` fleet candidate.
 #[derive(Debug, Clone, Copy)]
 pub struct FleetMeasurement {
@@ -315,6 +326,10 @@ pub fn autotune_fleet(
     let nodes = &frozen.nodes;
     let len = nodes.len().max(1);
 
+    // Heterogeneity and stealing are orthogonal to the shape sweep: keep
+    // whatever the base fleet (if any) uses.
+    let (hetero, stealing) = fleet_modes(base_config);
+
     // Per-candidate probe: one bound_batch through a fresh fleet backend
     // (per-batch pipelines; no session state leaks between candidates).
     let probe = |devices: usize, chunk: usize| -> f64 {
@@ -322,6 +337,8 @@ pub fn autotune_fleet(
             backend: crate::config::BackendKind::Fleet {
                 devices,
                 pipelined: true,
+                hetero,
+                stealing,
             },
             pipeline_chunk: Some(chunk),
             fast_forward: true,
@@ -381,6 +398,135 @@ pub fn autotune_fleet(
     }
 }
 
+/// Measurement for one fleet weight-vector candidate.
+#[derive(Debug, Clone)]
+pub struct WeightMeasurement {
+    /// The candidate weights, normalized to shares summing to 1; `None` is
+    /// the spec-derived baseline ([`crate::fleet::member_models`]).
+    pub weights: Option<Vec<f64>>,
+    /// Modelled fleet device time per bounded node (seconds).
+    pub seconds_per_node: f64,
+}
+
+/// Result of a fleet weight auto-tuning session.
+#[derive(Debug, Clone)]
+pub struct WeightAutotuneReport {
+    /// The spec-derived baseline first, then one measurement per candidate.
+    pub measurements: Vec<WeightMeasurement>,
+    /// The winning weights for [`GpuSolverConfig::fleet_weights`]; `None`
+    /// when the spec-derived baseline was not beaten (ties keep it).
+    pub best_weights: Option<Vec<f64>>,
+}
+
+/// The default weight candidates for a fleet of `models`: the uniform deal,
+/// plus the spec-derived ratios compressed (square root) and exaggerated
+/// (squared) — a small bracket around the model's own guess, in case the
+/// workload rewards flatter or steeper deals than the kernel-only model
+/// predicts.
+fn default_weight_candidates(models: &[crate::fleet::MemberModel]) -> Vec<Vec<f64>> {
+    let spec: Vec<f64> = models.iter().map(|m| m.weight).collect();
+    let max = spec.iter().cloned().fold(f64::MIN, f64::max).max(1e-30);
+    let scaled: Vec<f64> = spec.iter().map(|w| w / max).collect();
+    vec![
+        vec![1.0; models.len()],
+        scaled.iter().map(|w| w.sqrt()).collect(),
+        scaled.iter().map(|w| w * w).collect(),
+    ]
+}
+
+/// Auto-tunes the fleet's deal weights for `inst`: probes the spec-derived
+/// baseline and every candidate weight vector by bounding the same frozen
+/// pool through the fleet `base_config.backend` describes (or a default
+/// 2-device fleet when it is not a fleet) with
+/// [`GpuSolverConfig::fleet_weights`] overridden, and keeps the vector with
+/// the lowest modelled fleet time per node. Ties keep the spec-derived
+/// baseline — learned weights must earn their place. `candidates` defaults
+/// to a bracket around the model's own ratios when empty. Persist the winner
+/// with [`autotune_fleet_config`], which runs this sweep after the shape
+/// sweep.
+pub fn autotune_fleet_weights(
+    inst: &Instance,
+    base_config: &GpuSolverConfig,
+    candidates: &[Vec<f64>],
+    probe_budget_nodes: usize,
+) -> WeightAutotuneReport {
+    let problem = FspProblem::new(inst.clone());
+    let target = base_config.pool_size.min(probe_budget_nodes.max(1)).max(1);
+    let (devices, pipelined) = match base_config.backend {
+        crate::config::BackendKind::Fleet {
+            devices, pipelined, ..
+        } => (devices, pipelined),
+        _ => (crate::config::DEFAULT_FLEET_DEVICES, true),
+    };
+    let (hetero, stealing) = fleet_modes(base_config);
+    let specs = crate::fleet::fleet_member_specs(devices, hetero);
+    let models = crate::fleet::member_models(&specs, base_config, inst.jobs(), inst.machines());
+
+    let candidates: Vec<Vec<f64>> = if candidates.is_empty() {
+        default_weight_candidates(&models)
+    } else {
+        candidates.to_vec()
+    };
+
+    let frozen = frozen_pool(&problem, target);
+    let nodes = &frozen.nodes;
+    let len = nodes.len().max(1);
+
+    let probe = |weights: Option<Vec<f64>>| -> f64 {
+        let config = GpuSolverConfig {
+            backend: crate::config::BackendKind::Fleet {
+                devices,
+                pipelined,
+                hetero,
+                stealing,
+            },
+            fleet_weights: weights,
+            fast_forward: true,
+            lookahead: false,
+            ..base_config.clone()
+        };
+        let mut backend = make_backend(&problem, &config, len);
+        backend
+            .bound_batch(nodes)
+            .accounting
+            .device_time
+            .as_secs_f64()
+    };
+
+    let normalize = |w: &[f64]| -> Vec<f64> {
+        let sum: f64 = w.iter().sum();
+        w.iter().map(|v| v / sum.max(1e-30)).collect()
+    };
+
+    let mut measurements = vec![WeightMeasurement {
+        weights: None,
+        seconds_per_node: probe(None) / len as f64,
+    }];
+    for candidate in &candidates {
+        assert_eq!(
+            candidate.len(),
+            devices,
+            "weight candidate must have one weight per member"
+        );
+        measurements.push(WeightMeasurement {
+            weights: Some(normalize(candidate)),
+            seconds_per_node: probe(Some(candidate.clone())) / len as f64,
+        });
+    }
+
+    // Strict `<` so the spec-derived baseline (first) survives ties.
+    let mut best = 0;
+    for (i, m) in measurements.iter().enumerate() {
+        if m.seconds_per_node < measurements[best].seconds_per_node {
+            best = i;
+        }
+    }
+    WeightAutotuneReport {
+        best_weights: measurements[best].weights.clone(),
+        measurements,
+    }
+}
+
 /// The outcome of [`autotune_fleet_config`]: the tuned configuration plus
 /// the sweep reports for inspection.
 #[derive(Debug, Clone)]
@@ -393,13 +539,18 @@ pub struct FleetAutotunedConfig {
     pub pool: AutotuneReport,
     /// The joint devices × chunk sweep (run at the tuned pool size).
     pub fleet: FleetAutotuneReport,
+    /// The deal-weight sweep (run at the tuned fleet shape).
+    pub weights: WeightAutotuneReport,
 }
 
 /// Runs the pool-size sweep, then the joint fleet sweep at the winning pool
-/// size, and returns `base` reconfigured to the winning fleet: `backend`
-/// becomes [`crate::config::BackendKind::Fleet`] with the best device count
-/// (pipelined), and [`GpuSolverConfig::pipeline_chunk`] carries the best
-/// per-device chunk.
+/// size, then the deal-weight sweep at the winning shape, and returns `base`
+/// reconfigured to the winning fleet: `backend` becomes
+/// [`crate::config::BackendKind::Fleet`] with the best device count
+/// (pipelined, inheriting `base`'s hetero/stealing modes),
+/// [`GpuSolverConfig::pipeline_chunk`] carries the best per-device chunk and
+/// [`GpuSolverConfig::fleet_weights`] the learned deal weights (`None` when
+/// the spec-derived model was not beaten).
 pub fn autotune_fleet_config(
     inst: &Instance,
     base: &GpuSolverConfig,
@@ -409,15 +560,21 @@ pub fn autotune_fleet_config(
     let mut config = base.clone();
     config.pool_size = pool.best_pool_size;
     let fleet = autotune_fleet(inst, &config, &[], &[], probe_budget_nodes);
+    let (hetero, stealing) = fleet_modes(base);
     config.backend = crate::config::BackendKind::Fleet {
         devices: fleet.best_devices,
         pipelined: true,
+        hetero,
+        stealing,
     };
     config.pipeline_chunk = Some(fleet.best_chunk_size);
+    let weights = autotune_fleet_weights(inst, &config, &[], probe_budget_nodes);
+    config.fleet_weights = weights.best_weights.clone();
     FleetAutotunedConfig {
         config,
         pool,
         fleet,
+        weights,
     }
 }
 
@@ -610,11 +767,79 @@ mod tests {
             crate::config::BackendKind::Fleet {
                 devices: tuned.fleet.best_devices,
                 pipelined: true,
+                hetero: false,
+                stealing: false,
             }
         );
         assert_eq!(
             tuned.config.pipeline_chunk,
             Some(tuned.fleet.best_chunk_size)
+        );
+        assert_eq!(tuned.config.fleet_weights, tuned.weights.best_weights);
+    }
+
+    #[test]
+    fn weight_sweep_probes_the_baseline_and_every_candidate() {
+        let inst = generate("t", 14, 8, 11);
+        let cfg = GpuSolverConfig {
+            backend: crate::config::BackendKind::Fleet {
+                devices: 2,
+                pipelined: true,
+                hetero: true,
+                stealing: false,
+            },
+            pool_size: 1_024,
+            ..base()
+        };
+        let candidates = vec![vec![1.0, 1.0], vec![3.0, 1.0]];
+        let report = autotune_fleet_weights(&inst, &cfg, &candidates, 1_024);
+        assert_eq!(report.measurements.len(), 3);
+        assert!(report.measurements[0].weights.is_none(), "baseline first");
+        assert!(report.measurements.iter().all(|m| m.seconds_per_node > 0.0));
+        // Probed candidates are reported as normalized shares.
+        let shares = report.measurements[2].weights.as_ref().expect("shares");
+        assert!((shares[0] - 0.75).abs() < 1e-12 && (shares[1] - 0.25).abs() < 1e-12);
+        // The winner is the (strictly) fastest; ties keep the baseline.
+        let best_time = report
+            .measurements
+            .iter()
+            .map(|m| m.seconds_per_node)
+            .fold(f64::INFINITY, f64::min);
+        let winner = report
+            .measurements
+            .iter()
+            .find(|m| m.weights == report.best_weights)
+            .expect("winner measured");
+        assert!((winner.seconds_per_node - best_time).abs() < 1e-18);
+    }
+
+    #[test]
+    fn weight_sweep_default_candidates_bracket_the_model() {
+        // On a heterogeneous fleet the default sweep probes the uniform deal
+        // and a compressed/exaggerated bracket around the spec-derived
+        // ratios. At a wave-filling pool the win is structural — the deal
+        // hands the full-wave chunk to the GTX, uniform hands it to the
+        // slower C2050 — so the spec-derived baseline must not lose to
+        // uniform. (Below one wave the two deals differ only in which
+        // member draws the content-heavier chunk, and either can win.)
+        let inst = generate("t", 14, 8, 2012);
+        let cfg = GpuSolverConfig {
+            backend: crate::config::BackendKind::Fleet {
+                devices: 2,
+                pipelined: true,
+                hetero: true,
+                stealing: false,
+            },
+            pool_size: 4_096,
+            ..base()
+        };
+        let report = autotune_fleet_weights(&inst, &cfg, &[], 4_096);
+        assert_eq!(report.measurements.len(), 4);
+        let baseline = report.measurements[0].seconds_per_node;
+        let uniform = report.measurements[1].seconds_per_node;
+        assert!(
+            baseline <= uniform,
+            "baseline {baseline} vs uniform {uniform}"
         );
     }
 

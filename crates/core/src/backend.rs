@@ -56,6 +56,16 @@ pub struct BackendAccounting {
     /// Host cycles merging fleet shards back into input order (zero off the
     /// fleet backend).
     pub merge_cycles: u64,
+    /// Deterministic pre-launch steal-pass moves this batch (zero off the
+    /// fleet backend and whenever stealing is disabled or never fires).
+    pub steals: u64,
+    /// Nodes those steal moves re-dealt from late members to early ones.
+    pub stolen_nodes: u64,
+    /// Summed modelled idle time of the *active* fleet members: for every
+    /// member that bounded at least one node, the gap between its own
+    /// critical path and the slowest member's (the merge-barrier wait).
+    /// Zero off the fleet backend; feeds the per-member utilization story.
+    pub idle_time: Duration,
 }
 
 /// Result of bounding one batch through a [`BoundingBackend`].
@@ -125,11 +135,33 @@ pub(crate) fn wave_chunk_for(
     chunk_override: Option<usize>,
     len: usize,
 ) -> usize {
-    if let Some(chunk) = chunk_override {
-        return chunk.clamp(1, engine.max_pool());
-    }
     let spec = engine.device().spec();
-    let wave = (spec.multiprocessors * engine.block_threads()).max(1);
+    wave_chunk(
+        (spec.multiprocessors * engine.block_threads()).max(1),
+        engine.max_pool(),
+        pipeline_depth,
+        chunk_override,
+        len,
+    )
+}
+
+/// The wave-aligned chunk heuristic on explicit geometry: `wave` nodes per
+/// chunk when the batch fills at least one wave, `pipeline_depth` equal
+/// chunks otherwise, an override clamped to `max_pool` either way. The
+/// fleet calls this on its *smallest* member wave so a larger member's
+/// small-batch fallback can never shrink the shared chunk below a full
+/// wave of the smallest device.
+pub(crate) fn wave_chunk(
+    wave: usize,
+    max_pool: usize,
+    pipeline_depth: usize,
+    chunk_override: Option<usize>,
+    len: usize,
+) -> usize {
+    if let Some(chunk) = chunk_override {
+        return chunk.clamp(1, max_pool);
+    }
+    let wave = wave.max(1);
     if len >= wave {
         wave
     } else {
@@ -139,7 +171,7 @@ pub(crate) fn wave_chunk_for(
 
 /// Packed byte footprint of the six bound matrices (input to the host cache
 /// model).
-fn matrix_footprint_bytes(jobs: usize, machines: usize) -> usize {
+pub(crate) fn matrix_footprint_bytes(jobs: usize, machines: usize) -> usize {
     MatrixId::ALL
         .iter()
         .map(|m| m.packed_bytes(jobs, machines))
@@ -202,6 +234,9 @@ impl BoundingBackend for SequentialBackend {
                 waves: 0,
                 device_nodes: 0,
                 merge_cycles: 0,
+                steals: 0,
+                stolen_nodes: 0,
+                idle_time: Duration::ZERO,
             },
             launch_times: if nodes.is_empty() {
                 Vec::new()
@@ -274,6 +309,9 @@ impl BoundingBackend for MulticoreBackend {
                 waves: 0,
                 device_nodes: 0,
                 merge_cycles: 0,
+                steals: 0,
+                stolen_nodes: 0,
+                idle_time: Duration::ZERO,
             },
             launch_times: if nodes.is_empty() {
                 Vec::new()
@@ -342,6 +380,9 @@ impl BoundingBackend for GpuBackend {
                 waves: if nodes.is_empty() { 0 } else { waves },
                 device_nodes: nodes.len() as u64,
                 merge_cycles: 0,
+                steals: 0,
+                stolen_nodes: 0,
+                idle_time: Duration::ZERO,
             },
             launch_times: if nodes.is_empty() {
                 Vec::new()
@@ -473,6 +514,9 @@ impl BoundingBackend for PipelinedGpuBackend {
                 waves: result.waves,
                 device_nodes: nodes.len() as u64,
                 merge_cycles: 0,
+                steals: 0,
+                stolen_nodes: 0,
+                idle_time: Duration::ZERO,
             },
             launch_times: result.launch_times,
         }
@@ -497,8 +541,18 @@ pub fn make_backend(
         }
         BackendKind::Gpu => Box::new(GpuBackend::new(problem, config, capacity)),
         BackendKind::GpuPipelined => Box::new(PipelinedGpuBackend::new(problem, config, capacity)),
-        BackendKind::Fleet { devices, pipelined } => Box::new(crate::fleet::FleetBackend::new(
-            problem, config, capacity, devices, pipelined,
+        BackendKind::Fleet {
+            devices,
+            pipelined,
+            hetero,
+            stealing,
+        } => Box::new(crate::fleet::FleetBackend::with_members(
+            problem,
+            config,
+            capacity,
+            crate::fleet::fleet_member_specs(devices, hetero),
+            pipelined,
+            stealing,
         )),
     }
 }

@@ -33,6 +33,18 @@ pub enum BackendKind {
         /// persistent session under [`GpuSolverConfig::lookahead`]);
         /// `false`: one launch per shard.
         pipelined: bool,
+        /// `true`: mixed device specs — members alternate between the
+        /// paper's Tesla C2050 (even ordinals) and the faster GTX 580 (odd
+        /// ordinals), and the throughput-weighted deal sizes each shard so
+        /// modelled completion times equalize (see
+        /// [`crate::fleet::plan_shards_weighted`]).
+        hetero: bool,
+        /// `true`: after the deal, a deterministic steal pass re-deals
+        /// surplus ranges from members the cost model predicts to finish
+        /// late to members predicted to finish a full wave early (see
+        /// [`crate::fleet::steal_pass`]). Purely a planning-time re-deal —
+        /// bounds and visited node sets stay bit-identical.
+        stealing: bool,
     },
 }
 
@@ -50,19 +62,30 @@ impl BackendKind {
         BackendKind::Fleet {
             devices: DEFAULT_FLEET_DEVICES,
             pipelined: true,
+            hetero: false,
+            stealing: false,
         },
     ];
 
     /// Stable name used in reports and on the command line. Fleet backends
-    /// all report as `fleet` regardless of size — the device count travels
-    /// separately ([`BackendKind::devices`], the report's `devices` field).
+    /// report as `fleet` with `-hetero` / `-steal` suffixes for the mixed
+    /// and stealing variants (so baseline rows stay distinguishable), while
+    /// the device count travels separately ([`BackendKind::devices`], the
+    /// report's `devices` field).
     pub fn name(self) -> &'static str {
         match self {
             BackendKind::Sequential => "seq",
             BackendKind::Multicore => "multicore",
             BackendKind::Gpu => "gpu",
             BackendKind::GpuPipelined => "gpu-pipelined",
-            BackendKind::Fleet { .. } => "fleet",
+            BackendKind::Fleet {
+                hetero, stealing, ..
+            } => match (hetero, stealing) {
+                (false, false) => "fleet",
+                (true, false) => "fleet-hetero",
+                (false, true) => "fleet-steal",
+                (true, true) => "fleet-hetero-steal",
+            },
         }
     }
 
@@ -80,11 +103,15 @@ impl std::str::FromStr for BackendKind {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        // Fleet spellings: `fleet`, `fleet:N`, `fleet:N:one-launch`.
+        // Fleet spellings: `fleet`, `fleet:N`, then any combination of the
+        // `:hetero`, `:steal` and `:one-launch` modes (each at most once,
+        // any order), e.g. `fleet:2:hetero:steal`.
         if s == "fleet" {
             return Ok(BackendKind::Fleet {
                 devices: DEFAULT_FLEET_DEVICES,
                 pipelined: true,
+                hetero: false,
+                stealing: false,
             });
         }
         if let Some(spec) = s.strip_prefix("fleet:") {
@@ -98,15 +125,27 @@ impl std::str::FromStr for BackendKind {
             if devices == 0 {
                 return Err("a fleet needs at least one device".into());
             }
-            let pipelined = match parts.next() {
-                None => true,
-                Some("one-launch") => false,
-                Some(other) => return Err(format!("unknown fleet mode `{other}` in `{s}`")),
-            };
-            if parts.next().is_some() {
-                return Err(format!("bad fleet spec `{s}`"));
+            let mut pipelined = true;
+            let mut hetero = false;
+            let mut stealing = false;
+            for mode in parts {
+                let (flag, value): (&mut bool, bool) = match mode {
+                    "one-launch" => (&mut pipelined, false),
+                    "hetero" => (&mut hetero, true),
+                    "steal" => (&mut stealing, true),
+                    other => return Err(format!("unknown fleet mode `{other}` in `{s}`")),
+                };
+                if *flag == value {
+                    return Err(format!("duplicate fleet mode `{mode}` in `{s}`"));
+                }
+                *flag = value;
             }
-            return Ok(BackendKind::Fleet { devices, pipelined });
+            return Ok(BackendKind::Fleet {
+                devices,
+                pipelined,
+                hetero,
+                stealing,
+            });
         }
         match s {
             "seq" | "sequential" => Ok(BackendKind::Sequential),
@@ -124,8 +163,19 @@ impl std::str::FromStr for BackendKind {
 impl std::fmt::Display for BackendKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BackendKind::Fleet { devices, pipelined } => {
+            BackendKind::Fleet {
+                devices,
+                pipelined,
+                hetero,
+                stealing,
+            } => {
                 write!(f, "fleet:{devices}")?;
+                if *hetero {
+                    f.write_str(":hetero")?;
+                }
+                if *stealing {
+                    f.write_str(":steal")?;
+                }
                 if !pipelined {
                     f.write_str(":one-launch")?;
                 }
@@ -203,6 +253,24 @@ pub struct GpuSolverConfig {
     /// `workers × in-flight chunks per worker` so several workers' lookahead
     /// batches can be staged concurrently. Must be ≥ 1.
     pub lookahead_depth: usize,
+    /// Explicit per-member throughput weights for the
+    /// [`BackendKind::Fleet`] deal (nodes per modelled second, relative —
+    /// only ratios matter). `None` derives each member's weight from its
+    /// [`gpu_sim::DeviceSpec`] and the kernel cost model; set it from the
+    /// weight auto-tuner ([`crate::autotune::autotune_fleet_weights`]) or
+    /// `solve_taillard --fleet-weights` to override the modelled deal. The
+    /// length must equal the fleet's device count. Weights steer the *deal*
+    /// only — the steal pass and per-member wave quantization keep using the
+    /// physical device models.
+    pub fleet_weights: Option<Vec<f64>>,
+    /// `true` restores the legacy pool-depth speculation guard (lookahead
+    /// batch submitted only while the frontier holds at least one full
+    /// pool). The default `false` uses the cost-model-driven guard:
+    /// speculate only when the modelled drain saving per batch exceeds the
+    /// expected frontier penalty scaled by the pool deficit (see
+    /// `GpuBnbSolver`). Both guards are deterministic pure functions of the
+    /// observed [`crate::cost::CostReport`] counters and the pool depth.
+    pub lookahead_pool_guard: bool,
 }
 
 impl Default for GpuSolverConfig {
@@ -222,6 +290,8 @@ impl Default for GpuSolverConfig {
             pipeline_chunk: None,
             lookahead: false,
             lookahead_depth: 1,
+            fleet_weights: None,
+            lookahead_pool_guard: false,
         }
     }
 }
@@ -290,19 +360,54 @@ mod tests {
 
     #[test]
     fn fleet_specs_parse_and_display() {
-        for (spec, devices, pipelined) in [
-            ("fleet", DEFAULT_FLEET_DEVICES, true),
-            ("fleet:1", 1, true),
-            ("fleet:4", 4, true),
-            ("fleet:3:one-launch", 3, false),
+        for (spec, devices, pipelined, hetero, stealing, name) in [
+            ("fleet", DEFAULT_FLEET_DEVICES, true, false, false, "fleet"),
+            ("fleet:1", 1, true, false, false, "fleet"),
+            ("fleet:4", 4, true, false, false, "fleet"),
+            ("fleet:3:one-launch", 3, false, false, false, "fleet"),
+            ("fleet:2:hetero", 2, true, true, false, "fleet-hetero"),
+            ("fleet:2:steal", 2, true, false, true, "fleet-steal"),
+            (
+                "fleet:2:hetero:steal:one-launch",
+                2,
+                false,
+                true,
+                true,
+                "fleet-hetero-steal",
+            ),
+            // Modes parse in any order; Display canonicalizes them.
+            (
+                "fleet:2:steal:hetero",
+                2,
+                true,
+                true,
+                true,
+                "fleet-hetero-steal",
+            ),
         ] {
             let kind: BackendKind = spec.parse().unwrap();
-            assert_eq!(kind, BackendKind::Fleet { devices, pipelined }, "{spec}");
-            assert_eq!(kind.name(), "fleet");
+            assert_eq!(
+                kind,
+                BackendKind::Fleet {
+                    devices,
+                    pipelined,
+                    hetero,
+                    stealing,
+                },
+                "{spec}"
+            );
+            assert_eq!(kind.name(), name);
             assert_eq!(kind.devices(), devices);
             // The Display form round-trips with the full parameters.
             assert_eq!(kind.to_string().parse::<BackendKind>().unwrap(), kind);
         }
+        assert_eq!(
+            "fleet:2:steal:hetero"
+                .parse::<BackendKind>()
+                .unwrap()
+                .to_string(),
+            "fleet:2:hetero:steal"
+        );
         assert_eq!(BackendKind::Gpu.devices(), 1);
         for bad in [
             "fleet:",
@@ -310,6 +415,9 @@ mod tests {
             "fleet:2:warp",
             "fleets",
             "fleet:2:one-launch:x",
+            "fleet:2:hetero:hetero",
+            "fleet:2:steal:steal",
+            "fleet:2:one-launch:one-launch",
         ] {
             assert!(bad.parse::<BackendKind>().is_err(), "{bad} must not parse");
         }

@@ -118,13 +118,23 @@ pub struct CostReport {
     /// Host cycles merging fleet shards back into input order —
     /// [`CostTable::FLEET_MERGE`] per node; zero off the fleet backend.
     pub fleet_merge_cycles: u64,
+    /// Deterministic pre-launch steal-pass moves (fleet backends with
+    /// stealing enabled; zero elsewhere).
+    pub fleet_steals: u64,
+    /// Nodes those steal moves re-dealt from late members to early ones.
+    pub fleet_stolen_nodes: u64,
+    /// Modelled nanoseconds fleet members spent waiting at the merge
+    /// barrier (summed over batches and members; zero off the fleet
+    /// backend). Together with `schedule_nanos` this prices per-member
+    /// utilization.
+    pub fleet_idle_nanos: u64,
     /// Matrix accesses the equivalent serial bounding would perform.
     pub serial_accesses: u64,
 }
 
 /// The number of counters in a [`CostReport`] (the length of
 /// [`CostReport::counters`]).
-pub const COST_COUNTERS: usize = 13;
+pub const COST_COUNTERS: usize = 16;
 
 impl CostReport {
     /// Folds one bounded batch into the report. `nodes` is the batch size;
@@ -151,6 +161,9 @@ impl CostReport {
         self.schedule_nanos += nanos(acc.device_time);
         self.host_op_cycles += CostTable::cycles(CostTable::HOST_OPS, nodes);
         self.fleet_merge_cycles += acc.merge_cycles;
+        self.fleet_steals += acc.steals;
+        self.fleet_stolen_nodes += acc.stolen_nodes;
+        self.fleet_idle_nanos += nanos(acc.idle_time);
         self.serial_accesses += serial_accesses;
     }
 
@@ -178,6 +191,9 @@ impl CostReport {
             ("schedule_nanos", self.schedule_nanos),
             ("host_op_cycles", self.host_op_cycles),
             ("fleet_merge_cycles", self.fleet_merge_cycles),
+            ("fleet_steals", self.fleet_steals),
+            ("fleet_stolen_nodes", self.fleet_stolen_nodes),
+            ("fleet_idle_nanos", self.fleet_idle_nanos),
             ("serial_accesses", self.serial_accesses),
         ]
     }
@@ -201,6 +217,13 @@ impl CostReport {
             fleet_merge_cycles: self
                 .fleet_merge_cycles
                 .saturating_sub(baseline.fleet_merge_cycles),
+            fleet_steals: self.fleet_steals.saturating_sub(baseline.fleet_steals),
+            fleet_stolen_nodes: self
+                .fleet_stolen_nodes
+                .saturating_sub(baseline.fleet_stolen_nodes),
+            fleet_idle_nanos: self
+                .fleet_idle_nanos
+                .saturating_sub(baseline.fleet_idle_nanos),
             serial_accesses: self
                 .serial_accesses
                 .saturating_sub(baseline.serial_accesses),
@@ -224,6 +247,9 @@ impl CostReport {
         self.schedule_nanos += other.schedule_nanos;
         self.host_op_cycles += other.host_op_cycles;
         self.fleet_merge_cycles += other.fleet_merge_cycles;
+        self.fleet_steals += other.fleet_steals;
+        self.fleet_stolen_nodes += other.fleet_stolen_nodes;
+        self.fleet_idle_nanos += other.fleet_idle_nanos;
         self.serial_accesses += other.serial_accesses;
     }
 
@@ -448,6 +474,9 @@ mod tests {
             schedule_nanos: 550_000,
             host_op_cycles: 300_000,
             fleet_merge_cycles: 0,
+            fleet_steals: 2,
+            fleet_stolen_nodes: 64,
+            fleet_idle_nanos: 7_500,
             serial_accesses: 9_000_000,
         }
     }
@@ -503,6 +532,9 @@ mod tests {
             waves: 2,
             device_nodes: 20,
             merge_cycles: 0,
+            steals: 1,
+            stolen_nodes: 8,
+            idle_time: Duration::from_micros(3),
         };
         report.record_backend_batch(&acc, 20, 5_000);
         assert_eq!(report.batches, 1);
@@ -510,6 +542,9 @@ mod tests {
         assert_eq!(report.waves, 2);
         assert_eq!(report.device_nodes, 20);
         assert_eq!(report.host_nodes, 0);
+        assert_eq!(report.fleet_steals, 1);
+        assert_eq!(report.fleet_stolen_nodes, 8);
+        assert_eq!(report.fleet_idle_nanos, 3_000);
         assert_eq!(report.kernel_nanos, 100_000);
         assert_eq!(report.schedule_nanos, 110_000);
         assert_eq!(

@@ -1,39 +1,67 @@
 //! Multi-device fleet bounding: partition each pool across several
-//! simulated GPUs.
+//! simulated GPUs (and, optionally, CPU members).
 //!
 //! The paper targets a *cluster* of GPU-accelerated nodes; everything in
 //! this workspace so far drives exactly one simulated device. This module is
 //! the first scaling step toward that cluster: a [`FleetBackend`] owns `N`
-//! independent [`BoundingEngine`]s (one [`gpu_sim::Device`] each, with its
-//! own independently-clocked timeline), splits every batch into per-device
-//! shards, bounds the shards on their devices, and merges the bounds back in
-//! input order — so the rest of the workspace (solvers, auto-tuner, hybrid
-//! coordinator, bench binaries) drives a fleet through the very same
-//! [`BoundingBackend`] trait as a single card.
+//! independent members — a [`BoundingEngine`] with its own
+//! [`gpu_sim::Device`] and independently-clocked timeline per GPU member, a
+//! [`crate::backend::MulticoreBackend`] per CPU member — splits every batch
+//! into per-member shards, bounds the shards concurrently on the model, and
+//! merges the bounds back in input order — so the rest of the workspace
+//! (solvers, auto-tuner, hybrid coordinator, service, bench binaries)
+//! drives a fleet through the very same [`BoundingBackend`] trait as a
+//! single card.
 //!
-//! **Sharding rules** ([`plan_shards`]): the batch is cut into wave-aligned
-//! chunks (the same granularity the pipelined backend launches at) and each
-//! chunk is dealt to the device with the smallest assigned load so far, ties
-//! to the lowest ordinal — deterministic round-robin on equal chunks,
-//! deficit-aware on ragged tails. When the batch has fewer chunks than
-//! devices, the chunk shrinks to `len / devices` (rounded up) so no device
-//! idles. The plan is a *partition*: every input index lands in exactly one
-//! shard, which is what keeps fleet bounds bit-identical to any
-//! single-device backend (each node's bound depends only on the node).
+//! **Weighted sharding** ([`plan_shards_weighted`]): the batch is cut into
+//! wave-aligned chunks (the same granularity the pipelined backend launches
+//! at) and each chunk is dealt to the member whose *modelled completion
+//! time after taking it* — `(load + chunk) / weight` — is smallest, ties to
+//! the lowest ordinal. Weights start from each member's [`MemberModel`]
+//! (its standalone full-wave throughput, derived from the `DeviceSpec` and
+//! the kernel cost model) but are re-quantized per batch by
+//! [`launch_models`]: the fleet launches every member at the *shared* chunk
+//! — the smallest member wave — and a sub-wave launch still pays a full
+//! wave of issue on the wider card, so at deal granularity the useful
+//! ratio between GPUs collapses from SMs × clock to the clock ratio alone.
+//! [`GpuSolverConfig::fleet_weights`] overrides skip the re-quantization
+//! and stay authoritative. A homogeneous fleet has equal weights, and the
+//! weighted deal then reproduces the classic least-loaded deal exactly. When the batch has fewer chunks than members, the chunk
+//! shrinks to `len / members` (rounded down, min 1); members left without a
+//! range are trimmed from the plan, so per-member stats never report
+//! phantom idle members. The plan is a *partition*: every input index lands
+//! in exactly one shard, which is what keeps fleet bounds bit-identical to
+//! any single-device backend (each node's bound depends only on the node).
 //!
-//! **Stats aggregation**: kernel/transfer times and bytes sum over devices
+//! **Deterministic work stealing** ([`steal_pass`]): with stealing enabled,
+//! a second planning pass runs *before* any launch. As long as the member
+//! models predict the latest-finishing member (the donor) to finish more
+//! than one of the earliest member's (the thief's) own waves after it, the
+//! surplus (sized at the crossing of the two wave-quantized completion
+//! curves) is re-dealt from the donor's tail to the thief
+//! — accepted only when the wave-quantized makespan strictly decreases, so
+//! the pass terminates and a homogeneous fleet (completion gap at most one
+//! chunk, i.e. at most one wave) never steals. The steal schedule is a pure
+//! function of (batch length, member models, chunk), bounds and visited
+//! node sets stay bit-identical, and the exact-equality cost gate applies
+//! unchanged.
+//!
+//! **Stats aggregation**: kernel/transfer times and bytes sum over members
 //! (total work), while the batch's modelled wall time is the **max** over
-//! the per-device schedules plus a host-side merge cost
-//! ([`FLEET_MERGE_CYCLES_PER_NODE`] cycles per bound) — the devices run
-//! concurrently, the merge does not. Per-device totals are kept in
-//! [`FleetDeviceStats`] for reports.
+//! the per-member schedules plus a host-side merge cost
+//! ([`FLEET_MERGE_CYCLES_PER_NODE`] cycles per bound) — the members run
+//! concurrently, the merge does not. Per-member totals are kept in
+//! [`FleetDeviceStats`] for reports, including the idle time each member
+//! spends waiting at the merge barrier and the derived utilization.
 
-use crate::backend::{BackendAccounting, BackendBatch, BoundingBackend};
+use crate::backend::{BackendAccounting, BackendBatch, BoundingBackend, MulticoreBackend};
 use crate::config::{BackendKind, GpuSolverConfig, DEFAULT_FLEET_DEVICES};
 use crate::offload::{BoundingEngine, PipelineSession, PipelinedBatch};
 use bb::{FspNode, FspProblem};
+use fsp::bound::counts::AccessCounts;
 use fsp::{JohnsonLowerBound, Time};
-use gpu_sim::{Device, HostModel};
+use gpu_sim::{CostModel, Device, DeviceSpec, HostModel};
+use multicore_bnb::MulticoreModel;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -41,17 +69,134 @@ use std::time::Duration;
 /// scatter write per node; the devices overlap, the merge does not).
 pub const FLEET_MERGE_CYCLES_PER_NODE: f64 = 4.0;
 
-/// One device's share of a batch: which chunk ranges of the input it bounds.
+/// What one fleet member is made of: a simulated GPU with its own spec, or
+/// a CPU thread-pool member bounding through the same backend trait.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetMemberSpec {
+    /// A simulated GPU with this device specification.
+    Gpu(DeviceSpec),
+    /// A CPU member: the multicore thread-pool backend with this many
+    /// worker threads.
+    Cpu {
+        /// Worker threads of the member's bounding pool.
+        threads: usize,
+    },
+}
+
+/// The member specs a [`BackendKind::Fleet`] resolves to: `devices` Tesla
+/// C2050s for the homogeneous fleet, or — with `hetero` — members
+/// alternating between the paper's Tesla C2050 (even ordinals) and the
+/// faster GeForce GTX 580 (odd ordinals).
+pub fn fleet_member_specs(devices: usize, hetero: bool) -> Vec<FleetMemberSpec> {
+    (0..devices)
+        .map(|ordinal| {
+            if hetero && ordinal % 2 == 1 {
+                FleetMemberSpec::Gpu(DeviceSpec::gtx_580())
+            } else {
+                FleetMemberSpec::Gpu(DeviceSpec::tesla_c2050())
+            }
+        })
+        .collect()
+}
+
+/// The planner's throughput model of one fleet member: a linear weight for
+/// the deal and the wave quantization the steal pass schedules against.
+/// Derived from the member's spec and the kernel/host cost models by
+/// [`member_models`]; the `weight` (and only the weight — wave geometry
+/// stays physical) can be overridden by [`GpuSolverConfig::fleet_weights`]
+/// or the weight auto-tuner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemberModel {
+    /// Modelled throughput in nodes per second (only ratios matter for the
+    /// deal).
+    pub weight: f64,
+    /// Nodes one full device wave bounds (`SMs × block threads`); `0` for
+    /// CPU members, which have no wave quantization.
+    pub wave_nodes: usize,
+    /// Modelled seconds one full wave takes (`0.0` for CPU members).
+    pub wave_seconds: f64,
+}
+
+impl MemberModel {
+    /// Modelled completion time of `nodes` nodes on this member: linear for
+    /// CPU members, wave-quantized (`ceil(nodes / wave) × wave seconds`) for
+    /// GPU members — partially-filled waves cost a full wave, which is
+    /// exactly why linear equalization alone is not worth stealing for.
+    pub fn completion_seconds(&self, nodes: usize) -> f64 {
+        if nodes == 0 {
+            0.0
+        } else if self.wave_nodes == 0 {
+            nodes as f64 / self.weight
+        } else {
+            nodes.div_ceil(self.wave_nodes) as f64 * self.wave_seconds
+        }
+    }
+}
+
+/// Derives every member's [`MemberModel`] from its spec and the calibrated
+/// cost models, for an instance of `jobs × machines`. GPU members: one wave
+/// is `SMs × block threads` nodes and costs the divergence-scaled issue
+/// cycles of its resident warps, so the weight is proportional to
+/// `SMs × clock` — wave time is invariant to how full the wave is. These
+/// are *standalone* full-wave figures; the fleet planner re-quantizes them
+/// to the shared launch chunk with [`launch_models`] before dealing. CPU
+/// members: the host model's bounding time scaled by the calibrated
+/// multicore speedup, linear in nodes.
+pub fn member_models(
+    specs: &[FleetMemberSpec],
+    config: &GpuSolverConfig,
+    jobs: usize,
+    machines: usize,
+) -> Vec<MemberModel> {
+    let cost = CostModel::default();
+    let host = HostModel::default();
+    let footprint = crate::backend::matrix_footprint_bytes(jobs, machines);
+    // Expected accesses of one root-level bound — the planner's per-node
+    // work unit (ratios between members are depth-independent).
+    let accesses = AccessCounts::impl_expected(jobs, machines, jobs).total() as f64;
+    specs
+        .iter()
+        .map(|spec| match spec {
+            FleetMemberSpec::Gpu(spec) => {
+                let warps_per_block = config.block_threads.div_ceil(spec.warp_size.max(1));
+                let issue_per_warp = cost.divergence_factor
+                    * (cost.alu_cycles_per_access * accesses + cost.fixed_cycles_per_thread);
+                let wave_nodes = (spec.multiprocessors * config.block_threads).max(1);
+                let wave_seconds = spec.cycles_to_seconds(warps_per_block as f64 * issue_per_warp);
+                MemberModel {
+                    weight: wave_nodes as f64 / wave_seconds,
+                    wave_nodes,
+                    wave_seconds,
+                }
+            }
+            FleetMemberSpec::Cpu { threads } => {
+                let speedup = MulticoreModel::default()
+                    .speedup((*threads).max(1), footprint)
+                    .max(1.0);
+                let per_node = host
+                    .bounding_time(accesses as u64, 1, footprint)
+                    .as_secs_f64();
+                MemberModel {
+                    weight: speedup / per_node,
+                    wave_nodes: 0,
+                    wave_seconds: 0.0,
+                }
+            }
+        })
+        .collect()
+}
+
+/// One member's share of a batch: which chunk ranges of the input it bounds.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FleetShard {
-    /// Ordinal of the device this shard is assigned to.
+    /// Ordinal of the member this shard is assigned to.
     pub device: usize,
     /// `(start, len)` chunk ranges into the input batch, in input order.
     pub ranges: Vec<(usize, usize)>,
 }
 
 impl FleetShard {
-    /// Total nodes assigned to this device.
+    /// Total nodes assigned to this member.
     pub fn nodes(&self) -> usize {
         self.ranges.iter().map(|&(_, len)| len).sum()
     }
@@ -73,76 +218,324 @@ pub fn effective_chunk(len: usize, devices: usize, chunk: usize) -> usize {
     }
 }
 
-/// Plans the per-device shards of a batch of `len` nodes over `devices`
-/// devices at chunk granularity `chunk` (see the module docs for the
-/// rules). Always returns one [`FleetShard`] per device, in ordinal order;
-/// shards may be empty only when `len < devices`.
+/// Plans the per-member shards of a batch of `len` nodes at chunk
+/// granularity `chunk`, one weight per member: each chunk is dealt to the
+/// member whose modelled completion time after taking it —
+/// `(load + take) / weight` — is smallest, ties to the lowest ordinal.
+/// Equal weights reduce to the classic least-loaded deal. Returns the
+/// non-empty shards in ordinal order — members the batch is too small to
+/// feed are trimmed, not reported as empty (an empty batch plans no
+/// shards).
 ///
 /// # Panics
 ///
-/// Panics if `devices` is zero.
-pub fn plan_shards(len: usize, devices: usize, chunk: usize) -> Vec<FleetShard> {
-    assert!(devices > 0, "a fleet needs at least one device");
+/// Panics if `weights` is empty or contains a non-finite or non-positive
+/// weight.
+pub fn plan_shards_weighted(len: usize, weights: &[f64], chunk: usize) -> Vec<FleetShard> {
+    assert!(!weights.is_empty(), "a fleet needs at least one device");
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w > 0.0),
+        "fleet weights must be finite and positive: {weights:?}"
+    );
+    let devices = weights.len();
     let mut shards: Vec<FleetShard> = (0..devices)
         .map(|device| FleetShard {
             device,
             ranges: Vec::new(),
         })
         .collect();
-    if len == 0 {
-        return shards;
+    if len > 0 {
+        let eff = effective_chunk(len, devices, chunk);
+        let mut loads = vec![0usize; devices];
+        let mut start = 0;
+        while start < len {
+            let take = eff.min(len - start);
+            let mut device = 0;
+            let mut best = f64::INFINITY;
+            for (d, &w) in weights.iter().enumerate() {
+                let finish = (loads[d] + take) as f64 / w;
+                if finish < best {
+                    best = finish;
+                    device = d;
+                }
+            }
+            shards[device].ranges.push((start, take));
+            loads[device] += take;
+            start += take;
+        }
     }
-    let eff = effective_chunk(len, devices, chunk);
-    let mut loads = vec![0usize; devices];
-    let mut start = 0;
-    while start < len {
-        let take = eff.min(len - start);
-        let device = (0..devices)
-            .min_by_key(|&d| (loads[d], d))
-            .expect("at least one device");
-        shards[device].ranges.push((start, take));
-        loads[device] += take;
-        start += take;
-    }
+    shards.retain(|s| !s.ranges.is_empty());
     shards
 }
 
-/// Accumulated per-device accounting of a [`FleetBackend`], for reports and
+/// Plans the per-member shards of a batch of `len` nodes over `devices`
+/// equally-weighted members at chunk granularity `chunk` (the classic
+/// least-loaded deal; see [`plan_shards_weighted`] for the rules and the
+/// trimming of members the batch cannot feed).
+///
+/// # Panics
+///
+/// Panics if `devices` is zero.
+pub fn plan_shards(len: usize, devices: usize, chunk: usize) -> Vec<FleetShard> {
+    assert!(devices > 0, "a fleet needs at least one device");
+    plan_shards_weighted(len, &vec![1.0; devices], chunk)
+}
+
+/// Re-quantizes member models to the fleet's shared launch granularity:
+/// every shard is launched in chunks of `chunk` nodes, so one step of a GPU
+/// member's completion curve is one launch of `chunk` nodes costing
+/// `ceil(chunk / wave) × wave_seconds` — a sub-wave launch still pays a
+/// full wave of issue, and a member larger than the shared chunk runs it
+/// below full occupancy. That is why the deal ratio between two GPUs at
+/// fleet granularity is their *clock* ratio, not their `SMs × clock` ratio:
+/// idle SMs do not speed up the launch. The returned models carry the
+/// launch quantum in `wave_nodes`, the per-launch seconds in
+/// `wave_seconds`, and the member's throughput at exactly that granularity
+/// as `weight`. CPU members have no launch quantization and pass through
+/// unchanged.
+pub fn launch_models(models: &[MemberModel], chunk: usize) -> Vec<MemberModel> {
+    let chunk = chunk.max(1);
+    models
+        .iter()
+        .map(|m| {
+            if m.wave_nodes == 0 {
+                *m
+            } else {
+                let launch_seconds = chunk.div_ceil(m.wave_nodes) as f64 * m.wave_seconds;
+                MemberModel {
+                    weight: chunk as f64 / launch_seconds,
+                    wave_nodes: chunk,
+                    wave_seconds: launch_seconds,
+                }
+            }
+        })
+        .collect()
+}
+
+/// What the deterministic steal pass moved (zeros when the gate never
+/// fired).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StealSummary {
+    /// Accepted steal moves (donor → thief re-deals).
+    pub steals: u64,
+    /// Nodes those moves re-dealt.
+    pub stolen_nodes: u64,
+}
+
+/// Takes `want` nodes off the tail of `donor`'s ranges, splitting the
+/// boundary range when needed; returns the taken ranges in input order.
+fn take_tail(donor: &mut FleetShard, mut want: usize) -> Vec<(usize, usize)> {
+    let mut taken = Vec::new();
+    while want > 0 {
+        let (start, len) = donor
+            .ranges
+            .pop()
+            .expect("steal pass never takes more than the donor's load");
+        if len <= want {
+            taken.push((start, len));
+            want -= len;
+        } else {
+            donor.ranges.push((start, len - want));
+            taken.push((start + len - want, want));
+            want = 0;
+        }
+    }
+    taken.reverse();
+    taken
+}
+
+/// The deterministic pre-launch steal pass: while the member models predict
+/// the latest member (the donor) to finish more than one of the earliest
+/// member's (the thief's) own waves after it, surplus nodes are re-dealt
+/// from the donor's tail ranges to the thief. The move size is found by a
+/// binary search for the crossing of the two wave-quantized completion
+/// curves (the smallest transfer after which the donor no longer finishes
+/// later than the thief), preferring the smaller of the two candidates
+/// around the crossing when their makespans tie; each move is accepted only
+/// when the fleet-wide quantized makespan strictly decreases, which both
+/// guarantees termination and keeps sub-wave reshuffles (which cost a full
+/// extra wave on the thief but save none on the donor) from ever firing.
+/// Ties pick the lowest ordinal on both sides. A homogeneous fleet never
+/// steals: the deal leaves completion gaps of at most one chunk, i.e. at
+/// most one wave.
+///
+/// Runs entirely before any launch on (shards, models) — a pure function —
+/// so bounds and visited node sets are untouched and the exact-equality
+/// cost gate applies unchanged. `shards` is updated in place (kept trimmed,
+/// in ordinal order, each shard's ranges in input order).
+pub fn steal_pass(shards: &mut Vec<FleetShard>, models: &[MemberModel]) -> StealSummary {
+    let mut summary = StealSummary::default();
+    let mut loads = vec![0usize; models.len()];
+    for shard in shards.iter() {
+        loads[shard.device] = shard.nodes();
+    }
+    // Strictly-decreasing makespan bounds the loop; the explicit cap only
+    // guards against float pathologies and is never hit in practice.
+    for _ in 0..1024 {
+        let f: Vec<f64> = models
+            .iter()
+            .zip(&loads)
+            .map(|(m, &l)| m.completion_seconds(l))
+            .collect();
+        let donor = (0..models.len())
+            .max_by(|&a, &b| f[a].partial_cmp(&f[b]).unwrap().then(b.cmp(&a)))
+            .expect("at least one member");
+        let thief = (0..models.len())
+            .min_by(|&a, &b| f[a].partial_cmp(&f[b]).unwrap().then(a.cmp(&b)))
+            .expect("at least one member");
+        if donor == thief || loads[donor] == 0 {
+            break;
+        }
+        // Gate: the thief must be predicted to finish at least one of its
+        // own full waves before the donor (CPU thieves gate at zero).
+        if f[donor] - f[thief] <= models[thief].wave_seconds {
+            break;
+        }
+        // Crossing search: the smallest move after which the donor no
+        // longer finishes later than the thief (f_donor is decreasing and
+        // f_thief increasing in the move size, so this is the balance
+        // point); when the candidate one below ties on the pair's local
+        // makespan, move fewer nodes.
+        let (l_d, l_t) = (loads[donor], loads[thief]);
+        let pair_makespan = |x: usize| {
+            models[donor]
+                .completion_seconds(l_d - x)
+                .max(models[thief].completion_seconds(l_t + x))
+        };
+        let (mut lo, mut hi) = (1usize, l_d);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if models[donor].completion_seconds(l_d - mid)
+                <= models[thief].completion_seconds(l_t + mid)
+            {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let x = if lo > 1 && pair_makespan(lo - 1) <= pair_makespan(lo) {
+            lo - 1
+        } else {
+            lo
+        };
+        let old_makespan = f.iter().cloned().fold(0.0f64, f64::max);
+        let new_makespan = (0..models.len())
+            .map(|d| {
+                let load = if d == donor {
+                    loads[d] - x
+                } else if d == thief {
+                    loads[d] + x
+                } else {
+                    loads[d]
+                };
+                models[d].completion_seconds(load)
+            })
+            .fold(0.0f64, f64::max);
+        if new_makespan >= old_makespan {
+            break;
+        }
+        let taken = {
+            let donor_shard = shards
+                .iter_mut()
+                .find(|s| s.device == donor)
+                .expect("donor has a shard");
+            take_tail(donor_shard, x)
+        };
+        match shards.iter_mut().find(|s| s.device == thief) {
+            Some(shard) => {
+                shard.ranges.extend(taken);
+                shard.ranges.sort_unstable_by_key(|&(start, _)| start);
+            }
+            None => shards.push(FleetShard {
+                device: thief,
+                ranges: taken,
+            }),
+        }
+        loads[donor] -= x;
+        loads[thief] += x;
+        summary.steals += 1;
+        summary.stolen_nodes += x as u64;
+    }
+    shards.retain(|s| !s.ranges.is_empty());
+    shards.sort_unstable_by_key(|s| s.device);
+    summary
+}
+
+/// Accumulated per-member accounting of a [`FleetBackend`], for reports and
 /// scaling analyses.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct FleetDeviceStats {
-    /// Device ordinal (matches [`gpu_sim::Device::ordinal`]).
+    /// Member ordinal (matches [`gpu_sim::Device::ordinal`] for GPU
+    /// members).
     pub ordinal: usize,
-    /// Batches in which this device received a non-empty shard.
+    /// Batches in which this member received a non-empty shard.
     pub batches: u64,
-    /// Nodes this device bounded.
+    /// Nodes this member bounded.
     pub nodes_bounded: u64,
-    /// Summed kernel time of this device's launches.
+    /// Summed kernel time of this member's launches (CPU bounding time for
+    /// CPU members).
     pub kernel_time: Duration,
-    /// Summed PCIe transfer time of this device's copies.
+    /// Summed PCIe transfer time of this member's copies (zero for CPU
+    /// members).
     pub transfer_time: Duration,
-    /// Modelled wall time of this device's schedule (summed critical-path
+    /// Modelled wall time of this member's schedule (summed critical-path
     /// increments of its session, or standalone schedules without one).
     pub device_time: Duration,
-    /// Kernel launches (pipeline chunks) on this device.
+    /// Kernel launches (pipeline chunks) on this member.
     pub launches: u64,
+    /// Modelled time this member spent waiting at the merge barrier: per
+    /// batch it took part in, the gap between its own critical path and the
+    /// slowest member's. Batches that trimmed this member out count neither
+    /// busy nor idle time.
+    pub idle_time: Duration,
 }
 
-/// One fleet member: its engine (owning its simulated device) and, under
-/// [`GpuSolverConfig::lookahead`], its persistent cross-iteration session.
+impl FleetDeviceStats {
+    /// Share of this member's scheduled time it spent bounding rather than
+    /// waiting at the merge barrier: `busy / (busy + idle)` (zero before the
+    /// member did any work).
+    pub fn utilization(&self) -> f64 {
+        let busy = self.device_time.as_secs_f64();
+        let total = busy + self.idle_time.as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            busy / total
+        }
+    }
+}
+
+/// A fleet member's bounding implementation: a GPU engine (with, under
+/// [`GpuSolverConfig::lookahead`], its persistent cross-iteration session)
+/// or the CPU thread-pool backend.
+enum MemberEngine {
+    Gpu {
+        // Boxed: an engine is ~1 KiB and would dwarf the CPU variant.
+        engine: Box<BoundingEngine>,
+        session: Option<PipelineSession>,
+    },
+    Cpu(MulticoreBackend),
+}
+
+/// One fleet member: its bounding implementation and a reusable gather
+/// buffer for its shard of the current batch.
 struct FleetMember {
-    engine: BoundingEngine,
-    session: Option<PipelineSession>,
-    /// Reusable gather buffer for this device's shard of the current batch.
+    engine: MemberEngine,
     gather: Vec<FspNode>,
 }
 
-/// A fleet of simulated devices behind the [`BoundingBackend`] trait: every
-/// batch is partitioned by [`plan_shards`], each shard rides its own device
-/// (stream-pipelined per device when built `pipelined`, one launch per
-/// shard otherwise), and the bounds are merged back in input order.
+/// A fleet of simulated devices (and optional CPU members) behind the
+/// [`BoundingBackend`] trait: every batch is partitioned by
+/// [`plan_shards_weighted`] (optionally rebalanced by [`steal_pass`]), each
+/// shard rides its own member (stream-pipelined per GPU member when built
+/// `pipelined`, one launch per shard otherwise), and the bounds are merged
+/// back in input order.
 pub struct FleetBackend {
     members: Vec<FleetMember>,
+    models: Vec<MemberModel>,
+    weights_overridden: bool,
+    name: &'static str,
+    stealing: bool,
     host_lb: Arc<JohnsonLowerBound>,
     fast_forward: bool,
     pipelined: bool,
@@ -153,8 +546,9 @@ pub struct FleetBackend {
 }
 
 impl FleetBackend {
-    /// Creates a fleet of `devices` Tesla C2050s, each engine sized for
-    /// batches of up to `capacity` nodes.
+    /// Creates a homogeneous fleet of `devices` Tesla C2050s, each engine
+    /// sized for batches of up to `capacity` nodes (no stealing — the
+    /// weighted deal over equal weights is the classic least-loaded deal).
     ///
     /// # Panics
     ///
@@ -167,59 +561,141 @@ impl FleetBackend {
         devices: usize,
         pipelined: bool,
     ) -> Self {
-        assert!(devices > 0, "a fleet needs at least one device");
+        Self::with_members(
+            problem,
+            config,
+            capacity,
+            fleet_member_specs(devices, false),
+            pipelined,
+            false,
+        )
+    }
+
+    /// Creates a fleet with one member per entry of `specs` — mixed GPU
+    /// specs and CPU members are legal — with the weighted deal derived
+    /// from the member models (or [`GpuSolverConfig::fleet_weights`], which
+    /// must then match the member count) and the deterministic steal pass
+    /// enabled by `stealing`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty, if the fleet is pipelined and
+    /// `config.pipeline_depth` is zero, or if an explicit weight vector has
+    /// the wrong length or a non-finite/non-positive entry.
+    pub fn with_members(
+        problem: &FspProblem<JohnsonLowerBound>,
+        config: &GpuSolverConfig,
+        capacity: usize,
+        specs: Vec<FleetMemberSpec>,
+        pipelined: bool,
+        stealing: bool,
+    ) -> Self {
+        assert!(!specs.is_empty(), "a fleet needs at least one device");
         assert!(
             !pipelined || config.pipeline_depth > 0,
             "a pipelined fleet needs a positive pipeline depth"
         );
+        let inst = problem.instance();
+        let mut models = member_models(&specs, config, inst.jobs(), inst.machines());
+        if let Some(weights) = &config.fleet_weights {
+            assert_eq!(
+                weights.len(),
+                specs.len(),
+                "fleet_weights must have one weight per member"
+            );
+            assert!(
+                weights.iter().all(|w| w.is_finite() && *w > 0.0),
+                "fleet weights must be finite and positive: {weights:?}"
+            );
+            for (model, &weight) in models.iter_mut().zip(weights) {
+                model.weight = weight;
+            }
+        }
+        let hetero = specs.iter().any(|s| *s != specs[0]);
+        let name = BackendKind::Fleet {
+            devices: DEFAULT_FLEET_DEVICES,
+            pipelined: true,
+            hetero,
+            stealing,
+        }
+        .name();
         let data = problem.bound_fn().data();
-        let members: Vec<FleetMember> = (0..devices)
-            .map(|ordinal| {
-                let engine = BoundingEngine::on_device(
-                    Device::tesla_c2050().with_ordinal(ordinal),
-                    data,
-                    config.placement.clone(),
-                    config.block_threads,
-                    config.registers_per_thread,
-                    capacity,
-                );
-                let session = (pipelined && config.lookahead)
-                    .then(|| engine.pipeline_session_with_depth(config.lookahead_depth.max(1)));
+        let members: Vec<FleetMember> = specs
+            .iter()
+            .enumerate()
+            .map(|(ordinal, spec)| {
+                let engine = match spec {
+                    FleetMemberSpec::Gpu(spec) => {
+                        let engine = BoundingEngine::on_device(
+                            Device::new(spec.clone()).with_ordinal(ordinal),
+                            data,
+                            config.placement.clone(),
+                            config.block_threads,
+                            config.registers_per_thread,
+                            capacity,
+                        );
+                        let session = (pipelined && config.lookahead).then(|| {
+                            engine.pipeline_session_with_depth(config.lookahead_depth.max(1))
+                        });
+                        MemberEngine::Gpu {
+                            engine: Box::new(engine),
+                            session,
+                        }
+                    }
+                    FleetMemberSpec::Cpu { threads } => {
+                        MemberEngine::Cpu(MulticoreBackend::new(problem, (*threads).max(1)))
+                    }
+                };
                 FleetMember {
                     engine,
-                    session,
                     gather: Vec::new(),
                 }
             })
             .collect();
+        let stats = (0..specs.len())
+            .map(|ordinal| FleetDeviceStats {
+                ordinal,
+                ..Default::default()
+            })
+            .collect();
         Self {
             members,
+            models,
+            weights_overridden: config.fleet_weights.is_some(),
+            name,
+            stealing,
             host_lb: problem.bound_fn().clone(),
             fast_forward: config.fast_forward,
             pipelined,
             pipeline_depth: config.pipeline_depth,
             chunk_override: config.pipeline_chunk,
             host: HostModel::default(),
-            stats: (0..devices)
-                .map(|ordinal| FleetDeviceStats {
-                    ordinal,
-                    ..Default::default()
-                })
-                .collect(),
+            stats,
         }
     }
 
-    /// Number of devices in the fleet.
+    /// Number of members in the fleet.
     pub fn devices(&self) -> usize {
         self.members.len()
     }
 
-    /// `true` when each device runs the stream-overlapped pipeline.
+    /// `true` when each GPU member runs the stream-overlapped pipeline.
     pub fn is_pipelined(&self) -> bool {
         self.pipelined
     }
 
-    /// Accumulated per-device accounting, in ordinal order.
+    /// `true` when the deterministic steal pass rebalances each plan.
+    pub fn is_stealing(&self) -> bool {
+        self.stealing
+    }
+
+    /// The planner's throughput model of every member, in ordinal order
+    /// (weights already reflect any explicit override).
+    pub fn member_models(&self) -> &[MemberModel] {
+        &self.models
+    }
+
+    /// Accumulated per-member accounting, in ordinal order.
     pub fn device_stats(&self) -> &[FleetDeviceStats] {
         &self.stats
     }
@@ -229,27 +705,41 @@ impl FleetBackend {
         Duration::from_secs_f64(nodes as f64 * FLEET_MERGE_CYCLES_PER_NODE / self.host.clock_hz)
     }
 
-    /// Chunk granularity for a batch of `len` nodes: the single-device
-    /// wave-aligned heuristic ([`crate::backend::wave_chunk_for`], shared so
-    /// the two backends can never diverge in chunking), applied before the
-    /// deficit rule of [`effective_chunk`].
+    /// Chunk granularity for a batch of `len` nodes: the wave-aligned
+    /// heuristic ([`crate::backend::wave_chunk`], shared with the pipelined
+    /// backend so chunking can never diverge) applied to the **smallest**
+    /// GPU member wave in the fleet — the deal quantum must keep the
+    /// smallest device's SMs saturated, and taking the minimum over the
+    /// member *waves* first (rather than over per-member chunk choices)
+    /// keeps a larger member's small-batch fallback from shrinking the
+    /// shared chunk below one full wave of the smallest device. Applied
+    /// before the deficit rule of [`effective_chunk`]. A fleet of only CPU
+    /// members deals `len / members` chunks.
     fn chunk_for(&self, len: usize) -> usize {
-        crate::backend::wave_chunk_for(
-            &self.members[0].engine,
-            self.pipeline_depth,
-            self.chunk_override,
-            len,
-        )
+        let mut wave_cap: Option<(usize, usize)> = None;
+        for member in &self.members {
+            if let MemberEngine::Gpu { engine, .. } = &member.engine {
+                let spec = engine.device().spec();
+                let wave = (spec.multiprocessors * engine.block_threads()).max(1);
+                let cap = engine.max_pool();
+                wave_cap = Some(match wave_cap {
+                    Some((w, c)) => (w.min(wave), c.min(cap)),
+                    None => (wave, cap),
+                });
+            }
+        }
+        match wave_cap {
+            Some((wave, cap)) => {
+                crate::backend::wave_chunk(wave, cap, self.pipeline_depth, self.chunk_override, len)
+            }
+            None => len.div_ceil(self.members.len()).max(1),
+        }
     }
 }
 
 impl BoundingBackend for FleetBackend {
     fn name(&self) -> &'static str {
-        BackendKind::Fleet {
-            devices: DEFAULT_FLEET_DEVICES,
-            pipelined: true,
-        }
-        .name()
+        self.name
     }
 
     fn bound_batch(&mut self, nodes: &[FspNode]) -> BackendBatch {
@@ -262,65 +752,92 @@ impl BoundingBackend for FleetBackend {
         }
         let chunk = self.chunk_for(nodes.len());
         let eff = effective_chunk(nodes.len(), self.members.len(), chunk);
-        let shards = plan_shards(nodes.len(), self.members.len(), chunk);
+        // Plan against the models re-quantized to this batch's launch
+        // granularity; explicit weight overrides stay authoritative.
+        let mut planning = launch_models(&self.models, eff);
+        if self.weights_overridden {
+            for (plan, model) in planning.iter_mut().zip(&self.models) {
+                plan.weight = model.weight;
+            }
+        }
+        let weights: Vec<f64> = planning.iter().map(|m| m.weight).collect();
+        let mut shards = plan_shards_weighted(nodes.len(), &weights, chunk);
+        let steal = if self.stealing {
+            steal_pass(&mut shards, &planning)
+        } else {
+            StealSummary::default()
+        };
 
         let mut bounds = vec![Time::default(); nodes.len()];
         let mut acc = BackendAccounting::default();
         let mut launch_times = Vec::new();
-        let mut slowest_device = Duration::ZERO;
+        let mut critical_paths: Vec<(usize, Duration)> = Vec::with_capacity(shards.len());
         for shard in &shards {
-            if shard.ranges.is_empty() {
-                continue;
-            }
             let member = &mut self.members[shard.device];
-            // Gather this device's ranges contiguously (every range is one
-            // `eff`-sized chunk except the global tail, so chunking the
-            // gathered shard at `eff` reproduces the planned boundaries).
+            // Gather this member's ranges contiguously (chunking the
+            // gathered shard at `eff` keeps the launch granularity the plan
+            // was cut at).
             member.gather.clear();
             for &(start, len) in &shard.ranges {
                 member.gather.extend_from_slice(&nodes[start..start + len]);
             }
             let host = self.fast_forward.then_some(self.host_lb.as_ref());
-            let result: PipelinedBatch = if self.pipelined {
-                match &mut member.session {
-                    Some(session) => {
-                        member
-                            .engine
-                            .bound_nodes_pipelined_in(&member.gather, eff, host, session)
-                    }
-                    None => {
-                        let r = member
-                            .engine
-                            .bound_nodes_pipelined(&member.gather, eff, host);
+            let (result, device_nodes): (PipelinedBatch, u64) = match &mut member.engine {
+                MemberEngine::Gpu { engine, session } => {
+                    let result = if self.pipelined {
+                        match session {
+                            Some(session) => {
+                                engine.bound_nodes_pipelined_in(&member.gather, eff, host, session)
+                            }
+                            None => {
+                                let r = engine.bound_nodes_pipelined(&member.gather, eff, host);
+                                PipelinedBatch {
+                                    bounds: r.bounds,
+                                    kernel_time: r.kernel_time,
+                                    transfer_time: r.transfer_time,
+                                    critical_path: r.overlapped_time,
+                                    upload_bytes: r.upload_bytes,
+                                    download_bytes: r.download_bytes,
+                                    chunks: r.chunks,
+                                    waves: r.waves,
+                                    launch_times: r.launch_times,
+                                }
+                            }
+                        }
+                    } else {
+                        let r = match host {
+                            Some(lb) => engine.bound_nodes_fast(&member.gather, lb),
+                            None => engine.bound_nodes(&member.gather),
+                        };
+                        let shard_waves = engine.device().spec().waves(r.stats.grid_blocks) as u64;
                         PipelinedBatch {
-                            bounds: r.bounds,
-                            kernel_time: r.kernel_time,
+                            critical_path: r.device_time(),
+                            kernel_time: r.kernel.duration,
                             transfer_time: r.transfer_time,
-                            critical_path: r.overlapped_time,
                             upload_bytes: r.upload_bytes,
                             download_bytes: r.download_bytes,
-                            chunks: r.chunks,
-                            waves: r.waves,
-                            launch_times: r.launch_times,
+                            chunks: 1,
+                            waves: shard_waves,
+                            launch_times: vec![r.kernel.duration],
+                            bounds: r.bounds,
                         }
-                    }
+                    };
+                    (result, shard.nodes() as u64)
                 }
-            } else {
-                let r = match host {
-                    Some(lb) => member.engine.bound_nodes_fast(&member.gather, lb),
-                    None => member.engine.bound_nodes(&member.gather),
-                };
-                let shard_waves = member.engine.device().spec().waves(r.stats.grid_blocks) as u64;
-                PipelinedBatch {
-                    critical_path: r.device_time(),
-                    kernel_time: r.kernel.duration,
-                    transfer_time: r.transfer_time,
-                    upload_bytes: r.upload_bytes,
-                    download_bytes: r.download_bytes,
-                    chunks: 1,
-                    waves: shard_waves,
-                    launch_times: vec![r.kernel.duration],
-                    bounds: r.bounds,
+                MemberEngine::Cpu(backend) => {
+                    let batch = backend.bound_batch(&member.gather);
+                    let result = PipelinedBatch {
+                        bounds: batch.bounds,
+                        kernel_time: batch.accounting.kernel_time,
+                        transfer_time: Duration::ZERO,
+                        critical_path: batch.accounting.device_time,
+                        upload_bytes: 0,
+                        download_bytes: 0,
+                        chunks: batch.accounting.launches as usize,
+                        waves: 0,
+                        launch_times: batch.launch_times,
+                    };
+                    (result, 0)
                 }
             };
 
@@ -345,13 +862,26 @@ impl BoundingBackend for FleetBackend {
             acc.download_bytes += result.download_bytes as u64;
             acc.launches += result.chunks as u64;
             acc.waves += result.waves;
+            acc.device_nodes += device_nodes;
             launch_times.extend(result.launch_times);
-            slowest_device = slowest_device.max(result.critical_path);
+            critical_paths.push((shard.device, result.critical_path));
         }
-        // The devices run concurrently: the batch's modelled wall time is
-        // the slowest device's schedule plus the (serial) host-side merge.
-        acc.device_time = slowest_device + self.merge_time(nodes.len());
-        acc.device_nodes = nodes.len() as u64;
+        // The members run concurrently: the batch's modelled wall time is
+        // the slowest member's schedule plus the (serial) host-side merge,
+        // and every faster member idles at the merge barrier for the gap.
+        let slowest = critical_paths
+            .iter()
+            .map(|&(_, t)| t)
+            .max()
+            .unwrap_or_default();
+        for &(ordinal, path) in &critical_paths {
+            let idle = slowest - path;
+            self.stats[ordinal].idle_time += idle;
+            acc.idle_time += idle;
+        }
+        acc.steals = steal.steals;
+        acc.stolen_nodes = steal.stolen_nodes;
+        acc.device_time = slowest + self.merge_time(nodes.len());
         acc.merge_cycles =
             crate::cost::CostTable::cycles(crate::cost::CostTable::FLEET_MERGE, nodes.len() as u64);
         BackendBatch {
@@ -362,8 +892,55 @@ impl BoundingBackend for FleetBackend {
     }
 
     fn max_batch(&self) -> Option<usize> {
-        Some(self.members[0].engine.max_pool())
+        self.members
+            .iter()
+            .filter_map(|member| match &member.engine {
+                MemberEngine::Gpu { engine, .. } => Some(engine.max_pool()),
+                MemberEngine::Cpu(_) => None,
+            })
+            .min()
     }
+}
+
+/// Normalized per-member weight shares of a fleet kind (summing to 1.0),
+/// for reports: the spec-derived member models with any
+/// [`GpuSolverConfig::fleet_weights`] override applied. `None` for
+/// non-fleet kinds.
+pub fn fleet_weight_shares(
+    kind: BackendKind,
+    config: &GpuSolverConfig,
+    jobs: usize,
+    machines: usize,
+) -> Option<Vec<f64>> {
+    let BackendKind::Fleet {
+        devices, hetero, ..
+    } = kind
+    else {
+        return None;
+    };
+    let specs = fleet_member_specs(devices, hetero);
+    let standalone = member_models(&specs, config, jobs, machines);
+    // Shares reflect the deal the fleet actually runs: models re-quantized
+    // to the shared launch chunk (the smallest member wave), unless an
+    // explicit override pins the weights.
+    let chunk = standalone
+        .iter()
+        .map(|m| m.wave_nodes)
+        .filter(|&w| w > 0)
+        .min()
+        .unwrap_or(0);
+    let mut models = if chunk > 0 {
+        launch_models(&standalone, chunk)
+    } else {
+        standalone
+    };
+    if let Some(weights) = &config.fleet_weights {
+        for (model, &weight) in models.iter_mut().zip(weights) {
+            model.weight = weight;
+        }
+    }
+    let total: f64 = models.iter().map(|m| m.weight).sum();
+    Some(models.iter().map(|m| m.weight / total).collect())
 }
 
 #[cfg(test)]
@@ -376,6 +953,21 @@ mod tests {
 
     fn fixture(pool: usize) -> (FspProblem<JohnsonLowerBound>, Vec<FspNode>, GpuSolverConfig) {
         let inst = generate("t", 12, 6, 2012);
+        let problem = FspProblem::new(inst);
+        let nodes = frozen_pool(&problem, pool).nodes;
+        let config = GpuSolverConfig {
+            pool_size: pool,
+            placement: DataPlacement::SharedJmPtm,
+            ..Default::default()
+        };
+        (problem, nodes, config)
+    }
+
+    /// Like [`fixture`], but on an instance big enough that the frozen
+    /// pool actually reaches device-wave sizes (the 12×6 tree exhausts
+    /// first).
+    fn wave_fixture(pool: usize) -> (FspProblem<JohnsonLowerBound>, Vec<FspNode>, GpuSolverConfig) {
+        let inst = generate("t", 14, 8, 2012);
         let problem = FspProblem::new(inst);
         let nodes = frozen_pool(&problem, pool).nodes;
         let config = GpuSolverConfig {
@@ -429,6 +1021,7 @@ mod tests {
         assert_eq!(effective_chunk(100, 4, 64), 25);
         let shards = plan_shards(100, 4, 64);
         assert_is_partition(100, &shards);
+        assert_eq!(shards.len(), 4);
         assert!(shards.iter().all(|s| !s.ranges.is_empty()));
         // With enough chunks the requested granularity is kept.
         assert_eq!(effective_chunk(1000, 4, 64), 64);
@@ -442,6 +1035,7 @@ mod tests {
         for (len, devices, chunk) in [(9, 8, 2), (5, 4, 8), (13, 6, 4)] {
             let shards = plan_shards(len, devices, chunk);
             assert_is_partition(len, &shards);
+            assert_eq!(shards.len(), devices);
             assert!(
                 shards.iter().all(|s| s.nodes() > 0),
                 "{len} nodes over {devices} devices (chunk {chunk}) idled a device"
@@ -450,25 +1044,177 @@ mod tests {
     }
 
     #[test]
-    fn fewer_nodes_than_devices_leaves_the_tail_devices_empty() {
+    fn fewer_nodes_than_devices_trims_the_tail_devices() {
+        // 2 nodes over 4 devices: the plan has exactly 2 shards — the
+        // members the batch cannot feed are trimmed, not reported as empty
+        // (phantom idle members would skew the utilization counters).
         let shards = plan_shards(2, 4, 8);
         assert_is_partition(2, &shards);
-        assert_eq!(shards[0].nodes(), 1);
-        assert_eq!(shards[1].nodes(), 1);
-        assert_eq!(shards[2].nodes() + shards[3].nodes(), 0);
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].device, 0);
+        assert_eq!(shards[1].device, 1);
+        assert!(shards.iter().all(|s| s.nodes() == 1));
     }
 
     #[test]
-    fn empty_batch_plans_empty_shards() {
-        let shards = plan_shards(0, 3, 8);
-        assert_eq!(shards.len(), 3);
-        assert!(shards.iter().all(|s| s.ranges.is_empty()));
+    fn empty_batch_plans_no_shards() {
+        assert_eq!(plan_shards(0, 3, 8), Vec::new());
     }
 
     #[test]
     #[should_panic(expected = "at least one device")]
     fn zero_device_plan_panics() {
         plan_shards(10, 0, 4);
+    }
+
+    #[test]
+    fn uniform_weights_reproduce_the_least_loaded_deal() {
+        for (len, devices, chunk) in [(80, 4, 8), (27, 3, 8), (100, 4, 64), (9, 8, 2), (2, 4, 8)] {
+            let classic = plan_shards(len, devices, chunk);
+            let weighted = plan_shards_weighted(len, &vec![3.5; devices], chunk);
+            assert_eq!(
+                classic, weighted,
+                "{len} nodes over {devices} devices (chunk {chunk})"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_deal_tracks_the_throughput_ratio() {
+        // A 3:1 weight split over unit chunks: the fast member ends with
+        // three times the slow member's load (±1 chunk of greedy rounding).
+        let shards = plan_shards_weighted(80, &[3.0, 1.0], 1);
+        assert_is_partition(80, &shards);
+        let loads: Vec<usize> = shards.iter().map(FleetShard::nodes).collect();
+        assert_eq!(loads, vec![60, 20]);
+        // Ties break to the lowest ordinal, so equal weights still start at
+        // member 0.
+        let first = &plan_shards_weighted(8, &[1.0, 1.0], 4)[0];
+        assert_eq!(first.device, 0);
+        assert_eq!(first.ranges, vec![(0, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn non_positive_weights_panic() {
+        plan_shards_weighted(8, &[1.0, 0.0], 4);
+    }
+
+    #[test]
+    fn steal_pass_moves_the_completion_crossing_surplus() {
+        // Equal 16/16 loads on a fast (1 s/wave) and a slow (3 s/wave)
+        // member, 4-node waves: the slow member is predicted to finish 8 s
+        // late (> 1 thief wave), so the pass re-deals its surplus — the
+        // crossing search moves 8 nodes and the quantized makespan drops
+        // 12 s → 6 s, after which the gap is gone and the pass stops.
+        let models = [
+            MemberModel {
+                weight: 4.0,
+                wave_nodes: 4,
+                wave_seconds: 1.0,
+            },
+            MemberModel {
+                weight: 4.0 / 3.0,
+                wave_nodes: 4,
+                wave_seconds: 3.0,
+            },
+        ];
+        let mut shards = vec![
+            FleetShard {
+                device: 0,
+                ranges: vec![(0, 16)],
+            },
+            FleetShard {
+                device: 1,
+                ranges: vec![(16, 16)],
+            },
+        ];
+        let summary = steal_pass(&mut shards, &models);
+        assert_eq!(summary.steals, 1);
+        assert_eq!(summary.stolen_nodes, 8);
+        assert_is_partition(32, &shards);
+        assert_eq!(shards[0].nodes(), 24);
+        assert_eq!(shards[1].nodes(), 8);
+        // The stolen tail range keeps input order on the thief.
+        assert_eq!(shards[0].ranges, vec![(0, 16), (24, 8)]);
+        assert_eq!(shards[1].ranges, vec![(16, 8)]);
+    }
+
+    #[test]
+    fn steal_pass_never_fires_on_a_homogeneous_fleet() {
+        // The least-loaded deal leaves completion gaps of at most one chunk
+        // (one wave), below the full-wave gate — for any batch size.
+        let model = MemberModel {
+            weight: 8.0,
+            wave_nodes: 8,
+            wave_seconds: 1.0,
+        };
+        for len in [0, 1, 7, 8, 9, 63, 64, 65, 200] {
+            let mut shards = plan_shards(len, 3, 8);
+            let before = shards.clone();
+            let summary = steal_pass(&mut shards, &[model, model, model]);
+            assert_eq!(summary, StealSummary::default(), "{len} nodes");
+            assert_eq!(shards, before, "{len} nodes");
+        }
+    }
+
+    #[test]
+    fn steal_pass_gates_on_a_full_wave_gap() {
+        // The donor finishes exactly one thief-wave late — not *more* than
+        // one — so the gate rejects the steal: moving nodes could only
+        // shift which member pays the partial wave, never shrink the
+        // makespan.
+        let models = [
+            MemberModel {
+                weight: 8.0,
+                wave_nodes: 8,
+                wave_seconds: 1.0,
+            },
+            MemberModel {
+                weight: 8.0,
+                wave_nodes: 8,
+                wave_seconds: 1.0,
+            },
+        ];
+        let mut shards = vec![
+            FleetShard {
+                device: 0,
+                ranges: vec![(0, 4)],
+            },
+            FleetShard {
+                device: 1,
+                ranges: vec![(4, 12)],
+            },
+        ];
+        let before = shards.clone();
+        let summary = steal_pass(&mut shards, &models);
+        assert_eq!(summary, StealSummary::default());
+        assert_eq!(shards, before);
+    }
+
+    #[test]
+    fn member_models_rank_the_gtx_above_the_c2050_above_the_cpu() {
+        let (_, _, config) = fixture(16);
+        let specs = vec![
+            FleetMemberSpec::Gpu(DeviceSpec::tesla_c2050()),
+            FleetMemberSpec::Gpu(DeviceSpec::gtx_580()),
+            FleetMemberSpec::Cpu { threads: 4 },
+        ];
+        let models = member_models(&specs, &config, 20, 20);
+        assert!(
+            models[1].weight > models[0].weight,
+            "GTX must out-weigh C2050"
+        );
+        assert!(
+            models[0].weight > models[2].weight,
+            "C2050 must out-weigh the CPU"
+        );
+        // GPU wave throughput is ∝ SMs × clock (wave time is warp-issue
+        // bound and invariant to how full the wave is).
+        let ratio = models[1].weight / models[0].weight;
+        let expected = (16.0 * 1.544e9) / (14.0 * 1.15e9);
+        assert!((ratio - expected).abs() < 1e-9, "{ratio} vs {expected}");
+        assert_eq!(models[2].wave_nodes, 0, "CPU members have no wave");
     }
 
     #[test]
@@ -488,6 +1234,86 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn hetero_and_cpu_members_bound_bit_for_bit() {
+        let (problem, nodes, config) = fixture(96);
+        let reference = PipelinedGpuBackend::new(&problem, &config, nodes.len())
+            .bound_batch(&nodes)
+            .bounds;
+        for (specs, label) in [
+            (fleet_member_specs(2, true), "hetero pair"),
+            (fleet_member_specs(3, true), "hetero trio"),
+            (
+                vec![
+                    FleetMemberSpec::Gpu(DeviceSpec::tesla_c2050()),
+                    FleetMemberSpec::Cpu { threads: 4 },
+                ],
+                "gpu + cpu",
+            ),
+            (
+                vec![
+                    FleetMemberSpec::Cpu { threads: 2 },
+                    FleetMemberSpec::Cpu { threads: 4 },
+                ],
+                "cpu only",
+            ),
+        ] {
+            for stealing in [false, true] {
+                let mut fleet = FleetBackend::with_members(
+                    &problem,
+                    &config,
+                    nodes.len(),
+                    specs.clone(),
+                    true,
+                    stealing,
+                );
+                let batch = fleet.bound_batch(&nodes);
+                assert_eq!(batch.bounds, reference, "{label}, stealing={stealing}");
+            }
+        }
+    }
+
+    #[test]
+    fn hetero_fleet_undercuts_the_equal_deal_on_full_waves() {
+        // A full-device batch (one C2050 wave is 3584 nodes at 256
+        // threads/block): the weighted deal hands the big chunk to the GTX
+        // — whose kernel is strictly faster at the same transfer — and the
+        // C2050 keeps the small tail, so the modelled max-over-members time
+        // strictly undercuts the equal deal of two C2050s on the same
+        // nodes, with bit-identical bounds.
+        let (problem, nodes, base) = wave_fixture(4096);
+        assert!(nodes.len() >= 4096, "fixture must fill a device wave");
+        let config = GpuSolverConfig {
+            fast_forward: true,
+            ..base
+        };
+        let mut homo = FleetBackend::new(&problem, &config, nodes.len(), 2, true);
+        let mut hetero = FleetBackend::with_members(
+            &problem,
+            &config,
+            nodes.len(),
+            fleet_member_specs(2, true),
+            true,
+            false,
+        );
+        assert_eq!(hetero.name(), "fleet-hetero");
+        let homo_batch = homo.bound_batch(&nodes);
+        let hetero_batch = hetero.bound_batch(&nodes);
+        assert_eq!(homo_batch.bounds, hetero_batch.bounds);
+        // The GTX member (odd ordinal) takes the larger share of the deal.
+        let stats = hetero.device_stats();
+        assert!(
+            stats[1].nodes_bounded > stats[0].nodes_bounded,
+            "the faster member must take the bigger shard: {stats:?}"
+        );
+        assert!(
+            hetero_batch.accounting.device_time < homo_batch.accounting.device_time,
+            "hetero {:?} must strictly undercut the equal deal {:?}",
+            hetero_batch.accounting.device_time,
+            homo_batch.accounting.device_time
+        );
     }
 
     #[test]
@@ -527,7 +1353,56 @@ mod tests {
             slowest + fleet.merge_time(nodes.len()),
             "batch wall time = slowest device + merge"
         );
+        // The faster member's barrier wait is exactly the schedule gap.
+        assert_eq!(acc.idle_time, stats.iter().map(|s| s.idle_time).sum());
+        let fastest = stats.iter().map(|s| s.device_time).min().unwrap();
+        assert_eq!(acc.idle_time, slowest - fastest);
+        assert!(stats.iter().any(|s| s.utilization() == 1.0));
         assert!(fleet.merge_time(nodes.len()) > Duration::ZERO);
+        assert_eq!(acc.steals, 0, "no stealing unless enabled");
+    }
+
+    #[test]
+    fn adversarial_weights_make_the_steal_pass_fire() {
+        // A lopsided explicit weight vector piles the whole multi-wave
+        // batch onto member 0; the steal pass re-deals the surplus before
+        // launch (the crossing search hands back whole waves), the modelled
+        // schedule drops, and bounds stay bit-identical.
+        let (problem, nodes, base) = wave_fixture(8192);
+        assert!(nodes.len() >= 8192, "fixture must span several waves");
+        let config = GpuSolverConfig {
+            fleet_weights: Some(vec![100.0, 1.0]),
+            fast_forward: true,
+            ..base.clone()
+        };
+        let reference = PipelinedGpuBackend::new(&problem, &config, nodes.len())
+            .bound_batch(&nodes)
+            .bounds;
+        let build = |stealing| {
+            FleetBackend::with_members(
+                &problem,
+                &config,
+                nodes.len(),
+                fleet_member_specs(2, false),
+                true,
+                stealing,
+            )
+        };
+        let mut greedy = build(false);
+        let mut stealing = build(true);
+        let greedy_batch = greedy.bound_batch(&nodes);
+        let steal_batch = stealing.bound_batch(&nodes);
+        assert_eq!(greedy_batch.bounds, reference);
+        assert_eq!(steal_batch.bounds, reference);
+        assert_eq!(greedy_batch.accounting.steals, 0);
+        assert!(steal_batch.accounting.steals > 0, "the gate must fire");
+        assert!(steal_batch.accounting.stolen_nodes > 0);
+        assert!(
+            steal_batch.accounting.device_time < greedy_batch.accounting.device_time,
+            "stealing {:?} must beat the starved deal {:?}",
+            steal_batch.accounting.device_time,
+            greedy_batch.accounting.device_time
+        );
     }
 
     #[test]
@@ -559,17 +1434,57 @@ mod tests {
     #[test]
     fn make_backend_builds_fleets_from_the_config() {
         let (problem, nodes, base) = fixture(64);
-        let config = GpuSolverConfig {
-            backend: BackendKind::Fleet {
-                devices: 3,
-                pipelined: true,
-            },
-            ..base
+        for (hetero, stealing, name) in [
+            (false, false, "fleet"),
+            (true, false, "fleet-hetero"),
+            (false, true, "fleet-steal"),
+            (true, true, "fleet-hetero-steal"),
+        ] {
+            let config = GpuSolverConfig {
+                backend: BackendKind::Fleet {
+                    devices: 3,
+                    pipelined: true,
+                    hetero,
+                    stealing,
+                },
+                ..base.clone()
+            };
+            let mut backend = make_backend(&problem, &config, nodes.len());
+            assert_eq!(backend.name(), name);
+            let batch = backend.bound_batch(&nodes);
+            assert_eq!(batch.bounds.len(), nodes.len());
+        }
+    }
+
+    #[test]
+    fn fleet_weight_shares_normalize_and_respect_overrides() {
+        let (_, _, config) = fixture(16);
+        let kind = |hetero| BackendKind::Fleet {
+            devices: 2,
+            pipelined: true,
+            hetero,
+            stealing: false,
         };
-        let mut backend = make_backend(&problem, &config, nodes.len());
-        assert_eq!(backend.name(), "fleet");
-        let batch = backend.bound_batch(&nodes);
-        assert_eq!(batch.bounds.len(), nodes.len());
+        assert_eq!(fleet_weight_shares(BackendKind::Gpu, &config, 20, 20), None);
+        let equal = fleet_weight_shares(kind(false), &config, 20, 20).unwrap();
+        assert_eq!(equal, vec![0.5, 0.5]);
+        let hetero = fleet_weight_shares(kind(true), &config, 20, 20).unwrap();
+        assert!(
+            hetero[1] > hetero[0],
+            "the GTX member takes the bigger share"
+        );
+        assert!((hetero.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let overridden = fleet_weight_shares(
+            kind(true),
+            &GpuSolverConfig {
+                fleet_weights: Some(vec![1.0, 3.0]),
+                ..config
+            },
+            20,
+            20,
+        )
+        .unwrap();
+        assert_eq!(overridden, vec![0.25, 0.75]);
     }
 
     #[test]

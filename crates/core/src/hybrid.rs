@@ -454,6 +454,8 @@ mod tests {
             backend: BackendKind::Fleet {
                 devices: 3,
                 pipelined: true,
+                hetero: false,
+                stealing: false,
             },
             lookahead: true,
             ..config(24)

@@ -26,7 +26,11 @@ pub use backend::{
 };
 pub use config::{BackendKind, GpuSolverConfig, DEFAULT_FLEET_DEVICES};
 pub use cost::{CostReport, CostSummary, CostTable, LatencyHistogram, OpCost, SolveLatencies};
-pub use fleet::{plan_shards, FleetBackend, FleetDeviceStats, FleetShard};
+pub use fleet::{
+    fleet_member_specs, fleet_weight_shares, launch_models, member_models, plan_shards,
+    plan_shards_weighted, steal_pass, FleetBackend, FleetDeviceStats, FleetMemberSpec, FleetShard,
+    MemberModel, StealSummary,
+};
 pub use kernel_lb::LowerBoundKernel;
 pub use offload::{BoundingEngine, PipelineSession, PipelinedBatch, PipelinedBoundingResult};
 pub use placement::DataPlacement;

@@ -203,6 +203,33 @@ impl GpuBnbSolver {
             stats.max_pool = stats.max_pool.max(pool.len());
         };
 
+        // Lookahead admission guard. The legacy heuristic speculates only
+        // when the pending pool could fill a batch by itself
+        // (`pool.len() >= pool_size`) — a depth proxy for "the speculative
+        // batch will not be built from stale, shallow nodes". The default
+        // guard prices the same trade with the deterministic counters the
+        // solve has already accumulated: speculation pays when the overlap
+        // saving the backend has demonstrated per batch
+        // (`(kernel + transfer − schedule) / batches`, zero for backends
+        // that cannot overlap) exceeds a staleness penalty that scales the
+        // mean batch schedule time by the pool deficit
+        // (`(schedule / batches) · deficit / pool_size`). All-integer and
+        // derived from modelled time only, so the decision is bit-identical
+        // across machines. With no batch recorded yet there is no evidence
+        // either way and both guards fall back to the depth rule.
+        let speculation_pays = |cost: &CostReport, pool_len: usize| -> bool {
+            if self.config.lookahead_pool_guard || cost.batches == 0 {
+                return pool_len >= self.config.pool_size;
+            }
+            let saving = (cost.kernel_nanos + cost.transfer_nanos)
+                .saturating_sub(cost.schedule_nanos)
+                / cost.batches;
+            let deficit = self.config.pool_size.saturating_sub(pool_len) as u64;
+            let penalty =
+                cost.schedule_nanos / cost.batches * deficit / self.config.pool_size.max(1) as u64;
+            saving > penalty
+        };
+
         let mut stop = StopReason::Exhausted;
         // Lookahead queue (cross-iteration pipelining): the batch of pool
         // k+1 already bounded by the backend while pool k's elimination was
@@ -258,17 +285,17 @@ impl GpuBnbSolver {
             // The selection sees the incumbent as of pool k-1's elimination
             // (bounds are node-local, so results stay exact; pruning is
             // re-checked per child at elimination time). Speculate only when
-            // (a) the pending pool is deep enough to fill a batch without
-            // the in-flight children — on a thin pool the speculative batch
-            // would be built from stale, shallow nodes the strict loop may
-            // never visit, and that exploration penalty outweighs the
-            // overlap — and (b) the node budget survives the batch in hand,
-            // so no speculative work is orphaned by the node-limit break.
+            // (a) the admission guard above judges the overlap saving worth
+            // the staleness of a thin pool — on a thin pool the speculative
+            // batch would be built from stale, shallow nodes the strict loop
+            // may never visit — and (b) the node budget survives the batch
+            // in hand, so no speculative work is orphaned by the node-limit
+            // break.
             let budget_survives = self
                 .config
                 .node_limit
                 .is_none_or(|limit| stats.bounded + (batch.len() as u64) < limit);
-            if self.config.lookahead && budget_survives && pool.len() >= self.config.pool_size {
+            if self.config.lookahead && budget_survives && speculation_pays(&cost, pool.len()) {
                 let next = select_batch(&mut pool, &mut stats);
                 if !next.is_empty() {
                     let result = backend.bound_batch(&next);
@@ -551,6 +578,48 @@ mod tests {
         assert_eq!(strict.stats.pruned, ahead.stats.pruned);
         assert_eq!(strict.stats.selected, ahead.stats.selected);
         assert_eq!(ahead.gpu.nodes_bounded, ahead.stats.bounded);
+    }
+
+    #[test]
+    fn cost_model_lookahead_guard_matches_the_legacy_depth_guard() {
+        // The admission guard only changes *when* the loop speculates, never
+        // what it explores: under a pinned incumbent both guards visit the
+        // same node set, so retiring the depth heuristic is exploration-
+        // neutral where exactness can be proven.
+        let inst = generate("t", 9, 5, 31);
+        let reference = SerialSolver::with_defaults(FspProblem::new(inst.clone())).solve();
+        let optimal = reference.best_makespan;
+        let perm = reference.best_schedule.expect("schedule");
+        let run = |legacy_guard: bool| {
+            let cfg = GpuSolverConfig {
+                pool_size: 24,
+                backend: crate::config::BackendKind::GpuPipelined,
+                lookahead: true,
+                lookahead_pool_guard: legacy_guard,
+                fast_forward: true,
+                ..Default::default()
+            };
+            GpuBnbSolver::new(inst.clone(), cfg).solve_from(
+                {
+                    let problem = FspProblem::new(inst.clone());
+                    let mut root = problem.root();
+                    problem.bound(&mut root);
+                    vec![root]
+                },
+                Some(optimal),
+                Some(perm.clone()),
+            )
+        };
+        let cost_guard = run(false);
+        let depth_guard = run(true);
+        assert_eq!(cost_guard.best_makespan, optimal);
+        assert_eq!(depth_guard.best_makespan, optimal);
+        assert_eq!(cost_guard.stats.bounded, depth_guard.stats.bounded);
+        assert_eq!(cost_guard.stats.decomposed, depth_guard.stats.decomposed);
+        assert_eq!(cost_guard.stats.pruned, depth_guard.stats.pruned);
+        // Determinism: the guard decisions are pure functions of the cost
+        // counters, so a repeat run is bit-identical.
+        assert_eq!(cost_guard.cost, run(false).cost);
     }
 
     #[test]

@@ -61,6 +61,29 @@ impl DeviceSpec {
         }
     }
 
+    /// The NVIDIA GeForce GTX 580 (full-chip Fermi GF110, same generation
+    /// as the paper's C2050): 16 SMs × 32 cores at a 1.544 GHz shader
+    /// clock, 1.5 GB global memory, 192.4 GB/s — a faster sibling used as
+    /// the mixed-spec partner in heterogeneous fleets. Double-precision
+    /// peak is capped at 1/8 rate on GeForce parts (≈ 198 GFLOPS).
+    pub fn gtx_580() -> Self {
+        Self {
+            name: "GeForce GTX 580",
+            multiprocessors: 16,
+            cores_per_sm: 32,
+            clock_hz: 1.544e9,
+            warp_size: 32,
+            max_warps_per_sm: 48,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 1024,
+            registers_per_sm: 32_768,
+            global_memory_bytes: 1_536 * 1024 * 1024,
+            on_chip_bytes_per_sm: 64 * 1024,
+            memory_bandwidth_bps: 192.4e9,
+            peak_gflops: 198.0,
+        }
+    }
+
     /// A deliberately tiny device used by tests to hit occupancy limits with
     /// small workloads.
     pub fn tiny_test_device() -> Self {
@@ -161,6 +184,25 @@ mod tests {
         assert_eq!(d.waves(28), 2);
         let tiny = DeviceSpec::tiny_test_device();
         assert_eq!(tiny.waves(5), 3);
+    }
+
+    #[test]
+    fn gtx_580_is_the_faster_fermi_sibling() {
+        let c2050 = DeviceSpec::tesla_c2050();
+        let gtx = DeviceSpec::gtx_580();
+        // Same architecture generation: identical per-SM limits, more SMs
+        // at a higher clock — the modelled wave throughput (SMs × clock)
+        // is strictly higher, which is what makes it the fast member of a
+        // mixed-spec fleet.
+        assert_eq!(gtx.cores_per_sm, c2050.cores_per_sm);
+        assert_eq!(gtx.warp_size, c2050.warp_size);
+        assert_eq!(gtx.on_chip_bytes_per_sm, c2050.on_chip_bytes_per_sm);
+        assert!(gtx.multiprocessors > c2050.multiprocessors);
+        assert!(gtx.clock_hz > c2050.clock_hz);
+        assert!(
+            gtx.multiprocessors as f64 * gtx.clock_hz
+                > c2050.multiprocessors as f64 * c2050.clock_hz
+        );
     }
 
     #[test]

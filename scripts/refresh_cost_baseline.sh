@@ -15,7 +15,7 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_cost_baseline.json}"
 
 cargo build --release -p bench --bin solve_taillard
-# The four standalone smoke rows plus the four per-job service rows — the
+# The five standalone smoke rows plus the four per-job service rows — the
 # same command the cost-gate CI job runs.
 ./target/release/solve_taillard --smoke --service --jobs 4 \
     --emit-cost-baseline "$out" >/dev/null

@@ -49,8 +49,18 @@ fn gated_kinds() -> Vec<BackendKind> {
                 kinds.push(BackendKind::Fleet {
                     devices,
                     pipelined: true,
+                    hetero: false,
+                    stealing: false,
                 });
             }
+            // The mixed-spec fleet with deterministic stealing: same bounds,
+            // different deal — the equivalence contract must not notice.
+            kinds.push(BackendKind::Fleet {
+                devices: 2,
+                pipelined: true,
+                hetero: true,
+                stealing: true,
+            });
             kinds
         }
     }

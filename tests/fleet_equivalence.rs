@@ -24,7 +24,8 @@ use flowshop_gpu_bnb::bb::{frozen_pool, FspNode, FspProblem};
 use flowshop_gpu_bnb::fsp::{taillard, Time};
 use flowshop_gpu_bnb::gpu_bnb::backend::make_backend;
 use flowshop_gpu_bnb::gpu_bnb::{
-    plan_shards, BackendKind, DataPlacement, FleetShard, GpuBnbSolver, GpuSolverConfig,
+    plan_shards, plan_shards_weighted, steal_pass, BackendKind, DataPlacement, FleetShard,
+    GpuBnbSolver, GpuSolverConfig, MemberModel,
 };
 use proptest::prelude::*;
 
@@ -76,13 +77,41 @@ fn ta001_pinned_entry(inst: &flowshop_gpu_bnb::fsp::Instance) -> (FspNode, Time)
     (node, 1359)
 }
 
+/// The partition invariant every shard plan (and every steal pass over one)
+/// must keep: shards non-empty and in strictly increasing ordinal order,
+/// every input index covered by exactly one range.
+fn check_partition(shards: &[FleetShard], len: usize) {
+    let mut covered = vec![0u32; len];
+    let mut previous = None;
+    for shard in shards {
+        assert!(
+            previous < Some(shard.device),
+            "shards must stay in strictly increasing ordinal order"
+        );
+        previous = Some(shard.device);
+        assert!(shard.nodes() > 0, "empty shards must be trimmed");
+        for &(start, range_len) in &shard.ranges {
+            assert!(range_len > 0);
+            assert!(start + range_len <= len);
+            for slot in &mut covered[start..start + range_len] {
+                *slot += 1;
+            }
+        }
+    }
+    assert!(
+        covered.iter().all(|&count| count == 1),
+        "every node must be assigned to exactly one device"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// Sharding is a partition: every index of the input lands in exactly
     /// one shard (no node bounded twice, none dropped), shards stay in
-    /// ordinal order, and whenever the batch has at least as many nodes as
-    /// devices, no device idles.
+    /// ordinal order, and the plan is trimmed — the deficit rule shrinks
+    /// the chunk so every member is fed whenever `len >= devices`, and a
+    /// smaller batch feeds exactly `len` members (no phantom idle shards).
     #[test]
     fn shard_plans_partition_the_batch(
         len in 0usize..5_000,
@@ -90,29 +119,51 @@ proptest! {
         chunk in 1usize..4_000,
     ) {
         let shards = plan_shards(len, devices, chunk);
-        prop_assert_eq!(shards.len(), devices);
-        let mut covered = vec![0u32; len];
+        prop_assert_eq!(shards.len(), devices.min(len));
+        // The uniform deal fills a dense ordinal prefix.
         for (ordinal, shard) in shards.iter().enumerate() {
             prop_assert_eq!(shard.device, ordinal);
-            for &(start, range_len) in &shard.ranges {
-                prop_assert!(range_len > 0);
-                prop_assert!(start + range_len <= len);
-                for slot in &mut covered[start..start + range_len] {
-                    *slot += 1;
-                }
-            }
         }
-        prop_assert!(
-            covered.iter().all(|&count| count == 1),
-            "every node must be assigned to exactly one device"
-        );
-        if len >= devices {
-            prop_assert!(
-                shards.iter().all(|s| s.nodes() > 0),
-                "no device may idle when there is work for all"
-            );
-        }
+        check_partition(&shards, len);
         prop_assert_eq!(shards.iter().map(FleetShard::nodes).sum::<usize>(), len);
+    }
+
+    /// The weighted deal partitions the batch for arbitrary weight vectors,
+    /// and the deterministic steal pass — run over mixed wave-quantized
+    /// (GPU-like) and linear (CPU-like) member models — only re-deals
+    /// ranges between members: the partition survives untouched.
+    #[test]
+    fn weighted_plans_partition_and_the_steal_pass_preserves_it(
+        len in 0usize..5_000,
+        chunk in 1usize..4_000,
+        raw_weights in proptest::collection::vec(1u32..1_000, 1usize..9),
+    ) {
+        let weights: Vec<f64> = raw_weights.iter().map(|&w| w as f64 / 16.0).collect();
+        let mut shards = plan_shards_weighted(len, &weights, chunk);
+        check_partition(&shards, len);
+        let models: Vec<MemberModel> = weights
+            .iter()
+            .enumerate()
+            .map(|(ordinal, &weight)| {
+                if ordinal % 2 == 0 {
+                    let wave_nodes = 32 * (ordinal + 1);
+                    MemberModel {
+                        weight,
+                        wave_nodes,
+                        wave_seconds: wave_nodes as f64 / weight,
+                    }
+                } else {
+                    MemberModel { weight, wave_nodes: 0, wave_seconds: 0.0 }
+                }
+            })
+            .collect();
+        let summary = steal_pass(&mut shards, &models);
+        check_partition(&shards, len);
+        if summary.steals == 0 {
+            prop_assert_eq!(summary.stolen_nodes, 0);
+        } else {
+            prop_assert!(summary.stolen_nodes > 0);
+        }
     }
 
     /// Fleet bounds are bit-identical to the single-device pipelined
@@ -136,7 +187,16 @@ proptest! {
             for pipelined in [false, true] {
                 let mut fleet = make_backend(
                     &problem,
-                    &config(target, BackendKind::Fleet { devices, pipelined }, false),
+                    &config(
+                        target,
+                        BackendKind::Fleet {
+                            devices,
+                            pipelined,
+                            hetero: false,
+                            stealing: false,
+                        },
+                        false,
+                    ),
                     nodes.len().max(1),
                 );
                 let bounds = fleet.bound_batch(&nodes).bounds;
@@ -168,6 +228,8 @@ fn ta001_fleet_bounds_are_bit_identical() {
                 BackendKind::Fleet {
                     devices,
                     pipelined: true,
+                    hetero: false,
+                    stealing: false,
                 },
                 false,
             ),
@@ -203,6 +265,8 @@ fn ta001_fleet_visits_the_single_device_node_set_and_runs_faster() {
     let fleet = run(BackendKind::Fleet {
         devices,
         pipelined: true,
+        hetero: false,
+        stealing: false,
     });
 
     assert!(
@@ -233,4 +297,54 @@ fn ta001_fleet_visits_the_single_device_node_set_and_runs_faster() {
     // Total modelled compute is conserved — the fleet wins by overlapping
     // devices, not by doing less work.
     assert_eq!(fleet.gpu.nodes_bounded, single.gpu.nodes_bounded);
+}
+
+#[test]
+fn ta001_hetero_stealing_fleet_matches_the_node_set_and_beats_the_equal_deal() {
+    // The acceptance claim of the elastic-fleet PR: a mixed-spec fleet:2
+    // (Tesla C2050 + GTX 580) with the weighted deal and the deterministic
+    // steal pass visits exactly the node set of the homogeneous equal-deal
+    // fleet:2 under a pinned incumbent — the planner only re-partitions
+    // batches, never changes what gets bounded — while its modelled
+    // max-over-members schedule is strictly shorter: the GTX clears its
+    // larger share faster than a Tesla clears half.
+    if !gated_device_counts().contains(&2) {
+        eprintln!("skipping: BACKEND_FILTER pins a different backend");
+        return;
+    }
+    let inst = ta001();
+    let (entry, ub) = ta001_pinned_entry(&inst);
+    let run = |hetero: bool, stealing: bool| {
+        let problem = FspProblem::new(inst.clone());
+        let backend = BackendKind::Fleet {
+            devices: 2,
+            pipelined: true,
+            hetero,
+            stealing,
+        };
+        GpuBnbSolver::from_problem(problem, config(4096, backend, true)).solve_from(
+            vec![entry.clone()],
+            Some(ub),
+            None,
+        )
+    };
+    let equal = run(false, false);
+    let mixed = run(true, true);
+
+    assert!(equal.stats.bounded > 10_000, "the pinned tree must be real");
+    assert_eq!(equal.stats.improvements, 0);
+    assert_eq!(mixed.stats.improvements, 0);
+    assert_eq!(equal.best_makespan, mixed.best_makespan);
+    assert_eq!(equal.stats.selected, mixed.stats.selected);
+    assert_eq!(equal.stats.decomposed, mixed.stats.decomposed);
+    assert_eq!(equal.stats.bounded, mixed.stats.bounded);
+    assert_eq!(equal.stats.pruned, mixed.stats.pruned);
+    assert_eq!(equal.stats.leaves, mixed.stats.leaves);
+    assert!(equal.is_optimal() && mixed.is_optimal());
+    assert!(
+        mixed.gpu.overlapped_time < equal.gpu.overlapped_time,
+        "mixed-spec stealing fleet {:?} must undercut the equal deal {:?}",
+        mixed.gpu.overlapped_time,
+        equal.gpu.overlapped_time
+    );
 }

@@ -48,8 +48,16 @@ fn gated_kinds() -> Vec<BackendKind> {
                 kinds.push(BackendKind::Fleet {
                     devices,
                     pipelined: true,
+                    hetero: false,
+                    stealing: false,
                 });
             }
+            kinds.push(BackendKind::Fleet {
+                devices: 2,
+                pipelined: true,
+                hetero: true,
+                stealing: true,
+            });
             kinds
         }
     }
