@@ -25,6 +25,9 @@ pub enum StopReason {
     NodeLimit,
     /// The configured wall-clock budget was spent.
     TimeLimit,
+    /// The solve paused at a batch boundary to emit a resumable checkpoint
+    /// (GPU solver only — see the core crate's `checkpoint_after`).
+    Checkpoint,
 }
 
 /// Configuration of a sequential solve.

@@ -19,7 +19,7 @@
 //! lookahead, and the two-device fleet) and emits one report row each;
 //! `--service --jobs N` replays the same frozen workload as N concurrent
 //! jobs through [`gpu_bnb::SolveService`] on one shared fleet and emits one
-//! per-job cost row each (schema v6, rows carrying a `job` index);
+//! per-job cost row each (rows carrying a `job` index);
 //! `--summary` appends the comparison tables as Markdown (what CI drops into
 //! `$GITHUB_STEP_SUMMARY`); `--emit-cost-baseline` writes the
 //! machine-independent cost baseline for committing.
@@ -259,7 +259,7 @@ impl Report {
 }
 
 /// Serialises one report as the v1 single-object schema, several as the
-/// `rows` schema (v7; a top-level job count is present when a service run
+/// `rows` schema (v8; a top-level job count is present when a service run
 /// contributed per-job rows — see docs/BENCHMARKING.md).
 fn reports_to_json(reports: &[Report], service_jobs: Option<usize>) -> String {
     let mut out = String::new();
@@ -271,7 +271,7 @@ fn reports_to_json(reports: &[Report], service_jobs: Option<usize>) -> String {
         let _ = writeln!(out, "}}");
     } else {
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"schema\": \"flowshop-bnb-perf-report/v7\",");
+        let _ = writeln!(out, "  \"schema\": \"flowshop-bnb-perf-report/v8\",");
         if let Some(jobs) = service_jobs {
             let _ = writeln!(out, "  \"service_jobs\": {jobs},");
         }
@@ -322,6 +322,16 @@ struct Options {
     service_jobs: usize,
     /// Seed each service job's incumbent from NEH at submission.
     warm_start: bool,
+    /// Seed a deterministic fleet failure plan (fleet backends only).
+    fail_seed: Option<u64>,
+    /// Explicit fleet failure events as `(batch, member)` pairs.
+    fail_at: Vec<(u64, usize)>,
+    /// Pause after this many batches and write a resumable checkpoint to
+    /// the path.
+    checkpoint: Option<(u64, String)>,
+    /// Resume a paused solve from a checkpoint file written by
+    /// `--checkpoint`.
+    resume: Option<String>,
 }
 
 impl Default for Options {
@@ -353,6 +363,10 @@ impl Default for Options {
             service: false,
             service_jobs: 4,
             warm_start: false,
+            fail_seed: None,
+            fail_at: Vec::new(),
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -500,6 +514,40 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("{e}"))?
             }
+            "--fail-seed" => {
+                opts.fail_seed = Some(
+                    value(&args, &mut i, flag)?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--fail-at" => {
+                let events: Result<Vec<(u64, usize)>, String> = value(&args, &mut i, flag)?
+                    .split(',')
+                    .map(|pair| {
+                        let pair = pair.trim();
+                        let (batch, member) = pair
+                            .split_once(':')
+                            .ok_or_else(|| format!("--fail-at event `{pair}` is not B:M"))?;
+                        Ok((
+                            batch.parse().map_err(|e| format!("{e}"))?,
+                            member.parse().map_err(|e| format!("{e}"))?,
+                        ))
+                    })
+                    .collect();
+                opts.fail_at = events?;
+            }
+            "--checkpoint" => {
+                let spec = value(&args, &mut i, flag)?;
+                let (batches, path) = spec
+                    .split_once(':')
+                    .ok_or_else(|| format!("--checkpoint `{spec}` is not BATCHES:PATH"))?;
+                opts.checkpoint = Some((
+                    batches.parse().map_err(|e| format!("{e}"))?,
+                    path.to_string(),
+                ));
+            }
+            "--resume" => opts.resume = Some(value(&args, &mut i, flag)?),
             "--json" => opts.json = Some(value(&args, &mut i, flag)?),
             "--baseline" => opts.baseline = Some(value(&args, &mut i, flag)?),
             "--cost-baseline" => opts.cost_baseline = Some(value(&args, &mut i, flag)?),
@@ -524,6 +572,12 @@ fn parse_args() -> Result<Options, String> {
                      \x20         --autotune (sweep pool + chunk size; + device count and deal\n\
                      \x20         weights for fleet)\n\
                      \x20         --pool-size P  --node-limit N  --frozen K  --reps R\n\
+                     fault:    --fail-seed S (seeded deterministic fleet member failures)\n\
+                     \x20         --fail-at B:M[,B:M...] (explicit failure events: member M\n\
+                     \x20         dies at batch B; fleet backends only)\n\
+                     resume:   --checkpoint BATCHES:PATH (pause after BATCHES batches and\n\
+                     \x20         write a resumable checkpoint to PATH)\n\
+                     \x20         --resume PATH (continue a solve from a checkpoint file)\n\
                      service:  --service (replay the frozen smoke workload as concurrent jobs\n\
                      \x20         through the solve service; --jobs N = job count, default 4)\n\
                      \x20         --warm-start (seed each job's incumbent from NEH at submission)\n\
@@ -536,7 +590,7 @@ fn parse_args() -> Result<Options, String> {
                      --smoke runs the frozen workload once per gated row (gpu, gpu-pipelined,\n\
                      gpu-pipelined+lookahead, fleet:2+lookahead, fleet:2:hetero:steal+lookahead)\n\
                      and emits one report row each;\n\
-                     --service adds one cost row per concurrent job (schema v6). Each gate\n\
+                     --service adds one cost row per concurrent job. Each gate\n\
                      compares every row against the baseline row with the same backend,\n\
                      device count, lookahead flag and job index — the cost gate on exact\n\
                      counter equality, the wall-clock gate on nodes/sec (see\n\
@@ -642,6 +696,55 @@ fn parse_args() -> Result<Options, String> {
             return Err("--fleet-weights must all be finite and positive".into());
         }
     }
+    let fault_flags = opts.fail_seed.is_some() || !opts.fail_at.is_empty();
+    if fault_flags {
+        if opts.smoke || opts.service {
+            return Err("--fail-seed/--fail-at cannot be combined with --smoke or \
+                        --service (the gate's baselines are recorded failure-free)"
+                .into());
+        }
+        match opts.mode {
+            Mode::Backend(BackendKind::Fleet { .. })
+            | Mode::BackendFast(BackendKind::Fleet { .. }) => {}
+            _ => {
+                return Err("--fail-seed/--fail-at require a fleet backend \
+                            (--backend fleet[:N] or --devices N)"
+                    .into())
+            }
+        }
+    }
+    if opts.checkpoint.is_some() || opts.resume.is_some() {
+        if opts.smoke || opts.service || opts.autotune {
+            return Err("--checkpoint/--resume cannot be combined with --smoke, \
+                        --service or --autotune (the gate rows run uninterrupted)"
+                .into());
+        }
+        if opts.mode == Mode::Serial {
+            return Err("--checkpoint/--resume require a GPU backend mode \
+                        (not --mode serial)"
+                .into());
+        }
+        if opts.reps != 1 {
+            return Err(
+                "--checkpoint/--resume require --reps 1 (a paused or resumed \
+                        solve is not a throughput sample to take best-of)"
+                    .into(),
+            );
+        }
+        if fault_flags {
+            // A fresh backend restarts the failure-plan batch clock, so the
+            // recovery counters of a resumed solve are not comparable to an
+            // uninterrupted one (see docs/BENCHMARKING.md).
+            return Err("--fail-seed/--fail-at cannot be combined with \
+                        --checkpoint/--resume"
+                .into());
+        }
+    }
+    if opts.resume.is_some() && opts.frozen.is_some() {
+        return Err("--resume cannot be combined with --frozen (the checkpoint \
+                    carries its own frontier)"
+            .into());
+    }
     if opts.smoke && opts.autotune {
         // The gate's committed baseline is recorded at the fixed smoke
         // configuration; retuning pool/chunk size under it would compare
@@ -691,13 +794,16 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-/// One timed solve over an already-prepared (deterministic) frozen pool.
+/// One timed solve over an already-prepared (deterministic) frozen pool —
+/// or, when `resume` is given, over the frontier of a previously written
+/// checkpoint.
 fn run_once(
     opts: &Options,
     mode: Mode,
     lookahead: bool,
     problem: &FspProblem,
     frozen: Option<&FrozenPool>,
+    resume: Option<&gpu_bnb::SolveCheckpoint>,
 ) -> RunMetrics {
     let frozen = frozen.cloned();
     match mode {
@@ -744,13 +850,36 @@ fn run_once(
                     lookahead,
                     pipeline_chunk: opts.pipeline_chunk,
                     fleet_weights: opts.fleet_weights.clone(),
+                    fail_seed: opts.fail_seed,
+                    fail_at: opts.fail_at.clone(),
+                    checkpoint_after: opts.checkpoint.as_ref().map(|(batches, _)| *batches),
                     ..Default::default()
                 },
             );
-            let outcome = match frozen {
-                Some(f) => solver.solve_from(f.nodes, Some(f.upper_bound), f.best_schedule),
-                None => solver.solve(),
+            let outcome = match (resume, frozen) {
+                (Some(checkpoint), _) => solver.resume(checkpoint),
+                (None, Some(f)) => solver.solve_from(f.nodes, Some(f.upper_bound), f.best_schedule),
+                (None, None) => solver.solve(),
             };
+            if let Some((_, path)) = &opts.checkpoint {
+                match &outcome.checkpoint {
+                    Some(checkpoint) => {
+                        if let Err(err) = std::fs::write(path, checkpoint.to_json()) {
+                            eprintln!("error: cannot write checkpoint {path}: {err}");
+                            std::process::exit(1);
+                        }
+                        eprintln!(
+                            "checkpoint: paused after {} batches — {} frontier nodes written to {path}",
+                            checkpoint.cost.batches,
+                            checkpoint.frontier.len(),
+                        );
+                    }
+                    None => eprintln!(
+                        "checkpoint: solve finished before the requested batch count — \
+                         nothing written to {path}"
+                    ),
+                }
+            }
             // Share of the modelled device schedule spent in the kernel (the
             // rest is PCIe transfer) — the device-side analogue of the
             // serial solver's bounding share.
@@ -783,10 +912,11 @@ fn run_best_of(
     lookahead: bool,
     problem: &FspProblem,
     frozen: Option<&FrozenPool>,
+    resume: Option<&gpu_bnb::SolveCheckpoint>,
 ) -> RunMetrics {
     let mut best: Option<RunMetrics> = None;
     for _ in 0..opts.reps {
-        let run = run_once(opts, mode, lookahead, problem, frozen);
+        let run = run_once(opts, mode, lookahead, problem, frozen, resume);
         let better = match &best {
             Some(b) => {
                 run.nodes_bounded as f64 / run.elapsed.as_secs_f64().max(1e-9)
@@ -1026,35 +1156,11 @@ struct CostRow {
     cost: CostReport,
 }
 
-/// Assigns one named counter parsed from a baseline. Returns `false` for
-/// unknown names so a future counter in the file is an error, not silence.
-fn set_counter(cost: &mut CostReport, name: &str, value: u64) -> bool {
-    match name {
-        "batches" => cost.batches = value,
-        "launches" => cost.launches = value,
-        "waves" => cost.waves = value,
-        "device_nodes" => cost.device_nodes = value,
-        "host_nodes" => cost.host_nodes = value,
-        "h2d_bytes" => cost.h2d_bytes = value,
-        "d2h_bytes" => cost.d2h_bytes = value,
-        "kernel_nanos" => cost.kernel_nanos = value,
-        "transfer_nanos" => cost.transfer_nanos = value,
-        "schedule_nanos" => cost.schedule_nanos = value,
-        "host_op_cycles" => cost.host_op_cycles = value,
-        "fleet_merge_cycles" => cost.fleet_merge_cycles = value,
-        "fleet_steals" => cost.fleet_steals = value,
-        "fleet_stolen_nodes" => cost.fleet_stolen_nodes = value,
-        "fleet_idle_nanos" => cost.fleet_idle_nanos = value,
-        "serial_accesses" => cost.serial_accesses = value,
-        _ => return false,
-    }
-    true
-}
-
-/// Counters per row of a pre-v7 baseline (before the fleet steal/idle
-/// counters): those rows parse with the missing counters at zero, which is
-/// exactly what the old backends recorded.
-const LEGACY_COST_COUNTERS: usize = 13;
+/// Counters per row of an older baseline: 13 before the v7 fleet steal/idle
+/// counters, 16 before the v8 failure-recovery counters. Those rows parse
+/// with the missing counters at zero, which is exactly what the old
+/// backends recorded.
+const LEGACY_COST_COUNTERS: [usize; 2] = [13, 16];
 
 /// Pulls every `"cost": { ... }` block (a flat object of integer counters)
 /// out of a cost baseline or a v5 perf report, keyed by the row fields that
@@ -1089,15 +1195,15 @@ fn cost_rows(text: &str) -> Result<Vec<CostRow>, String> {
                 .trim()
                 .parse()
                 .map_err(|_| format!("non-integer counter `{pair}` in row `{backend}`"))?;
-            if !set_counter(&mut cost, name, value) {
+            if !cost.set_counter(name, value) {
                 return Err(format!("unknown cost counter `{name}` in row `{backend}`"));
             }
             seen += 1;
         }
-        if seen != COST_COUNTERS && seen != LEGACY_COST_COUNTERS {
+        if seen != COST_COUNTERS && !LEGACY_COST_COUNTERS.contains(&seen) {
             return Err(format!(
                 "row `{backend}` has {seen} cost counters, expected {COST_COUNTERS} \
-                 (or the legacy {LEGACY_COST_COUNTERS})"
+                 (or a legacy count of {LEGACY_COST_COUNTERS:?})"
             ));
         }
         rows.push(CostRow {
@@ -1229,6 +1335,43 @@ fn main() -> ExitCode {
 
     // The service path submits per-job copies of the instance.
     let service_inst = opts.service.then(|| inst.clone());
+
+    // A `--resume` run starts from a checkpoint file instead of a frozen
+    // pool; its frontier, incumbent and cost counters carry over.
+    let resume: Option<gpu_bnb::SolveCheckpoint> = match &opts.resume {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(err) => {
+                    eprintln!("error: cannot read checkpoint {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let checkpoint = match gpu_bnb::SolveCheckpoint::from_json(&text) {
+                Ok(checkpoint) => checkpoint,
+                Err(msg) => {
+                    eprintln!("error: cannot parse checkpoint {path}: {msg}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if checkpoint.jobs != jobs || checkpoint.machines != machines {
+                eprintln!(
+                    "error: checkpoint {path} was written for a {}x{} instance, \
+                     not the requested {jobs}x{machines}",
+                    checkpoint.jobs, checkpoint.machines,
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "resume: continuing from {path} — {} frontier nodes, {} batches done",
+                checkpoint.frontier.len(),
+                checkpoint.cost.batches,
+            );
+            Some(checkpoint)
+        }
+        None => None,
+    };
+
     let problem = FspProblem::new(inst);
     // Freezing is deterministic and untimed setup — do it once, not per rep
     // (and shared by every smoke row and every service job, so the backends
@@ -1277,7 +1420,14 @@ fn main() -> ExitCode {
             fleet_weights: weight_shares(mode),
             pool_size: opts.pool_size,
             reps: opts.reps,
-            metrics: run_best_of(&opts, mode, lookahead, &problem, frozen.as_ref()),
+            metrics: run_best_of(
+                &opts,
+                mode,
+                lookahead,
+                &problem,
+                frozen.as_ref(),
+                resume.as_ref(),
+            ),
         })
         .collect();
 

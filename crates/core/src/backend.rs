@@ -66,6 +66,15 @@ pub struct BackendAccounting {
     /// critical path and the slowest member's (the merge-barrier wait).
     /// Zero off the fleet backend; feeds the per-member utilization story.
     pub idle_time: Duration,
+    /// Fleet member deaths fired this batch from the deterministic failure
+    /// plan (zero off the fleet backend and in failure-free runs).
+    pub failures: u64,
+    /// Nodes the recovery planner re-dealt from dead members to survivors
+    /// this batch (zero in failure-free runs).
+    pub redealt_nodes: u64,
+    /// Modelled critical path of absorbing the re-dealt shards on the
+    /// survivors (the recovery overlay; zero in failure-free runs).
+    pub recovery_time: Duration,
 }
 
 /// Result of bounding one batch through a [`BoundingBackend`].
@@ -237,6 +246,9 @@ impl BoundingBackend for SequentialBackend {
                 steals: 0,
                 stolen_nodes: 0,
                 idle_time: Duration::ZERO,
+                failures: 0,
+                redealt_nodes: 0,
+                recovery_time: Duration::ZERO,
             },
             launch_times: if nodes.is_empty() {
                 Vec::new()
@@ -312,6 +324,9 @@ impl BoundingBackend for MulticoreBackend {
                 steals: 0,
                 stolen_nodes: 0,
                 idle_time: Duration::ZERO,
+                failures: 0,
+                redealt_nodes: 0,
+                recovery_time: Duration::ZERO,
             },
             launch_times: if nodes.is_empty() {
                 Vec::new()
@@ -383,6 +398,9 @@ impl BoundingBackend for GpuBackend {
                 steals: 0,
                 stolen_nodes: 0,
                 idle_time: Duration::ZERO,
+                failures: 0,
+                redealt_nodes: 0,
+                recovery_time: Duration::ZERO,
             },
             launch_times: if nodes.is_empty() {
                 Vec::new()
@@ -517,6 +535,9 @@ impl BoundingBackend for PipelinedGpuBackend {
                 steals: 0,
                 stolen_nodes: 0,
                 idle_time: Duration::ZERO,
+                failures: 0,
+                redealt_nodes: 0,
+                recovery_time: Duration::ZERO,
             },
             launch_times: result.launch_times,
         }

@@ -271,6 +271,23 @@ pub struct GpuSolverConfig {
     /// `GpuBnbSolver`). Both guards are deterministic pure functions of the
     /// observed [`crate::cost::CostReport`] counters and the pool depth.
     pub lookahead_pool_guard: bool,
+    /// Seed of the deterministic fleet failure plan
+    /// ([`crate::fault::FailurePlan::seeded`]): `Some(seed)` kills
+    /// `devices / 2` distinct fleet members at seed-derived batch ordinals.
+    /// `None` (the default) injects no failures. Only meaningful for the
+    /// [`BackendKind::Fleet`] backends; ignored when
+    /// [`GpuSolverConfig::fail_at`] lists explicit events.
+    pub fail_seed: Option<u64>,
+    /// Explicit fleet member-death events as `(batch, member)` pairs: the
+    /// member dies at the start of that batch ordinal (0-based, counted per
+    /// fleet `bound_batch` call). Takes precedence over
+    /// [`GpuSolverConfig::fail_seed`]. Empty (the default) injects nothing.
+    pub fail_at: Vec<(u64, usize)>,
+    /// Stop the solve at the first batch boundary after this many bounded
+    /// batches and return a [`crate::fault::SolveCheckpoint`] in the
+    /// outcome ([`crate::solver::GpuSolveOutcome::checkpoint`]). `None`
+    /// (the default) runs to the configured limits.
+    pub checkpoint_after: Option<u64>,
 }
 
 impl Default for GpuSolverConfig {
@@ -292,6 +309,9 @@ impl Default for GpuSolverConfig {
             lookahead_depth: 1,
             fleet_weights: None,
             lookahead_pool_guard: false,
+            fail_seed: None,
+            fail_at: Vec::new(),
+            checkpoint_after: None,
         }
     }
 }

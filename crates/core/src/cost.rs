@@ -128,13 +128,23 @@ pub struct CostReport {
     /// backend). Together with `schedule_nanos` this prices per-member
     /// utilization.
     pub fleet_idle_nanos: u64,
+    /// Fleet member deaths fired from the deterministic failure plan
+    /// ([`crate::fault::FailurePlan`]); zero off the fleet backend and in
+    /// failure-free runs.
+    pub fleet_failures: u64,
+    /// Nodes re-dealt from dead members to survivors by the recovery
+    /// planner (summed over batches; zero in failure-free runs).
+    pub fleet_redealt_nodes: u64,
+    /// Modelled nanoseconds the survivors spent absorbing re-dealt shards
+    /// (the recovery overlay's critical path, summed over batches).
+    pub fleet_recovery_nanos: u64,
     /// Matrix accesses the equivalent serial bounding would perform.
     pub serial_accesses: u64,
 }
 
 /// The number of counters in a [`CostReport`] (the length of
 /// [`CostReport::counters`]).
-pub const COST_COUNTERS: usize = 16;
+pub const COST_COUNTERS: usize = 19;
 
 impl CostReport {
     /// Folds one bounded batch into the report. `nodes` is the batch size;
@@ -164,6 +174,9 @@ impl CostReport {
         self.fleet_steals += acc.steals;
         self.fleet_stolen_nodes += acc.stolen_nodes;
         self.fleet_idle_nanos += nanos(acc.idle_time);
+        self.fleet_failures += acc.failures;
+        self.fleet_redealt_nodes += acc.redealt_nodes;
+        self.fleet_recovery_nanos += nanos(acc.recovery_time);
         self.serial_accesses += serial_accesses;
     }
 
@@ -194,6 +207,9 @@ impl CostReport {
             ("fleet_steals", self.fleet_steals),
             ("fleet_stolen_nodes", self.fleet_stolen_nodes),
             ("fleet_idle_nanos", self.fleet_idle_nanos),
+            ("fleet_failures", self.fleet_failures),
+            ("fleet_redealt_nodes", self.fleet_redealt_nodes),
+            ("fleet_recovery_nanos", self.fleet_recovery_nanos),
             ("serial_accesses", self.serial_accesses),
         ]
     }
@@ -224,6 +240,13 @@ impl CostReport {
             fleet_idle_nanos: self
                 .fleet_idle_nanos
                 .saturating_sub(baseline.fleet_idle_nanos),
+            fleet_failures: self.fleet_failures.saturating_sub(baseline.fleet_failures),
+            fleet_redealt_nodes: self
+                .fleet_redealt_nodes
+                .saturating_sub(baseline.fleet_redealt_nodes),
+            fleet_recovery_nanos: self
+                .fleet_recovery_nanos
+                .saturating_sub(baseline.fleet_recovery_nanos),
             serial_accesses: self
                 .serial_accesses
                 .saturating_sub(baseline.serial_accesses),
@@ -250,6 +273,9 @@ impl CostReport {
         self.fleet_steals += other.fleet_steals;
         self.fleet_stolen_nodes += other.fleet_stolen_nodes;
         self.fleet_idle_nanos += other.fleet_idle_nanos;
+        self.fleet_failures += other.fleet_failures;
+        self.fleet_redealt_nodes += other.fleet_redealt_nodes;
+        self.fleet_recovery_nanos += other.fleet_recovery_nanos;
         self.serial_accesses += other.serial_accesses;
     }
 
@@ -302,6 +328,35 @@ impl CostReport {
         out.push_str(indent);
         out.push('}');
         out
+    }
+
+    /// Sets the counter called `name` to `value`; returns `false` when no
+    /// counter has that name. The inverse of [`CostReport::counters`], used
+    /// by parsers of emitted reports (e.g. checkpoint files).
+    pub fn set_counter(&mut self, name: &str, value: u64) -> bool {
+        match name {
+            "batches" => self.batches = value,
+            "launches" => self.launches = value,
+            "waves" => self.waves = value,
+            "device_nodes" => self.device_nodes = value,
+            "host_nodes" => self.host_nodes = value,
+            "h2d_bytes" => self.h2d_bytes = value,
+            "d2h_bytes" => self.d2h_bytes = value,
+            "kernel_nanos" => self.kernel_nanos = value,
+            "transfer_nanos" => self.transfer_nanos = value,
+            "schedule_nanos" => self.schedule_nanos = value,
+            "host_op_cycles" => self.host_op_cycles = value,
+            "fleet_merge_cycles" => self.fleet_merge_cycles = value,
+            "fleet_steals" => self.fleet_steals = value,
+            "fleet_stolen_nodes" => self.fleet_stolen_nodes = value,
+            "fleet_idle_nanos" => self.fleet_idle_nanos = value,
+            "fleet_failures" => self.fleet_failures = value,
+            "fleet_redealt_nodes" => self.fleet_redealt_nodes = value,
+            "fleet_recovery_nanos" => self.fleet_recovery_nanos = value,
+            "serial_accesses" => self.serial_accesses = value,
+            _ => return false,
+        }
+        true
     }
 }
 
@@ -477,6 +532,9 @@ mod tests {
             fleet_steals: 2,
             fleet_stolen_nodes: 64,
             fleet_idle_nanos: 7_500,
+            fleet_failures: 1,
+            fleet_redealt_nodes: 32,
+            fleet_recovery_nanos: 4_200,
             serial_accesses: 9_000_000,
         }
     }
@@ -535,6 +593,9 @@ mod tests {
             steals: 1,
             stolen_nodes: 8,
             idle_time: Duration::from_micros(3),
+            failures: 1,
+            redealt_nodes: 6,
+            recovery_time: Duration::from_micros(2),
         };
         report.record_backend_batch(&acc, 20, 5_000);
         assert_eq!(report.batches, 1);
@@ -545,6 +606,9 @@ mod tests {
         assert_eq!(report.fleet_steals, 1);
         assert_eq!(report.fleet_stolen_nodes, 8);
         assert_eq!(report.fleet_idle_nanos, 3_000);
+        assert_eq!(report.fleet_failures, 1);
+        assert_eq!(report.fleet_redealt_nodes, 6);
+        assert_eq!(report.fleet_recovery_nanos, 2_000);
         assert_eq!(report.kernel_nanos, 100_000);
         assert_eq!(report.schedule_nanos, 110_000);
         assert_eq!(

@@ -56,6 +56,7 @@
 
 use crate::backend::{BackendAccounting, BackendBatch, BoundingBackend, MulticoreBackend};
 use crate::config::{BackendKind, GpuSolverConfig, DEFAULT_FLEET_DEVICES};
+use crate::fault::{recovery_critical_seconds, redeal_plan, FailurePlan};
 use crate::offload::{BoundingEngine, PipelineSession, PipelinedBatch};
 use bb::{FspNode, FspProblem};
 use fsp::bound::counts::AccessCounts;
@@ -543,6 +544,15 @@ pub struct FleetBackend {
     chunk_override: Option<usize>,
     host: HostModel,
     stats: Vec<FleetDeviceStats>,
+    /// Deterministic failure-injection schedule (empty by default); see
+    /// [`crate::fault`].
+    plan: FailurePlan,
+    /// 0-based ordinal of the next non-empty `bound_batch` call — the clock
+    /// the failure plan's events are keyed to.
+    batch_ordinal: u64,
+    /// `false` once a member's death event fired (the member is retired
+    /// from the roster and its planned shards are re-dealt to survivors).
+    alive: Vec<bool>,
 }
 
 impl FleetBackend {
@@ -658,6 +668,8 @@ impl FleetBackend {
                 ..Default::default()
             })
             .collect();
+        let plan = FailurePlan::from_config(config, specs.len());
+        let alive = vec![true; specs.len()];
         Self {
             members,
             models,
@@ -671,6 +683,9 @@ impl FleetBackend {
             chunk_override: config.pipeline_chunk,
             host: HostModel::default(),
             stats,
+            plan,
+            batch_ordinal: 0,
+            alive,
         }
     }
 
@@ -698,6 +713,25 @@ impl FleetBackend {
     /// Accumulated per-member accounting, in ordinal order.
     pub fn device_stats(&self) -> &[FleetDeviceStats] {
         &self.stats
+    }
+
+    /// The deterministic failure plan this fleet runs under (empty unless
+    /// [`GpuSolverConfig::fail_seed`] or [`GpuSolverConfig::fail_at`]
+    /// schedules deaths; see [`crate::fault`]).
+    pub fn failure_plan(&self) -> &FailurePlan {
+        &self.plan
+    }
+
+    /// Ordinals of members whose death events have fired — retired from the
+    /// roster, their planned shards re-dealt to survivors — in ascending
+    /// order. Empty while every member is alive.
+    pub fn retired_members(&self) -> Vec<usize> {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|&(_, alive)| !alive)
+            .map(|(ordinal, _)| ordinal)
+            .collect()
     }
 
     /// Modelled host time to merge `nodes` bounds back into input order.
@@ -767,6 +801,41 @@ impl BoundingBackend for FleetBackend {
         } else {
             StealSummary::default()
         };
+
+        // Deterministic failure injection (see [`crate::fault`]): fire any
+        // death events due at this batch ordinal, then overlay the recovery
+        // — every shard the failure-free plan dealt to a retired member is
+        // re-dealt over the survivors by the same planner. A node's bound
+        // depends only on the node, so *who* bounds a re-dealt shard cannot
+        // change a bit of the search: the simulation keeps executing the
+        // original plan, with the retired member's engine standing in for
+        // the survivors that absorb its shards, and the recovery surfaces
+        // exclusively through the `failures` / `redealt_nodes` /
+        // `recovery_time` accounting — all other counters stay bit-equal to
+        // the failure-free run.
+        let ordinal = self.batch_ordinal;
+        self.batch_ordinal += 1;
+        let mut failures = 0u64;
+        for event in self.plan.events() {
+            if event.batch <= ordinal && self.alive[event.member] {
+                self.alive[event.member] = false;
+                failures += 1;
+            }
+        }
+        let dead_nodes: usize = shards
+            .iter()
+            .filter(|s| !self.alive[s.device])
+            .map(|s| s.nodes())
+            .sum();
+        let mut redealt_nodes = 0u64;
+        let mut recovery_time = Duration::ZERO;
+        if dead_nodes > 0 {
+            let survivors: Vec<usize> =
+                (0..self.members.len()).filter(|&o| self.alive[o]).collect();
+            let redeal = redeal_plan(dead_nodes, &survivors, &planning, chunk, self.stealing);
+            redealt_nodes = dead_nodes as u64;
+            recovery_time = Duration::from_secs_f64(recovery_critical_seconds(&redeal, &planning));
+        }
 
         let mut bounds = vec![Time::default(); nodes.len()];
         let mut acc = BackendAccounting::default();
@@ -881,6 +950,9 @@ impl BoundingBackend for FleetBackend {
         }
         acc.steals = steal.steals;
         acc.stolen_nodes = steal.stolen_nodes;
+        acc.failures = failures;
+        acc.redealt_nodes = redealt_nodes;
+        acc.recovery_time = recovery_time;
         acc.device_time = slowest + self.merge_time(nodes.len());
         acc.merge_cycles =
             crate::cost::CostTable::cycles(crate::cost::CostTable::FLEET_MERGE, nodes.len() as u64);
@@ -991,6 +1063,77 @@ mod tests {
             seen.iter().all(|&count| count == 1),
             "every input index must be covered exactly once"
         );
+    }
+
+    #[test]
+    fn injected_failures_change_only_the_recovery_accounting() {
+        let (problem, nodes, config) = wave_fixture(512);
+        let faulty_config = GpuSolverConfig {
+            fail_at: vec![(1, 0)],
+            ..config.clone()
+        };
+        let specs = fleet_member_specs(3, true);
+        let mut clean =
+            FleetBackend::with_members(&problem, &config, nodes.len(), specs.clone(), true, true);
+        let mut faulty =
+            FleetBackend::with_members(&problem, &faulty_config, nodes.len(), specs, true, true);
+        for batch in 0..3u64 {
+            let a = clean.bound_batch(&nodes);
+            let b = faulty.bound_batch(&nodes);
+            // Bounds and every non-recovery charge are bit-identical: the
+            // overlay re-deals planning, never execution.
+            assert_eq!(a.bounds, b.bounds, "batch {batch}");
+            assert_eq!(a.launch_times, b.launch_times, "batch {batch}");
+            let (ca, cb) = (a.accounting, b.accounting);
+            assert_eq!(ca.kernel_time, cb.kernel_time);
+            assert_eq!(ca.transfer_time, cb.transfer_time);
+            assert_eq!(ca.device_time, cb.device_time);
+            assert_eq!(ca.upload_bytes, cb.upload_bytes);
+            assert_eq!(ca.download_bytes, cb.download_bytes);
+            assert_eq!(ca.launches, cb.launches);
+            assert_eq!(ca.waves, cb.waves);
+            assert_eq!(ca.device_nodes, cb.device_nodes);
+            assert_eq!(ca.merge_cycles, cb.merge_cycles);
+            assert_eq!(ca.steals, cb.steals);
+            assert_eq!(ca.stolen_nodes, cb.stolen_nodes);
+            assert_eq!(ca.idle_time, cb.idle_time);
+            assert_eq!((ca.failures, ca.redealt_nodes), (0, 0));
+            assert_eq!(ca.recovery_time, Duration::ZERO);
+            if batch == 0 {
+                assert_eq!(cb.failures, 0, "the event fires at batch 1");
+                assert_eq!(cb.redealt_nodes, 0);
+            } else {
+                assert_eq!(cb.failures, u64::from(batch == 1), "fires exactly once");
+                assert!(cb.redealt_nodes > 0, "the dead member's shard re-deals");
+                assert!(cb.recovery_time > Duration::ZERO);
+            }
+        }
+        assert_eq!(faulty.retired_members(), vec![0]);
+        assert!(clean.retired_members().is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_retire_half_the_fleet_within_the_batch_range() {
+        let (problem, nodes, config) = fixture(96);
+        let config = GpuSolverConfig {
+            fail_seed: Some(2012),
+            ..config
+        };
+        let mut fleet = FleetBackend::with_members(
+            &problem,
+            &config,
+            nodes.len(),
+            fleet_member_specs(4, false),
+            false,
+            false,
+        );
+        assert_eq!(fleet.failure_plan().events().len(), 2);
+        let mut total_failures = 0;
+        for _ in 0..16 {
+            total_failures += fleet.bound_batch(&nodes).accounting.failures;
+        }
+        assert_eq!(total_failures, 2, "every scheduled death fired once");
+        assert_eq!(fleet.retired_members().len(), 2);
     }
 
     #[test]

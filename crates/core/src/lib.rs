@@ -11,6 +11,7 @@ pub mod autotune;
 pub mod backend;
 pub mod config;
 pub mod cost;
+pub mod fault;
 pub mod fleet;
 pub mod hybrid;
 pub mod kernel_lb;
@@ -26,6 +27,10 @@ pub use backend::{
 };
 pub use config::{BackendKind, GpuSolverConfig, DEFAULT_FLEET_DEVICES};
 pub use cost::{CostReport, CostSummary, CostTable, LatencyHistogram, OpCost, SolveLatencies};
+pub use fault::{
+    recovery_critical_seconds, redeal_plan, FailureEvent, FailurePlan, SolveCheckpoint,
+    CHECKPOINT_SCHEMA_VERSION,
+};
 pub use fleet::{
     fleet_member_specs, fleet_weight_shares, launch_models, member_models, plan_shards,
     plan_shards_weighted, steal_pass, FleetBackend, FleetDeviceStats, FleetMemberSpec, FleetShard,

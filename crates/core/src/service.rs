@@ -141,6 +141,21 @@ impl LaunchDispatcher {
             .record_host_bound(nodes);
     }
 
+    /// Absorbs a resumed job's checkpointed counters into both the shared
+    /// and the per-job accounting (the pre-checkpoint work happened in an
+    /// earlier incarnation of the job, not on this dispatcher's backend, but
+    /// the per-job carves must still sum to the shared totals).
+    pub(crate) fn absorb_cost(&self, job: u64, cost: &CostReport) {
+        self.accounting.lock().unwrap().cost.absorb(cost);
+        self.per_job
+            .lock()
+            .unwrap()
+            .entry(job)
+            .or_default()
+            .cost
+            .absorb(cost);
+    }
+
     /// Bounds `batch` on behalf of `job`, possibly riding other pending
     /// batches of the same job in one launch; pending batches of *other*
     /// jobs drained in the same turn are bounded in separate, back-to-back
@@ -303,6 +318,12 @@ pub struct JobSpec {
     pub initial_upper_bound: Option<Time>,
     /// The schedule achieving [`JobSpec::initial_upper_bound`], when known.
     pub initial_schedule: Option<Vec<Job>>,
+    /// Cost counters carried over from a checkpoint the job resumes from
+    /// ([`JobSpec::resume_from`]): absorbed into the job's accounting at
+    /// admission instead of re-charging the frontier as fresh host work, so
+    /// the finished job's summed [`CostReport`] equals an uninterrupted
+    /// run's.
+    pub resume_cost: Option<CostReport>,
 }
 
 impl JobSpec {
@@ -318,6 +339,7 @@ impl JobSpec {
             initial_nodes: None,
             initial_upper_bound: None,
             initial_schedule: None,
+            resume_cost: None,
         }
     }
 
@@ -352,6 +374,28 @@ impl JobSpec {
     /// frozen-pool protocol; the nodes count as host-bounded work).
     pub fn with_initial_nodes(mut self, nodes: Vec<FspNode>) -> Self {
         self.initial_nodes = Some(nodes);
+        self
+    }
+
+    /// Resumes the job from a [`crate::fault::SolveCheckpoint`]: the frozen
+    /// frontier becomes the starting pool (re-pushed in drain order, which
+    /// reproduces the original pop order), the incumbent is restored, and
+    /// the checkpoint's cost counters are absorbed at admission — so the
+    /// finished job's certificate (makespan, proven bound, summed
+    /// [`CostReport`]) is bit-identical to a job that ran uninterrupted,
+    /// however many other jobs share the fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's instance shape disagrees with the job's.
+    pub fn resume_from(mut self, checkpoint: &crate::fault::SolveCheckpoint) -> Self {
+        let nodes = checkpoint.to_nodes(&self.instance);
+        self.initial_nodes = Some(nodes);
+        if checkpoint.upper_bound != Time::MAX {
+            self.initial_upper_bound = Some(checkpoint.upper_bound);
+            self.initial_schedule = checkpoint.best_schedule.clone();
+        }
+        self.resume_cost = Some(checkpoint.cost);
         self
     }
 
@@ -666,6 +710,11 @@ fn backend_key(instance: &Instance, config: &GpuSolverConfig) -> u64 {
     config.pipeline_chunk.hash(&mut h);
     config.lookahead.hash(&mut h);
     config.lookahead_depth.hash(&mut h);
+    // Failure plans are backend state (deaths are keyed to the shared
+    // backend's batch ordinals), so jobs with different plans never share
+    // an engine.
+    config.fail_seed.hash(&mut h);
+    config.fail_at.hash(&mut h);
     h.finish()
 }
 
@@ -936,9 +985,14 @@ impl SolveService {
             problem.bound(&mut root);
             vec![root]
         });
-        state.backends[slot]
-            .dispatcher
-            .record_host_bound(id.0, initial_nodes.len() as u64);
+        match &spec.resume_cost {
+            // A resumed job carries its pre-checkpoint counters instead of
+            // re-charging the restored frontier as fresh host work.
+            Some(cost) => state.backends[slot].dispatcher.absorb_cost(id.0, cost),
+            None => state.backends[slot]
+                .dispatcher
+                .record_host_bound(id.0, initial_nodes.len() as u64),
+        }
         let mut pool = BestFirstPool::new();
         for node in initial_nodes {
             pool.push(node);

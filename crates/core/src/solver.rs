@@ -9,6 +9,7 @@
 use crate::backend::make_backend;
 use crate::config::GpuSolverConfig;
 use crate::cost::{CostReport, SolveLatencies};
+use crate::fault::SolveCheckpoint;
 use crate::placement::MatrixId;
 use crate::stats::GpuRunStats;
 use bb::pool::Pool;
@@ -38,6 +39,13 @@ pub struct GpuSolveOutcome {
     pub latencies: SolveLatencies,
     /// Why the solve stopped.
     pub stop: StopReason,
+    /// The frozen solve state when the run paused at a batch boundary
+    /// ([`GpuSolverConfig::checkpoint_after`], `stop ==
+    /// StopReason::Checkpoint`); `None` for every other stop reason. Feed
+    /// it to [`GpuBnbSolver::resume`] (or
+    /// [`crate::service::JobSpec::resume_from`]) to continue the identical
+    /// exploration.
+    pub checkpoint: Option<SolveCheckpoint>,
 }
 
 impl GpuSolveOutcome {
@@ -108,6 +116,53 @@ impl GpuBnbSolver {
         initial_ub: Option<Time>,
         initial_schedule: Option<Vec<Job>>,
     ) -> GpuSolveOutcome {
+        self.solve_inner(
+            initial_nodes,
+            initial_ub,
+            initial_schedule,
+            CostReport::default(),
+            true,
+        )
+    }
+
+    /// Resumes a solve frozen by [`GpuSolverConfig::checkpoint_after`]:
+    /// rebuilds the pool frontier (re-pushed in drain order, which
+    /// reproduces the exact pop order), restores the incumbent and absorbs
+    /// the checkpoint's cost counters — so the finished outcome's
+    /// certificate (makespan, proven bound, summed [`CostReport`]) is
+    /// bit-identical to an uninterrupted run's. `checkpoint_after` counts
+    /// batches of *this* run, so a resumed solve under the same config
+    /// checkpoints again after the same number of additional batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's instance shape disagrees with the
+    /// solver's.
+    pub fn resume(&self, checkpoint: &SolveCheckpoint) -> GpuSolveOutcome {
+        let nodes = checkpoint.to_nodes(self.problem.instance());
+        let initial_ub = (checkpoint.upper_bound != Time::MAX).then_some(checkpoint.upper_bound);
+        self.solve_inner(
+            nodes,
+            initial_ub,
+            checkpoint.best_schedule.clone(),
+            checkpoint.cost,
+            false,
+        )
+    }
+
+    /// The shared solve loop. `cost` seeds the counters (a resumed solve
+    /// carries the checkpoint's totals forward); `record_root` charges the
+    /// initial nodes as host-side bounding work — true for fresh solves,
+    /// false on resume, where the checkpointed counters already include
+    /// them.
+    fn solve_inner(
+        &self,
+        initial_nodes: Vec<FspNode>,
+        initial_ub: Option<Time>,
+        initial_schedule: Option<Vec<Job>>,
+        initial_cost: CostReport,
+        record_root: bool,
+    ) -> GpuSolveOutcome {
         let start = Instant::now();
         let inst = self.problem.instance();
         let n = inst.jobs();
@@ -115,12 +170,19 @@ impl GpuBnbSolver {
 
         let mut stats = SolveStats::default();
         let mut gpu = GpuRunStats::default();
-        let mut cost = CostReport::default();
+        let mut cost = initial_cost;
         let mut latencies = SolveLatencies::default();
         // Whatever seeded the search — the root bound of `solve()` or a
         // frozen pool — was bounded by host code before the off-load loop,
-        // so it counts against the off-loading rate as host-side work.
-        cost.record_host_bound(initial_nodes.len() as u64);
+        // so it counts against the off-loading rate as host-side work. A
+        // resumed solve skips this: the checkpointed counters it carries
+        // already charged the frontier when the original run started.
+        if record_root {
+            cost.record_host_bound(initial_nodes.len() as u64);
+        }
+        // `checkpoint_after` counts batches of this run, not lifetime
+        // totals, so a resumed solve does not re-trigger immediately.
+        let batches_at_start = cost.batches;
 
         // Incumbent.
         let mut best_schedule = initial_schedule;
@@ -236,6 +298,27 @@ impl GpuBnbSolver {
         // still pending. `None` in the strict (non-lookahead) loop.
         let mut in_flight: Option<(Vec<FspNode>, crate::backend::BackendBatch)> = None;
         'outer: loop {
+            if let Some(after) = self.config.checkpoint_after {
+                if cost.batches - batches_at_start >= after {
+                    // A pending lookahead batch is already bounded; fold it
+                    // in first so the checkpoint sits on a true batch
+                    // boundary with no bounded node unaccounted.
+                    if let Some((batch, result)) = in_flight.take() {
+                        consume(
+                            batch,
+                            result,
+                            &mut pool,
+                            &mut stats,
+                            &mut gpu,
+                            &mut cost,
+                            &mut latencies,
+                            &mut best_schedule,
+                        );
+                    }
+                    stop = StopReason::Checkpoint;
+                    break;
+                }
+            }
             if let Some(limit) = self.config.node_limit {
                 if stats.bounded >= limit {
                     stop = StopReason::NodeLimit;
@@ -315,6 +398,26 @@ impl GpuBnbSolver {
             );
         }
 
+        // Freeze the solve state on a checkpoint stop: drain the pool in
+        // pop order (re-pushing in this order reproduces it exactly), and
+        // record the certificate-relevant incumbent, bound and counters.
+        let checkpoint = (stop == StopReason::Checkpoint).then(|| {
+            let proven_bound = pool.best_bound().map_or(ub.get(), |b| b.min(ub.get()));
+            let mut frontier = Vec::with_capacity(pool.len());
+            while let Some(node) = pool.pop() {
+                frontier.push((node.prefix_vec(), node.bound()));
+            }
+            SolveCheckpoint {
+                jobs: n,
+                machines: m,
+                upper_bound: ub.get(),
+                best_schedule: best_schedule.clone(),
+                proven_bound,
+                cost,
+                frontier,
+            }
+        });
+
         gpu.wall_time = start.elapsed();
         latencies.solve.record(gpu.device_schedule_time());
         GpuSolveOutcome {
@@ -325,6 +428,7 @@ impl GpuBnbSolver {
             cost,
             latencies,
             stop,
+            checkpoint,
         }
     }
 }
@@ -699,6 +803,43 @@ mod tests {
             cross.gpu.overlapped_time,
             per_batch.gpu.overlapped_time
         );
+    }
+
+    #[test]
+    fn checkpoint_then_resume_matches_the_uninterrupted_certificate() {
+        let inst = generate("t", 9, 5, 31);
+        let base = GpuSolverConfig {
+            pool_size: 32,
+            fast_forward: true,
+            ..Default::default()
+        };
+        let uninterrupted = GpuBnbSolver::new(inst.clone(), base.clone()).solve();
+        assert!(uninterrupted.cost.batches > 3, "need room to pause");
+        for after in [0u64, 1, 2, 3] {
+            let cfg = GpuSolverConfig {
+                checkpoint_after: Some(after),
+                ..base.clone()
+            };
+            let paused = GpuBnbSolver::new(inst.clone(), cfg).solve();
+            assert_eq!(paused.stop, StopReason::Checkpoint, "after {after}");
+            let checkpoint = paused.checkpoint.expect("a checkpoint rides the outcome");
+            // Cross the wire: serialize, parse, resume from the parse.
+            let checkpoint = crate::fault::SolveCheckpoint::from_json(&checkpoint.to_json())
+                .expect("round trip");
+            let resumed = GpuBnbSolver::new(inst.clone(), base.clone()).resume(&checkpoint);
+            assert_eq!(resumed.stop, StopReason::Exhausted);
+            assert!(resumed.checkpoint.is_none());
+            // The certificate — makespan, schedule, summed cost — is
+            // bit-identical to the uninterrupted run's.
+            assert_eq!(resumed.best_makespan, uninterrupted.best_makespan);
+            assert_eq!(resumed.best_schedule, uninterrupted.best_schedule);
+            assert_eq!(resumed.cost, uninterrupted.cost, "after {after}");
+            // And no bounded node was counted twice or dropped.
+            assert_eq!(
+                paused.stats.bounded + resumed.stats.bounded,
+                uninterrupted.stats.bounded
+            );
+        }
     }
 
     #[test]

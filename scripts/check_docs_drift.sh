@@ -34,3 +34,31 @@ fi
 
 count="$(printf '%s\n' "$help_flags" | wc -l | tr -d ' ')"
 echo "docs drift: ok — $count flags agree between --help and docs/BENCHMARKING.md"
+
+# Schema-version drift: the newest perf-report schema tag the binary's
+# source emits and the newest one docs/BENCHMARKING.md documents must be
+# the same version — a schema bump that forgets the docs (or vice versa)
+# fails here.
+emitter_schema="$(grep -oE 'flowshop-bnb-perf-report/v[0-9]+' \
+    crates/bench/src/bin/solve_taillard.rs | sort -uV | tail -1)"
+docs_schema="$(grep -oE 'flowshop-bnb-perf-report/v[0-9]+' \
+    docs/BENCHMARKING.md | sort -uV | tail -1)"
+if [ "$emitter_schema" != "$docs_schema" ]; then
+    echo "docs drift: report schema disagrees — the emitter writes" >&2
+    echo "\`$emitter_schema\` but docs/BENCHMARKING.md documents \`$docs_schema\`." >&2
+    exit 1
+fi
+echo "docs drift: ok — report schema $emitter_schema agrees between emitter and docs"
+
+# Same for the checkpoint schema (emitted by gpu_bnb::fault, documented in
+# docs/BENCHMARKING.md's checkpoint/resume section).
+ckpt_schema="$(grep -oE 'flowshop-bnb-checkpoint/v[0-9]+' \
+    crates/core/src/fault.rs | sort -uV | tail -1)"
+ckpt_docs="$(grep -oE 'flowshop-bnb-checkpoint/v[0-9]+' \
+    docs/BENCHMARKING.md | sort -uV | tail -1)"
+if [ "$ckpt_schema" != "$ckpt_docs" ]; then
+    echo "docs drift: checkpoint schema disagrees — gpu_bnb::fault writes" >&2
+    echo "\`$ckpt_schema\` but docs/BENCHMARKING.md documents \`${ckpt_docs:-nothing}\`." >&2
+    exit 1
+fi
+echo "docs drift: ok — checkpoint schema $ckpt_schema agrees between emitter and docs"
