@@ -36,8 +36,8 @@ use bb::{frozen_pool, FrozenPool, FspProblem, SerialSolver, SolverConfig};
 use fsp::taillard;
 use gpu_bnb::cost::{CostTable, COST_COUNTERS};
 use gpu_bnb::{
-    BackendKind, CostReport, DataPlacement, GpuBnbSolver, GpuSolverConfig, JobSpec, ServiceConfig,
-    SolveLatencies, SolveService,
+    BackendKind, CacheDisposition, CostReport, DataPlacement, FleetTopology, GpuBnbSolver,
+    GpuSolverConfig, JobSpec, ServiceConfig, SolveLatencies, SolveRequest, SolveService,
 };
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -259,11 +259,16 @@ impl Report {
 }
 
 /// Serialises one report as the v1 single-object schema, several as the
-/// `rows` schema (v8; a top-level job count is present when a service run
-/// contributed per-job rows — see docs/BENCHMARKING.md).
-fn reports_to_json(reports: &[Report], service_jobs: Option<usize>) -> String {
+/// `rows` schema (v9; a top-level job count is present when a service run
+/// contributed per-job rows, a top-level request count when a cache replay
+/// contributed per-request rows — see docs/BENCHMARKING.md).
+fn reports_to_json(
+    reports: &[Report],
+    service_jobs: Option<usize>,
+    cache_requests: Option<usize>,
+) -> String {
     let mut out = String::new();
-    if reports.len() == 1 && service_jobs.is_none() {
+    if reports.len() == 1 && service_jobs.is_none() && cache_requests.is_none() {
         let report = &reports[0];
         let _ = writeln!(out, "{{");
         let _ = writeln!(out, "  \"schema\": \"flowshop-bnb-perf-report/v1\",");
@@ -271,9 +276,12 @@ fn reports_to_json(reports: &[Report], service_jobs: Option<usize>) -> String {
         let _ = writeln!(out, "}}");
     } else {
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"schema\": \"flowshop-bnb-perf-report/v8\",");
+        let _ = writeln!(out, "  \"schema\": \"flowshop-bnb-perf-report/v9\",");
         if let Some(jobs) = service_jobs {
             let _ = writeln!(out, "  \"service_jobs\": {jobs},");
+        }
+        if let Some(requests) = cache_requests {
+            let _ = writeln!(out, "  \"cache_requests\": {requests},");
         }
         let _ = writeln!(out, "  \"rows\": [");
         for (i, report) in reports.iter().enumerate() {
@@ -332,6 +340,15 @@ struct Options {
     /// Resume a paused solve from a checkpoint file written by
     /// `--checkpoint`.
     resume: Option<String>,
+    /// Replay the smoke workload through the solve cache
+    /// (`SolveService::request`): a cold miss, an exact-repeat hit, then
+    /// perturbed warm starts — one gated cost row per request.
+    cache: bool,
+    /// How many cache requests (`--jobs` under `--cache`, default 4).
+    cache_requests: usize,
+    /// `(seed, edits)` of the perturbation the cache requests 2+ replay
+    /// (`--perturb SEED:EDITS`; a fixed default keeps rows reproducible).
+    perturb: Option<(u64, usize)>,
 }
 
 impl Default for Options {
@@ -367,6 +384,9 @@ impl Default for Options {
             fail_at: Vec::new(),
             checkpoint: None,
             resume: None,
+            cache: false,
+            cache_requests: 4,
+            perturb: None,
         }
     }
 }
@@ -397,22 +417,9 @@ const SMOKE_ROWS: [(BackendKind, bool); 5] = [
     (BackendKind::Gpu, false),
     (BackendKind::GpuPipelined, false),
     (BackendKind::GpuPipelined, true),
+    (BackendKind::Fleet(FleetTopology::uniform(2)), true),
     (
-        BackendKind::Fleet {
-            devices: 2,
-            pipelined: true,
-            hetero: false,
-            stealing: false,
-        },
-        true,
-    ),
-    (
-        BackendKind::Fleet {
-            devices: 2,
-            pipelined: true,
-            hetero: true,
-            stealing: true,
-        },
+        BackendKind::Fleet(FleetTopology::uniform(2).mixed().stealing()),
         true,
     ),
 ];
@@ -548,6 +555,17 @@ fn parse_args() -> Result<Options, String> {
                 ));
             }
             "--resume" => opts.resume = Some(value(&args, &mut i, flag)?),
+            "--cache" => opts.cache = true,
+            "--perturb" => {
+                let spec = value(&args, &mut i, flag)?;
+                let (seed, edits) = spec
+                    .split_once(':')
+                    .ok_or_else(|| format!("--perturb `{spec}` is not SEED:EDITS"))?;
+                opts.perturb = Some((
+                    seed.parse().map_err(|e| format!("{e}"))?,
+                    edits.parse().map_err(|e| format!("{e}"))?,
+                ));
+            }
             "--json" => opts.json = Some(value(&args, &mut i, flag)?),
             "--baseline" => opts.baseline = Some(value(&args, &mut i, flag)?),
             "--cost-baseline" => opts.cost_baseline = Some(value(&args, &mut i, flag)?),
@@ -581,6 +599,12 @@ fn parse_args() -> Result<Options, String> {
                      service:  --service (replay the frozen smoke workload as concurrent jobs\n\
                      \x20         through the solve service; --jobs N = job count, default 4)\n\
                      \x20         --warm-start (seed each job's incumbent from NEH at submission)\n\
+                     cache:    --cache (replay the smoke workload through the solve cache:\n\
+                     \x20         request 0 solves cold, request 1 repeats exactly — a hit —\n\
+                     \x20         and requests 2+ solve seeded perturbations as warm starts;\n\
+                     \x20         --jobs N = request count, default 4; one gated cost row each)\n\
+                     \x20         --perturb SEED:EDITS (the perturbation requests 2+ replay:\n\
+                     \x20         EDITS seeded ±1/±2 processing-time edits; default 2012:2)\n\
                      output:   --json <path>  --summary <markdown-path, appended>\n\
                      \x20         --emit-cost-baseline <path> (machine-independent cost baseline)\n\
                      CI gate:  --smoke  --cost-baseline <BENCH_cost_baseline.json> (blocking, exact)\n\
@@ -615,27 +639,15 @@ fn parse_args() -> Result<Options, String> {
                         fleet row is fixed at 2 devices)"
                 .into());
         }
-        let (pipelined, hetero, stealing) = match opts.mode {
-            Mode::Backend(BackendKind::Fleet {
-                pipelined,
-                hetero,
-                stealing,
-                ..
-            })
-            | Mode::BackendFast(BackendKind::Fleet {
-                pipelined,
-                hetero,
-                stealing,
-                ..
-            }) => (pipelined, hetero, stealing),
-            _ => (true, false, false),
+        let topology = match opts.mode {
+            Mode::Backend(BackendKind::Fleet(topology))
+            | Mode::BackendFast(BackendKind::Fleet(topology)) => FleetTopology {
+                devices,
+                ..topology
+            },
+            _ => FleetTopology::uniform(devices),
         };
-        opts.mode = opts.mode.with_backend(BackendKind::Fleet {
-            devices,
-            pipelined,
-            hetero,
-            stealing,
-        });
+        opts.mode = opts.mode.with_backend(BackendKind::Fleet(topology));
     }
     // `--hetero` upgrades the fleet to mixed specs (C2050 + GTX 580).
     if opts.hetero {
@@ -645,24 +657,9 @@ fn parse_args() -> Result<Options, String> {
                 .into());
         }
         match opts.mode {
-            Mode::Backend(BackendKind::Fleet {
-                devices,
-                pipelined,
-                stealing,
-                ..
-            })
-            | Mode::BackendFast(BackendKind::Fleet {
-                devices,
-                pipelined,
-                stealing,
-                ..
-            }) => {
-                opts.mode = opts.mode.with_backend(BackendKind::Fleet {
-                    devices,
-                    pipelined,
-                    hetero: true,
-                    stealing,
-                });
+            Mode::Backend(BackendKind::Fleet(topology))
+            | Mode::BackendFast(BackendKind::Fleet(topology)) => {
+                opts.mode = opts.mode.with_backend(BackendKind::Fleet(topology.mixed()));
             }
             _ => {
                 return Err(
@@ -698,9 +695,9 @@ fn parse_args() -> Result<Options, String> {
     }
     let fault_flags = opts.fail_seed.is_some() || !opts.fail_at.is_empty();
     if fault_flags {
-        if opts.smoke || opts.service {
-            return Err("--fail-seed/--fail-at cannot be combined with --smoke or \
-                        --service (the gate's baselines are recorded failure-free)"
+        if opts.smoke || opts.service || opts.cache {
+            return Err("--fail-seed/--fail-at cannot be combined with --smoke, \
+                        --service or --cache (the gate's baselines are recorded failure-free)"
                 .into());
         }
         match opts.mode {
@@ -714,9 +711,9 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     if opts.checkpoint.is_some() || opts.resume.is_some() {
-        if opts.smoke || opts.service || opts.autotune {
+        if opts.smoke || opts.service || opts.autotune || opts.cache {
             return Err("--checkpoint/--resume cannot be combined with --smoke, \
-                        --service or --autotune (the gate rows run uninterrupted)"
+                        --service, --autotune or --cache (the gate rows run uninterrupted)"
                 .into());
         }
         if opts.mode == Mode::Serial {
@@ -787,6 +784,44 @@ fn parse_args() -> Result<Options, String> {
         // Service rows replay the cost-gated smoke workload regardless of the
         // instance flags: the per-job counters are only comparable against
         // the committed baseline at the frozen configuration.
+        let smoke_was = opts.smoke;
+        apply_smoke_preset(&mut opts);
+        opts.smoke = smoke_was;
+    }
+    if opts.perturb.is_some() && !opts.cache {
+        return Err(
+            "--perturb requires --cache (perturbed replays only run through the \
+                    solve cache)"
+                .into(),
+        );
+    }
+    if let Some((_, edits)) = opts.perturb {
+        if edits == 0 {
+            return Err("--perturb needs at least one edit (SEED:EDITS with EDITS ≥ 1)".into());
+        }
+    }
+    if opts.cache {
+        if opts.file.is_some() {
+            return Err(
+                "--cache cannot be combined with --file (cache rows replay the \
+                        frozen smoke workload)"
+                    .into(),
+            );
+        }
+        if opts.autotune {
+            return Err(
+                "--cache cannot be combined with --autotune (cache rows run at \
+                        the fixed smoke configuration)"
+                    .into(),
+            );
+        }
+        opts.cache_requests = jobs_flag.unwrap_or(4);
+        if opts.cache_requests == 0 {
+            return Err("--jobs must be at least 1 with --cache".into());
+        }
+        // Cache rows replay the cost-gated smoke workload, like the service
+        // rows: the counters are only comparable against the committed
+        // baseline at the frozen configuration.
         let smoke_was = opts.smoke;
         apply_smoke_preset(&mut opts);
         opts.smoke = smoke_was;
@@ -935,12 +970,7 @@ fn run_best_of(
 /// but *without* lookahead sessions, so every job's counters are a pure
 /// function of its own batches — bit-identical to a standalone solve of the
 /// same spec, and therefore exactly gateable per job.
-const SERVICE_ROW_KIND: BackendKind = BackendKind::Fleet {
-    devices: 2,
-    pipelined: true,
-    hetero: false,
-    stealing: false,
-};
+const SERVICE_ROW_KIND: BackendKind = BackendKind::Fleet(FleetTopology::uniform(2));
 
 /// Replays the frozen smoke workload as `opts.service_jobs` concurrent jobs
 /// through the [`SolveService`] on one shared fleet — one report row per
@@ -1050,6 +1080,110 @@ fn run_service(
     reports
 }
 
+/// The fixed backend the cache replay rows run on: the plain GPU off-load
+/// (devices 1, no lookahead), so the `(backend, devices, lookahead, job)`
+/// row keys never collide with the `--service` fleet rows.
+const CACHE_ROW_KIND: BackendKind = BackendKind::Gpu;
+
+/// The perturbation the cache requests 2+ replay when `--perturb` is not
+/// given: seed 2012 (the smoke seed), two processing-time edits.
+const DEFAULT_PERTURB: (u64, usize) = (2012, 2);
+
+/// Replays the smoke workload through the solve cache
+/// ([`SolveService::request`]): request 0 solves cold and stores its
+/// certificate, request 1 repeats the workload exactly (an exact hit — zero
+/// device work, one `cache_hits` tick), and requests 2+ solve seeded
+/// perturbations of the instance as warm starts (donor incumbent re-priced,
+/// frontier resumed after a bound recheck). One report row per request,
+/// billed at the request's own [`CostReport`] — so the deterministic cost
+/// gate covers hit, miss and warm-start behaviour.
+fn run_cache(opts: &Options, inst: &fsp::Instance, label: &str) -> Vec<Report> {
+    let (seed, edits) = opts.perturb.unwrap_or(DEFAULT_PERTURB);
+    let config = GpuSolverConfig {
+        pool_size: opts.pool_size,
+        placement: DataPlacement::SharedJmPtm,
+        node_limit: opts.node_limit,
+        fast_forward: true,
+        backend: CACHE_ROW_KIND,
+        ..Default::default()
+    };
+    let service = SolveService::with_defaults();
+    let mut first_certificate = None;
+    (0..opts.cache_requests)
+        .map(|k| {
+            // Requests 0 and 1 are the identical workload (cold, then the
+            // exact repeat); each later request perturbs the instance under
+            // its own derived seed.
+            let request_inst = if k < 2 {
+                inst.clone()
+            } else {
+                gpu_bnb::perturbed(inst, seed.wrapping_add(k as u64), edits)
+            };
+            let outcome =
+                service.request(SolveRequest::new(request_inst, config.clone()).keeping_frontier());
+            let disposition = match outcome.disposition {
+                CacheDisposition::Hit => "hit".to_string(),
+                CacheDisposition::Miss => "miss".to_string(),
+                CacheDisposition::Disabled => "uncached".to_string(),
+                CacheDisposition::WarmStart { invalidated } => {
+                    format!("warm start ({invalidated} frontier bounds invalidated)")
+                }
+            };
+            eprintln!(
+                "cache: request {k} — {disposition}, makespan {}, {} nodes bounded",
+                outcome.certificate.best_makespan,
+                outcome.request_cost.nodes_bounded(),
+            );
+            match k {
+                0 => first_certificate = Some(outcome.certificate.clone()),
+                1 => eprintln!(
+                    "cache: exact repeat certificate {}",
+                    if Some(&outcome.certificate) == first_certificate.as_ref() {
+                        "bit-identical to the cold solve's"
+                    } else {
+                        "DIVERGED from the cold solve's"
+                    }
+                ),
+                _ => {}
+            }
+            let (gpu, stats_bounded, elapsed) = match &outcome.job {
+                Some(job) => (job.gpu, job.stats.bounded, job.gpu.wall_time),
+                // An exact hit runs nothing: zero device work by design.
+                None => (Default::default(), 0, Duration::ZERO),
+            };
+            let device = gpu.kernel_time + gpu.transfer_time;
+            let share = if device.is_zero() {
+                0.0
+            } else {
+                gpu.kernel_time.as_secs_f64() / device.as_secs_f64()
+            };
+            Report {
+                instance: label.to_string(),
+                jobs: inst.jobs(),
+                machines: inst.machines(),
+                mode: Mode::BackendFast(CACHE_ROW_KIND),
+                lookahead: false,
+                job: Some(k),
+                fleet_weights: None,
+                pool_size: opts.pool_size,
+                reps: 1,
+                metrics: RunMetrics {
+                    nodes_bounded: stats_bounded,
+                    elapsed,
+                    bounding_share: share,
+                    makespan: outcome.certificate.best_makespan,
+                    optimal: outcome.certificate.is_optimal(),
+                    kernel_seconds: gpu.kernel_time.as_secs_f64(),
+                    transfer_seconds: gpu.transfer_time.as_secs_f64(),
+                    device_seconds: gpu.device_schedule_time().as_secs_f64(),
+                    cost: outcome.request_cost,
+                    latencies: outcome.job.map(|j| j.latencies).unwrap_or_default(),
+                },
+            }
+        })
+        .collect()
+}
+
 /// One `nodes_per_sec` figure of a baseline report, keyed by the backend
 /// name, device count, lookahead flag and (for service rows) job index of
 /// its row.
@@ -1157,10 +1291,10 @@ struct CostRow {
 }
 
 /// Counters per row of an older baseline: 13 before the v7 fleet steal/idle
-/// counters, 16 before the v8 failure-recovery counters. Those rows parse
-/// with the missing counters at zero, which is exactly what the old
-/// backends recorded.
-const LEGACY_COST_COUNTERS: [usize; 2] = [13, 16];
+/// counters, 16 before the v8 failure-recovery counters, 19 before the v9
+/// cache counters. Those rows parse with the missing counters at zero,
+/// which is exactly what the old backends recorded.
+const LEGACY_COST_COUNTERS: [usize; 3] = [13, 16, 19];
 
 /// Pulls every `"cost": { ... }` block (a flat object of integer counters)
 /// out of a cost baseline or a v5 perf report, keyed by the row fields that
@@ -1333,8 +1467,10 @@ fn main() -> ExitCode {
         }
     }
 
-    // The service path submits per-job copies of the instance.
+    // The service path submits per-job copies of the instance; the cache
+    // replay perturbs per-request copies of it.
     let service_inst = opts.service.then(|| inst.clone());
+    let cache_inst = opts.cache.then(|| inst.clone());
 
     // A `--resume` run starts from a checkpoint file instead of a frozen
     // pool; its frontier, incumbent and cost counters carry over.
@@ -1436,6 +1572,10 @@ fn main() -> ExitCode {
         reports.extend(run_service(&opts, &service_inst, &label, frozen_ref));
     }
 
+    if let Some(cache_inst) = cache_inst {
+        reports.extend(run_cache(&opts, &cache_inst, &label));
+    }
+
     // The headlines the smoke workload exists to demonstrate: the modelled
     // device schedule of the cross-iteration pipeline vs the per-batch one,
     // and of the two-device fleet vs the single-device pipeline.
@@ -1472,7 +1612,11 @@ fn main() -> ExitCode {
         }
     }
 
-    let json = reports_to_json(&reports, opts.service.then_some(opts.service_jobs));
+    let json = reports_to_json(
+        &reports,
+        opts.service.then_some(opts.service_jobs),
+        opts.cache.then_some(opts.cache_requests),
+    );
     print!("{json}");
     if let Some(path) = &opts.json {
         if let Err(err) = std::fs::write(path, &json) {

@@ -2,7 +2,8 @@
 //!
 //! The build image has no network access, so the real proptest cannot be
 //! fetched. This shim implements the subset of its API that the workspace
-//! tests use — `proptest!`, `prop_assert!`, `prop_assert_eq!`, `Strategy`
+//! tests use — `proptest!`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assume!`, `Strategy`
 //! (ranges, tuples, `Just`, `prop_map`, `prop_shuffle`), and
 //! `ProptestConfig::with_cases` — with a deterministic splitmix64 generator
 //! seeded per test, so failures are reproducible run to run. No shrinking is
@@ -72,7 +73,20 @@ pub mod prelude {
     pub use crate::strategy::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// `prop_assume!` — skips the current case when the assumption fails. The
+/// shim draws a fresh case from the runner loop instead of rejecting and
+/// re-drawing in place, which preserves the semantics the tests rely on:
+/// bodies only run on inputs satisfying the assumption.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            continue;
+        }
+    };
 }
 
 /// `prop_assert!` — plain `assert!` (no shrinking in the shim).

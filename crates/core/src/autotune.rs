@@ -250,11 +250,32 @@ pub const DEFAULT_FLEET_DEVICE_CANDIDATES: [usize; 4] = [1, 2, 4, 8];
 /// when the configured backend is not a fleet.
 fn fleet_modes(config: &GpuSolverConfig) -> (bool, bool) {
     match config.backend {
-        crate::config::BackendKind::Fleet {
-            hetero, stealing, ..
-        } => (hetero, stealing),
+        crate::config::BackendKind::Fleet(topology) => {
+            (topology.is_hetero(), topology.is_stealing())
+        }
         _ => (false, false),
     }
+}
+
+/// A fleet backend of `devices` members with the given modes (the sweeps
+/// re-assemble candidate shapes from the base config's modes).
+fn fleet_kind(
+    devices: usize,
+    pipelined: bool,
+    hetero: bool,
+    stealing: bool,
+) -> crate::config::BackendKind {
+    let mut topology = crate::config::FleetTopology::uniform(devices);
+    if !pipelined {
+        topology = topology.one_launch();
+    }
+    if hetero {
+        topology = topology.mixed();
+    }
+    if stealing {
+        topology = topology.stealing();
+    }
+    crate::config::BackendKind::Fleet(topology)
 }
 
 /// Measurement for one `(devices, chunk)` fleet candidate.
@@ -334,12 +355,7 @@ pub fn autotune_fleet(
     // (per-batch pipelines; no session state leaks between candidates).
     let probe = |devices: usize, chunk: usize| -> f64 {
         let config = GpuSolverConfig {
-            backend: crate::config::BackendKind::Fleet {
-                devices,
-                pipelined: true,
-                hetero,
-                stealing,
-            },
+            backend: fleet_kind(devices, true, hetero, stealing),
             pipeline_chunk: Some(chunk),
             fast_forward: true,
             lookahead: false,
@@ -453,9 +469,7 @@ pub fn autotune_fleet_weights(
     let problem = FspProblem::new(inst.clone());
     let target = base_config.pool_size.min(probe_budget_nodes.max(1)).max(1);
     let (devices, pipelined) = match base_config.backend {
-        crate::config::BackendKind::Fleet {
-            devices, pipelined, ..
-        } => (devices, pipelined),
+        crate::config::BackendKind::Fleet(topology) => (topology.devices, topology.is_pipelined()),
         _ => (crate::config::DEFAULT_FLEET_DEVICES, true),
     };
     let (hetero, stealing) = fleet_modes(base_config);
@@ -474,12 +488,7 @@ pub fn autotune_fleet_weights(
 
     let probe = |weights: Option<Vec<f64>>| -> f64 {
         let config = GpuSolverConfig {
-            backend: crate::config::BackendKind::Fleet {
-                devices,
-                pipelined,
-                hetero,
-                stealing,
-            },
+            backend: fleet_kind(devices, pipelined, hetero, stealing),
             fleet_weights: weights,
             fast_forward: true,
             lookahead: false,
@@ -561,12 +570,7 @@ pub fn autotune_fleet_config(
     config.pool_size = pool.best_pool_size;
     let fleet = autotune_fleet(inst, &config, &[], &[], probe_budget_nodes);
     let (hetero, stealing) = fleet_modes(base);
-    config.backend = crate::config::BackendKind::Fleet {
-        devices: fleet.best_devices,
-        pipelined: true,
-        hetero,
-        stealing,
-    };
+    config.backend = fleet_kind(fleet.best_devices, true, hetero, stealing);
     config.pipeline_chunk = Some(fleet.best_chunk_size);
     let weights = autotune_fleet_weights(inst, &config, &[], probe_budget_nodes);
     config.fleet_weights = weights.best_weights.clone();
@@ -764,12 +768,9 @@ mod tests {
         assert_eq!(tuned.config.pool_size, tuned.pool.best_pool_size);
         assert_eq!(
             tuned.config.backend,
-            crate::config::BackendKind::Fleet {
-                devices: tuned.fleet.best_devices,
-                pipelined: true,
-                hetero: false,
-                stealing: false,
-            }
+            crate::config::BackendKind::Fleet(crate::config::FleetTopology::uniform(
+                tuned.fleet.best_devices
+            ))
         );
         assert_eq!(
             tuned.config.pipeline_chunk,
@@ -782,12 +783,9 @@ mod tests {
     fn weight_sweep_probes_the_baseline_and_every_candidate() {
         let inst = generate("t", 14, 8, 11);
         let cfg = GpuSolverConfig {
-            backend: crate::config::BackendKind::Fleet {
-                devices: 2,
-                pipelined: true,
-                hetero: true,
-                stealing: false,
-            },
+            backend: crate::config::BackendKind::Fleet(
+                crate::config::FleetTopology::uniform(2).mixed(),
+            ),
             pool_size: 1_024,
             ..base()
         };
@@ -824,12 +822,9 @@ mod tests {
         // member draws the content-heavier chunk, and either can win.)
         let inst = generate("t", 14, 8, 2012);
         let cfg = GpuSolverConfig {
-            backend: crate::config::BackendKind::Fleet {
-                devices: 2,
-                pipelined: true,
-                hetero: true,
-                stealing: false,
-            },
+            backend: crate::config::BackendKind::Fleet(
+                crate::config::FleetTopology::uniform(2).mixed(),
+            ),
             pool_size: 4_096,
             ..base()
         };

@@ -562,18 +562,13 @@ pub fn make_backend(
         }
         BackendKind::Gpu => Box::new(GpuBackend::new(problem, config, capacity)),
         BackendKind::GpuPipelined => Box::new(PipelinedGpuBackend::new(problem, config, capacity)),
-        BackendKind::Fleet {
-            devices,
-            pipelined,
-            hetero,
-            stealing,
-        } => Box::new(crate::fleet::FleetBackend::with_members(
+        BackendKind::Fleet(topology) => Box::new(crate::fleet::FleetBackend::with_members(
             problem,
             config,
             capacity,
-            crate::fleet::fleet_member_specs(devices, hetero),
-            pipelined,
-            stealing,
+            crate::fleet::fleet_member_specs(topology.devices, topology.is_hetero()),
+            topology.is_pipelined(),
+            topology.is_stealing(),
         )),
     }
 }

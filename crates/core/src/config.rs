@@ -7,6 +7,194 @@ use std::time::Duration;
 /// (`16×256` … `1024×256` threads).
 pub const PAPER_POOL_SIZES: [usize; 7] = [4096, 8192, 16384, 32768, 65536, 131072, 262144];
 
+/// Which device models a fleet's members are built from
+/// (see [`crate::fleet::fleet_member_specs`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemberMix {
+    /// Every member models the paper's Tesla C2050.
+    Uniform,
+    /// Mixed device specs — members alternate between the paper's Tesla
+    /// C2050 (even ordinals) and the faster GTX 580 (odd ordinals), and the
+    /// throughput-weighted deal sizes each shard so modelled completion
+    /// times equalize (see [`crate::fleet::plan_shards_weighted`]).
+    Mixed,
+}
+
+/// How each fleet member launches its shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LaunchMode {
+    /// Each device runs the stream-overlapped pipeline (plus a persistent
+    /// session under [`GpuSolverConfig::lookahead`]).
+    Pipelined,
+    /// One kernel launch per shard.
+    OneLaunch,
+}
+
+/// Whether the fleet runs the deterministic steal pass after the deal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StealPolicy {
+    /// No re-deal after the initial shard plan.
+    Disabled,
+    /// After the deal, a deterministic steal pass re-deals surplus ranges
+    /// from members the cost model predicts to finish late to members
+    /// predicted to finish a full wave early (see
+    /// [`crate::fleet::steal_pass`]). Purely a planning-time re-deal —
+    /// bounds and visited node sets stay bit-identical.
+    Deterministic,
+}
+
+/// Descriptor of a simulated-GPU fleet: how many members, which device
+/// models they run ([`MemberMix`]), how each launches its shard
+/// ([`LaunchMode`]) and whether the deterministic steal pass re-deals the
+/// plan ([`StealPolicy`]).
+///
+/// One canonical string form — `fleet[:N[:hetero][:steal][:one-launch]]`,
+/// modes in any order — is shared by the CLI, config files and report rows
+/// ([`std::str::FromStr`] / [`std::fmt::Display`]). Construct
+/// programmatically with the chainable constructors:
+///
+/// ```
+/// use gpu_bnb::{BackendKind, FleetTopology};
+/// let kind = BackendKind::Fleet(FleetTopology::uniform(2).mixed().stealing());
+/// assert_eq!(kind.to_string(), "fleet:2:hetero:steal");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FleetTopology {
+    /// Number of simulated devices the pool is partitioned across.
+    pub devices: usize,
+    /// Which device models the members run.
+    pub mix: MemberMix,
+    /// How each member launches its shard.
+    pub launch: LaunchMode,
+    /// Whether the deterministic steal pass re-deals the plan.
+    pub steal: StealPolicy,
+}
+
+impl FleetTopology {
+    /// A uniform fleet of `devices` pipelined Tesla C2050 members with the
+    /// steal pass disabled (the default shape `fleet:N` parses to).
+    pub const fn uniform(devices: usize) -> Self {
+        Self {
+            devices,
+            mix: MemberMix::Uniform,
+            launch: LaunchMode::Pipelined,
+            steal: StealPolicy::Disabled,
+        }
+    }
+
+    /// Switches the member mix to [`MemberMix::Mixed`] (`:hetero`).
+    pub const fn mixed(mut self) -> Self {
+        self.mix = MemberMix::Mixed;
+        self
+    }
+
+    /// Enables the deterministic steal pass (`:steal`).
+    pub const fn stealing(mut self) -> Self {
+        self.steal = StealPolicy::Deterministic;
+        self
+    }
+
+    /// Switches members to one launch per shard (`:one-launch`).
+    pub const fn one_launch(mut self) -> Self {
+        self.launch = LaunchMode::OneLaunch;
+        self
+    }
+
+    /// `true` when members run the stream-overlapped pipeline.
+    pub const fn is_pipelined(&self) -> bool {
+        matches!(self.launch, LaunchMode::Pipelined)
+    }
+
+    /// `true` when the member mix is heterogeneous.
+    pub const fn is_hetero(&self) -> bool {
+        matches!(self.mix, MemberMix::Mixed)
+    }
+
+    /// `true` when the deterministic steal pass is enabled.
+    pub const fn is_stealing(&self) -> bool {
+        matches!(self.steal, StealPolicy::Deterministic)
+    }
+
+    /// Stable name used in reports: `fleet` with `-hetero` / `-steal`
+    /// suffixes for the mixed and stealing variants (so baseline rows stay
+    /// distinguishable), while the device count travels separately.
+    pub const fn name(&self) -> &'static str {
+        match (self.mix, self.steal) {
+            (MemberMix::Uniform, StealPolicy::Disabled) => "fleet",
+            (MemberMix::Mixed, StealPolicy::Disabled) => "fleet-hetero",
+            (MemberMix::Uniform, StealPolicy::Deterministic) => "fleet-steal",
+            (MemberMix::Mixed, StealPolicy::Deterministic) => "fleet-hetero-steal",
+        }
+    }
+}
+
+impl std::str::FromStr for FleetTopology {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // Fleet spellings: `fleet`, `fleet:N`, then any combination of the
+        // `:hetero`, `:steal` and `:one-launch` modes (each at most once,
+        // any order), e.g. `fleet:2:hetero:steal`.
+        if s == "fleet" {
+            return Ok(FleetTopology::uniform(DEFAULT_FLEET_DEVICES));
+        }
+        let spec = s
+            .strip_prefix("fleet:")
+            .ok_or_else(|| format!("bad fleet spec `{s}`"))?;
+        let mut parts = spec.split(':');
+        let devices = parts
+            .next()
+            .filter(|n| !n.is_empty())
+            .ok_or_else(|| format!("bad fleet spec `{s}`"))?
+            .parse::<usize>()
+            .map_err(|e| format!("bad fleet device count in `{s}`: {e}"))?;
+        if devices == 0 {
+            return Err("a fleet needs at least one device".into());
+        }
+        let mut topology = FleetTopology::uniform(devices);
+        for mode in parts {
+            let duplicate = match mode {
+                "one-launch" => {
+                    let dup = !topology.is_pipelined();
+                    topology = topology.one_launch();
+                    dup
+                }
+                "hetero" => {
+                    let dup = topology.is_hetero();
+                    topology = topology.mixed();
+                    dup
+                }
+                "steal" => {
+                    let dup = topology.is_stealing();
+                    topology = topology.stealing();
+                    dup
+                }
+                other => return Err(format!("unknown fleet mode `{other}` in `{s}`")),
+            };
+            if duplicate {
+                return Err(format!("duplicate fleet mode `{mode}` in `{s}`"));
+            }
+        }
+        Ok(topology)
+    }
+}
+
+impl std::fmt::Display for FleetTopology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fleet:{}", self.devices)?;
+        if self.is_hetero() {
+            f.write_str(":hetero")?;
+        }
+        if self.is_stealing() {
+            f.write_str(":steal")?;
+        }
+        if !self.is_pipelined() {
+            f.write_str(":one-launch")?;
+        }
+        Ok(())
+    }
+}
+
 /// Which [`crate::backend::BoundingBackend`] implementation a solver uses
 /// for the bounding operator. Every solver, the auto-tuner and the bench
 /// binaries select backends through this one enum instead of hard-wiring an
@@ -21,31 +209,11 @@ pub enum BackendKind {
     Gpu,
     /// GPU off-load with double-buffered, stream-overlapped chunking.
     GpuPipelined,
-    /// A fleet of simulated GPUs: every batch is partitioned into
-    /// wave-aligned, deficit-aware shards, each device bounds its shard on
-    /// its own independent timeline (pipelined when `pipelined` is set, one
-    /// launch per shard otherwise), and the bounds are merged back in input
-    /// order (see [`crate::fleet`]).
-    Fleet {
-        /// Number of simulated devices the pool is partitioned across.
-        devices: usize,
-        /// `true`: each device runs the stream-overlapped pipeline (plus a
-        /// persistent session under [`GpuSolverConfig::lookahead`]);
-        /// `false`: one launch per shard.
-        pipelined: bool,
-        /// `true`: mixed device specs — members alternate between the
-        /// paper's Tesla C2050 (even ordinals) and the faster GTX 580 (odd
-        /// ordinals), and the throughput-weighted deal sizes each shard so
-        /// modelled completion times equalize (see
-        /// [`crate::fleet::plan_shards_weighted`]).
-        hetero: bool,
-        /// `true`: after the deal, a deterministic steal pass re-deals
-        /// surplus ranges from members the cost model predicts to finish
-        /// late to members predicted to finish a full wave early (see
-        /// [`crate::fleet::steal_pass`]). Purely a planning-time re-deal —
-        /// bounds and visited node sets stay bit-identical.
-        stealing: bool,
-    },
+    /// A fleet of simulated GPUs described by a [`FleetTopology`]: every
+    /// batch is partitioned into wave-aligned, deficit-aware shards, each
+    /// device bounds its shard on its own independent timeline, and the
+    /// bounds are merged back in input order (see [`crate::fleet`]).
+    Fleet(FleetTopology),
 }
 
 /// The fleet size [`BackendKind::Fleet`] defaults to when parsed from the
@@ -59,33 +227,42 @@ impl BackendKind {
         BackendKind::Multicore,
         BackendKind::Gpu,
         BackendKind::GpuPipelined,
-        BackendKind::Fleet {
-            devices: DEFAULT_FLEET_DEVICES,
-            pipelined: true,
-            hetero: false,
-            stealing: false,
-        },
+        BackendKind::Fleet(FleetTopology::uniform(DEFAULT_FLEET_DEVICES)),
     ];
 
+    /// Pre-[`FleetTopology`] fleet constructor, kept so call sites written
+    /// against the boolean-flag form keep compiling. New code should build a
+    /// [`FleetTopology`] with the chainable constructors instead.
+    #[deprecated(
+        since = "0.10.0",
+        note = "build a FleetTopology instead, e.g. \
+                BackendKind::Fleet(FleetTopology::uniform(n).mixed().stealing())"
+    )]
+    pub const fn fleet(devices: usize, pipelined: bool, hetero: bool, stealing: bool) -> Self {
+        let mut topology = FleetTopology::uniform(devices);
+        if !pipelined {
+            topology = topology.one_launch();
+        }
+        if hetero {
+            topology = topology.mixed();
+        }
+        if stealing {
+            topology = topology.stealing();
+        }
+        BackendKind::Fleet(topology)
+    }
+
     /// Stable name used in reports and on the command line. Fleet backends
-    /// report as `fleet` with `-hetero` / `-steal` suffixes for the mixed
-    /// and stealing variants (so baseline rows stay distinguishable), while
-    /// the device count travels separately ([`BackendKind::devices`], the
-    /// report's `devices` field).
+    /// report through [`FleetTopology::name`] (`fleet` with `-hetero` /
+    /// `-steal` suffixes), while the device count travels separately
+    /// ([`BackendKind::devices`], the report's `devices` field).
     pub fn name(self) -> &'static str {
         match self {
             BackendKind::Sequential => "seq",
             BackendKind::Multicore => "multicore",
             BackendKind::Gpu => "gpu",
             BackendKind::GpuPipelined => "gpu-pipelined",
-            BackendKind::Fleet {
-                hetero, stealing, ..
-            } => match (hetero, stealing) {
-                (false, false) => "fleet",
-                (true, false) => "fleet-hetero",
-                (false, true) => "fleet-steal",
-                (true, true) => "fleet-hetero-steal",
-            },
+            BackendKind::Fleet(topology) => topology.name(),
         }
     }
 
@@ -93,7 +270,7 @@ impl BackendKind {
     /// non-fleet kind).
     pub fn devices(self) -> usize {
         match self {
-            BackendKind::Fleet { devices, .. } => devices,
+            BackendKind::Fleet(topology) => topology.devices,
             _ => 1,
         }
     }
@@ -103,49 +280,8 @@ impl std::str::FromStr for BackendKind {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        // Fleet spellings: `fleet`, `fleet:N`, then any combination of the
-        // `:hetero`, `:steal` and `:one-launch` modes (each at most once,
-        // any order), e.g. `fleet:2:hetero:steal`.
-        if s == "fleet" {
-            return Ok(BackendKind::Fleet {
-                devices: DEFAULT_FLEET_DEVICES,
-                pipelined: true,
-                hetero: false,
-                stealing: false,
-            });
-        }
-        if let Some(spec) = s.strip_prefix("fleet:") {
-            let mut parts = spec.split(':');
-            let devices = parts
-                .next()
-                .filter(|n| !n.is_empty())
-                .ok_or_else(|| format!("bad fleet spec `{s}`"))?
-                .parse::<usize>()
-                .map_err(|e| format!("bad fleet device count in `{s}`: {e}"))?;
-            if devices == 0 {
-                return Err("a fleet needs at least one device".into());
-            }
-            let mut pipelined = true;
-            let mut hetero = false;
-            let mut stealing = false;
-            for mode in parts {
-                let (flag, value): (&mut bool, bool) = match mode {
-                    "one-launch" => (&mut pipelined, false),
-                    "hetero" => (&mut hetero, true),
-                    "steal" => (&mut stealing, true),
-                    other => return Err(format!("unknown fleet mode `{other}` in `{s}`")),
-                };
-                if *flag == value {
-                    return Err(format!("duplicate fleet mode `{mode}` in `{s}`"));
-                }
-                *flag = value;
-            }
-            return Ok(BackendKind::Fleet {
-                devices,
-                pipelined,
-                hetero,
-                stealing,
-            });
+        if s == "fleet" || s.starts_with("fleet:") {
+            return s.parse::<FleetTopology>().map(BackendKind::Fleet);
         }
         match s {
             "seq" | "sequential" => Ok(BackendKind::Sequential),
@@ -163,30 +299,19 @@ impl std::str::FromStr for BackendKind {
 impl std::fmt::Display for BackendKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BackendKind::Fleet {
-                devices,
-                pipelined,
-                hetero,
-                stealing,
-            } => {
-                write!(f, "fleet:{devices}")?;
-                if *hetero {
-                    f.write_str(":hetero")?;
-                }
-                if *stealing {
-                    f.write_str(":steal")?;
-                }
-                if !pipelined {
-                    f.write_str(":one-launch")?;
-                }
-                Ok(())
-            }
+            BackendKind::Fleet(topology) => topology.fmt(f),
             other => f.write_str(other.name()),
         }
     }
 }
 
 /// Configuration of a [`crate::solver::GpuBnbSolver`] run.
+///
+/// Struct-literal construction (with `..Default::default()`) keeps working;
+/// the validated path is [`GpuSolverConfig::builder`], which rejects
+/// inconsistent combinations (fault injection plus checkpointing, zero
+/// pipeline depth, mis-sized fleet weights) at build time instead of deep
+/// inside a solve.
 #[derive(Debug, Clone)]
 pub struct GpuSolverConfig {
     /// Number of sub-problems off-loaded to the device per bounding
@@ -335,9 +460,234 @@ impl GpuSolverConfig {
         }
     }
 
+    /// A validating builder seeded with the defaults (see
+    /// [`SolverConfigBuilder`]).
+    pub fn builder() -> SolverConfigBuilder {
+        SolverConfigBuilder::default()
+    }
+
+    /// A validating builder seeded with this configuration — edit a few
+    /// fields, then re-validate with [`SolverConfigBuilder::build`].
+    pub fn to_builder(&self) -> SolverConfigBuilder {
+        SolverConfigBuilder {
+            config: self.clone(),
+        }
+    }
+
     /// Number of thread blocks needed for one full pool.
     pub fn grid_blocks(&self) -> usize {
         self.pool_size.div_ceil(self.block_threads)
+    }
+}
+
+/// An invalid [`GpuSolverConfig`] combination rejected by
+/// [`SolverConfigBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Typed, validating constructor for [`GpuSolverConfig`].
+///
+/// The config struct has accreted many ad-hoc public fields; the builder
+/// keeps struct-literal construction working while giving callers a checked
+/// path: every setter is chainable, and [`SolverConfigBuilder::build`]
+/// rejects combinations the solver would otherwise only trip over mid-run —
+/// fault injection combined with checkpointing (a checkpointed solve must
+/// replay bit-identically, which an injected failure breaks), fault
+/// injection or fleet weights on a non-fleet backend, mis-sized or
+/// non-positive fleet weights, and zero pool / depth parameters.
+///
+/// ```
+/// use gpu_bnb::{BackendKind, FleetTopology, GpuSolverConfig};
+/// let config = GpuSolverConfig::builder()
+///     .backend(BackendKind::Fleet(FleetTopology::uniform(2).mixed()))
+///     .pool_size(4096)
+///     .node_limit(Some(60_000))
+///     .lookahead(true)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.backend.devices(), 2);
+///
+/// let err = GpuSolverConfig::builder()
+///     .backend(BackendKind::Fleet(FleetTopology::uniform(2)))
+///     .fail_seed(Some(7))
+///     .checkpoint_after(Some(3))
+///     .build()
+///     .unwrap_err();
+/// assert!(err.to_string().contains("checkpoint"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SolverConfigBuilder {
+    config: GpuSolverConfig,
+}
+
+macro_rules! builder_setter {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        pub fn $name(mut self, value: $ty) -> Self {
+            self.config.$name = value;
+            self
+        }
+    };
+}
+
+impl SolverConfigBuilder {
+    builder_setter!(
+        /// Sets [`GpuSolverConfig::pool_size`].
+        pool_size: usize
+    );
+    builder_setter!(
+        /// Sets [`GpuSolverConfig::block_threads`].
+        block_threads: usize
+    );
+    builder_setter!(
+        /// Sets [`GpuSolverConfig::registers_per_thread`].
+        registers_per_thread: usize
+    );
+    builder_setter!(
+        /// Sets [`GpuSolverConfig::placement`].
+        placement: DataPlacement
+    );
+    builder_setter!(
+        /// Sets [`GpuSolverConfig::node_limit`].
+        node_limit: Option<u64>
+    );
+    builder_setter!(
+        /// Sets [`GpuSolverConfig::time_limit`].
+        time_limit: Option<Duration>
+    );
+    builder_setter!(
+        /// Sets [`GpuSolverConfig::use_initial_ub`].
+        use_initial_ub: bool
+    );
+    builder_setter!(
+        /// Sets [`GpuSolverConfig::fast_forward`].
+        fast_forward: bool
+    );
+    builder_setter!(
+        /// Sets [`GpuSolverConfig::backend`].
+        backend: BackendKind
+    );
+    builder_setter!(
+        /// Sets [`GpuSolverConfig::multicore_threads`].
+        multicore_threads: usize
+    );
+    builder_setter!(
+        /// Sets [`GpuSolverConfig::pipeline_depth`].
+        pipeline_depth: usize
+    );
+    builder_setter!(
+        /// Sets [`GpuSolverConfig::pipeline_chunk`].
+        pipeline_chunk: Option<usize>
+    );
+    builder_setter!(
+        /// Sets [`GpuSolverConfig::lookahead`].
+        lookahead: bool
+    );
+    builder_setter!(
+        /// Sets [`GpuSolverConfig::lookahead_depth`].
+        lookahead_depth: usize
+    );
+    builder_setter!(
+        /// Sets [`GpuSolverConfig::fleet_weights`].
+        fleet_weights: Option<Vec<f64>>
+    );
+    builder_setter!(
+        /// Sets [`GpuSolverConfig::lookahead_pool_guard`].
+        lookahead_pool_guard: bool
+    );
+    builder_setter!(
+        /// Sets [`GpuSolverConfig::fail_seed`].
+        fail_seed: Option<u64>
+    );
+    builder_setter!(
+        /// Sets [`GpuSolverConfig::fail_at`].
+        fail_at: Vec<(u64, usize)>
+    );
+    builder_setter!(
+        /// Sets [`GpuSolverConfig::checkpoint_after`].
+        checkpoint_after: Option<u64>
+    );
+
+    /// Validates the accumulated configuration and returns it, or a
+    /// [`ConfigError`] naming the first inconsistent combination.
+    pub fn build(self) -> Result<GpuSolverConfig, ConfigError> {
+        let config = self.config;
+        if config.pool_size == 0 {
+            return Err(ConfigError("pool_size must be at least 1".into()));
+        }
+        if config.block_threads == 0 {
+            return Err(ConfigError("block_threads must be at least 1".into()));
+        }
+        if config.multicore_threads == 0 {
+            return Err(ConfigError("multicore_threads must be at least 1".into()));
+        }
+        if config.pipeline_depth == 0 {
+            return Err(ConfigError("pipeline_depth must be at least 1".into()));
+        }
+        if config.lookahead_depth == 0 {
+            return Err(ConfigError("lookahead_depth must be at least 1".into()));
+        }
+        if config.pipeline_chunk == Some(0) {
+            return Err(ConfigError("pipeline_chunk must be at least 1".into()));
+        }
+        let injects_faults = config.fail_seed.is_some() || !config.fail_at.is_empty();
+        if injects_faults && config.checkpoint_after.is_some() {
+            return Err(ConfigError(
+                "fault injection (fail_seed / fail_at) cannot be combined with \
+                 checkpoint_after: a checkpointed solve must replay bit-identically, \
+                 which an injected member failure breaks"
+                    .into(),
+            ));
+        }
+        let fleet = match config.backend {
+            BackendKind::Fleet(topology) => Some(topology),
+            _ => None,
+        };
+        if injects_faults && fleet.is_none() {
+            return Err(ConfigError(format!(
+                "fault injection needs a fleet backend (got `{}`)",
+                config.backend
+            )));
+        }
+        if let Some(weights) = &config.fleet_weights {
+            let Some(topology) = fleet else {
+                return Err(ConfigError(format!(
+                    "fleet_weights need a fleet backend (got `{}`)",
+                    config.backend
+                )));
+            };
+            if weights.len() != topology.devices {
+                return Err(ConfigError(format!(
+                    "fleet_weights has {} entries but the fleet has {} devices",
+                    weights.len(),
+                    topology.devices
+                )));
+            }
+            if weights.iter().any(|w| !w.is_finite() || *w <= 0.0) {
+                return Err(ConfigError(
+                    "fleet_weights must all be finite and positive".into(),
+                ));
+            }
+        }
+        if let Some(topology) = fleet {
+            for &(_, member) in &config.fail_at {
+                if member >= topology.devices {
+                    return Err(ConfigError(format!(
+                        "fail_at names member {member} but the fleet has only {} devices",
+                        topology.devices
+                    )));
+                }
+            }
+        }
+        Ok(config)
     }
 }
 
@@ -380,46 +730,49 @@ mod tests {
 
     #[test]
     fn fleet_specs_parse_and_display() {
-        for (spec, devices, pipelined, hetero, stealing, name) in [
-            ("fleet", DEFAULT_FLEET_DEVICES, true, false, false, "fleet"),
-            ("fleet:1", 1, true, false, false, "fleet"),
-            ("fleet:4", 4, true, false, false, "fleet"),
-            ("fleet:3:one-launch", 3, false, false, false, "fleet"),
-            ("fleet:2:hetero", 2, true, true, false, "fleet-hetero"),
-            ("fleet:2:steal", 2, true, false, true, "fleet-steal"),
+        for (spec, topology, name) in [
+            (
+                "fleet",
+                FleetTopology::uniform(DEFAULT_FLEET_DEVICES),
+                "fleet",
+            ),
+            ("fleet:1", FleetTopology::uniform(1), "fleet"),
+            ("fleet:4", FleetTopology::uniform(4), "fleet"),
+            (
+                "fleet:3:one-launch",
+                FleetTopology::uniform(3).one_launch(),
+                "fleet",
+            ),
+            (
+                "fleet:2:hetero",
+                FleetTopology::uniform(2).mixed(),
+                "fleet-hetero",
+            ),
+            (
+                "fleet:2:steal",
+                FleetTopology::uniform(2).stealing(),
+                "fleet-steal",
+            ),
             (
                 "fleet:2:hetero:steal:one-launch",
-                2,
-                false,
-                true,
-                true,
+                FleetTopology::uniform(2).mixed().stealing().one_launch(),
                 "fleet-hetero-steal",
             ),
             // Modes parse in any order; Display canonicalizes them.
             (
                 "fleet:2:steal:hetero",
-                2,
-                true,
-                true,
-                true,
+                FleetTopology::uniform(2).mixed().stealing(),
                 "fleet-hetero-steal",
             ),
         ] {
             let kind: BackendKind = spec.parse().unwrap();
-            assert_eq!(
-                kind,
-                BackendKind::Fleet {
-                    devices,
-                    pipelined,
-                    hetero,
-                    stealing,
-                },
-                "{spec}"
-            );
+            assert_eq!(kind, BackendKind::Fleet(topology), "{spec}");
             assert_eq!(kind.name(), name);
-            assert_eq!(kind.devices(), devices);
+            assert_eq!(kind.devices(), topology.devices);
             // The Display form round-trips with the full parameters.
             assert_eq!(kind.to_string().parse::<BackendKind>().unwrap(), kind);
+            // The topology parses standalone with the same grammar.
+            assert_eq!(spec.parse::<FleetTopology>().unwrap(), topology);
         }
         assert_eq!(
             "fleet:2:steal:hetero"
@@ -441,6 +794,120 @@ mod tests {
         ] {
             assert!(bad.parse::<BackendKind>().is_err(), "{bad} must not parse");
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_fleet_constructor_matches_topologies() {
+        for (pipelined, hetero, stealing) in [
+            (true, false, false),
+            (false, false, false),
+            (true, true, false),
+            (true, false, true),
+            (false, true, true),
+        ] {
+            let legacy = BackendKind::fleet(3, pipelined, hetero, stealing);
+            let BackendKind::Fleet(topology) = legacy else {
+                panic!("constructor must build a fleet");
+            };
+            assert_eq!(topology.devices, 3);
+            assert_eq!(topology.is_pipelined(), pipelined);
+            assert_eq!(topology.is_hetero(), hetero);
+            assert_eq!(topology.is_stealing(), stealing);
+            // String round-trip: the legacy form and the topology form
+            // produce the same canonical spelling and report name.
+            assert_eq!(
+                legacy.to_string().parse::<BackendKind>().unwrap(),
+                BackendKind::Fleet(topology)
+            );
+        }
+    }
+
+    #[test]
+    fn builder_validates_inconsistent_combinations() {
+        // The happy path mirrors struct-literal construction.
+        let built = GpuSolverConfig::builder()
+            .pool_size(4096)
+            .node_limit(Some(1000))
+            .build()
+            .unwrap();
+        assert_eq!(built.pool_size, 4096);
+        assert_eq!(built.node_limit, Some(1000));
+        assert_eq!(
+            built.block_threads,
+            GpuSolverConfig::default().block_threads
+        );
+
+        // Fault injection and checkpointing conflict at build time.
+        let err = GpuSolverConfig::builder()
+            .backend(BackendKind::Fleet(FleetTopology::uniform(2)))
+            .fail_seed(Some(11))
+            .checkpoint_after(Some(5))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("checkpoint"), "{err}");
+        let err = GpuSolverConfig::builder()
+            .backend(BackendKind::Fleet(FleetTopology::uniform(2)))
+            .fail_at(vec![(3, 1)])
+            .checkpoint_after(Some(5))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("bit-identically"), "{err}");
+
+        // Fault injection and fleet weights need a fleet backend.
+        assert!(GpuSolverConfig::builder()
+            .fail_seed(Some(11))
+            .build()
+            .is_err());
+        assert!(GpuSolverConfig::builder()
+            .fleet_weights(Some(vec![1.0, 2.0]))
+            .build()
+            .is_err());
+
+        // Fleet weights must match the device count and be positive.
+        let fleet = BackendKind::Fleet(FleetTopology::uniform(2));
+        assert!(GpuSolverConfig::builder()
+            .backend(fleet)
+            .fleet_weights(Some(vec![1.0]))
+            .build()
+            .is_err());
+        assert!(GpuSolverConfig::builder()
+            .backend(fleet)
+            .fleet_weights(Some(vec![1.0, -2.0]))
+            .build()
+            .is_err());
+        assert!(GpuSolverConfig::builder()
+            .backend(fleet)
+            .fleet_weights(Some(vec![1.0, 2.0]))
+            .build()
+            .is_ok());
+
+        // Explicit fail_at events must name an existing member.
+        assert!(GpuSolverConfig::builder()
+            .backend(fleet)
+            .fail_at(vec![(0, 2)])
+            .build()
+            .is_err());
+
+        // Zero-valued structural parameters are rejected.
+        assert!(GpuSolverConfig::builder().pool_size(0).build().is_err());
+        assert!(GpuSolverConfig::builder()
+            .pipeline_depth(0)
+            .build()
+            .is_err());
+        assert!(GpuSolverConfig::builder()
+            .lookahead_depth(0)
+            .build()
+            .is_err());
+        assert!(GpuSolverConfig::builder()
+            .pipeline_chunk(Some(0))
+            .build()
+            .is_err());
+
+        // to_builder round-trips an existing config.
+        let edited = built.to_builder().pool_size(8192).build().unwrap();
+        assert_eq!(edited.pool_size, 8192);
+        assert_eq!(edited.node_limit, Some(1000));
     }
 
     #[test]

@@ -140,11 +140,21 @@ pub struct CostReport {
     pub fleet_recovery_nanos: u64,
     /// Matrix accesses the equivalent serial bounding would perform.
     pub serial_accesses: u64,
+    /// Solve-cache exact hits: requests answered from a memoized
+    /// certificate ([`crate::cache::SolveCache`]) with zero device work.
+    pub cache_hits: u64,
+    /// Solves warm-started from a cached incumbent (perturbed-instance
+    /// reuse: the donor's schedule re-priced as the initial upper bound).
+    pub cache_warm_starts: u64,
+    /// Stored frontier nodes whose bounds a perturbation invalidated (the
+    /// bound-recheck pass over a cached frontier checkpoint re-bounded
+    /// them before the resume).
+    pub cache_invalidated_nodes: u64,
 }
 
 /// The number of counters in a [`CostReport`] (the length of
 /// [`CostReport::counters`]).
-pub const COST_COUNTERS: usize = 19;
+pub const COST_COUNTERS: usize = 22;
 
 impl CostReport {
     /// Folds one bounded batch into the report. `nodes` is the batch size;
@@ -211,6 +221,9 @@ impl CostReport {
             ("fleet_redealt_nodes", self.fleet_redealt_nodes),
             ("fleet_recovery_nanos", self.fleet_recovery_nanos),
             ("serial_accesses", self.serial_accesses),
+            ("cache_hits", self.cache_hits),
+            ("cache_warm_starts", self.cache_warm_starts),
+            ("cache_invalidated_nodes", self.cache_invalidated_nodes),
         ]
     }
 
@@ -250,6 +263,13 @@ impl CostReport {
             serial_accesses: self
                 .serial_accesses
                 .saturating_sub(baseline.serial_accesses),
+            cache_hits: self.cache_hits.saturating_sub(baseline.cache_hits),
+            cache_warm_starts: self
+                .cache_warm_starts
+                .saturating_sub(baseline.cache_warm_starts),
+            cache_invalidated_nodes: self
+                .cache_invalidated_nodes
+                .saturating_sub(baseline.cache_invalidated_nodes),
         }
     }
 
@@ -277,6 +297,9 @@ impl CostReport {
         self.fleet_redealt_nodes += other.fleet_redealt_nodes;
         self.fleet_recovery_nanos += other.fleet_recovery_nanos;
         self.serial_accesses += other.serial_accesses;
+        self.cache_hits += other.cache_hits;
+        self.cache_warm_starts += other.cache_warm_starts;
+        self.cache_invalidated_nodes += other.cache_invalidated_nodes;
     }
 
     /// Total nodes bounded (device + host).
@@ -354,6 +377,9 @@ impl CostReport {
             "fleet_redealt_nodes" => self.fleet_redealt_nodes = value,
             "fleet_recovery_nanos" => self.fleet_recovery_nanos = value,
             "serial_accesses" => self.serial_accesses = value,
+            "cache_hits" => self.cache_hits = value,
+            "cache_warm_starts" => self.cache_warm_starts = value,
+            "cache_invalidated_nodes" => self.cache_invalidated_nodes = value,
             _ => return false,
         }
         true
@@ -536,6 +562,9 @@ mod tests {
             fleet_redealt_nodes: 32,
             fleet_recovery_nanos: 4_200,
             serial_accesses: 9_000_000,
+            cache_hits: 2,
+            cache_warm_starts: 1,
+            cache_invalidated_nodes: 17,
         }
     }
 

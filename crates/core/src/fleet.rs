@@ -55,7 +55,7 @@
 //! spends waiting at the merge barrier and the derived utilization.
 
 use crate::backend::{BackendAccounting, BackendBatch, BoundingBackend, MulticoreBackend};
-use crate::config::{BackendKind, GpuSolverConfig, DEFAULT_FLEET_DEVICES};
+use crate::config::{BackendKind, FleetTopology, GpuSolverConfig, DEFAULT_FLEET_DEVICES};
 use crate::fault::{recovery_critical_seconds, redeal_plan, FailurePlan};
 use crate::offload::{BoundingEngine, PipelineSession, PipelinedBatch};
 use bb::{FspNode, FspProblem};
@@ -622,13 +622,14 @@ impl FleetBackend {
             }
         }
         let hetero = specs.iter().any(|s| *s != specs[0]);
-        let name = BackendKind::Fleet {
-            devices: DEFAULT_FLEET_DEVICES,
-            pipelined: true,
-            hetero,
-            stealing,
+        let mut topology = FleetTopology::uniform(DEFAULT_FLEET_DEVICES);
+        if hetero {
+            topology = topology.mixed();
         }
-        .name();
+        if stealing {
+            topology = topology.stealing();
+        }
+        let name = topology.name();
         let data = problem.bound_fn().data();
         let members: Vec<FleetMember> = specs
             .iter()
@@ -984,13 +985,10 @@ pub fn fleet_weight_shares(
     jobs: usize,
     machines: usize,
 ) -> Option<Vec<f64>> {
-    let BackendKind::Fleet {
-        devices, hetero, ..
-    } = kind
-    else {
+    let BackendKind::Fleet(topology) = kind else {
         return None;
     };
-    let specs = fleet_member_specs(devices, hetero);
+    let specs = fleet_member_specs(topology.devices, topology.is_hetero());
     let standalone = member_models(&specs, config, jobs, machines);
     // Shares reflect the deal the fleet actually runs: models re-quantized
     // to the shared launch chunk (the smallest member wave), unless an
@@ -1583,13 +1581,15 @@ mod tests {
             (false, true, "fleet-steal"),
             (true, true, "fleet-hetero-steal"),
         ] {
+            let mut topology = FleetTopology::uniform(3);
+            if hetero {
+                topology = topology.mixed();
+            }
+            if stealing {
+                topology = topology.stealing();
+            }
             let config = GpuSolverConfig {
-                backend: BackendKind::Fleet {
-                    devices: 3,
-                    pipelined: true,
-                    hetero,
-                    stealing,
-                },
+                backend: BackendKind::Fleet(topology),
                 ..base.clone()
             };
             let mut backend = make_backend(&problem, &config, nodes.len());
@@ -1602,11 +1602,9 @@ mod tests {
     #[test]
     fn fleet_weight_shares_normalize_and_respect_overrides() {
         let (_, _, config) = fixture(16);
-        let kind = |hetero| BackendKind::Fleet {
-            devices: 2,
-            pipelined: true,
-            hetero,
-            stealing: false,
+        let kind = |hetero: bool| {
+            let topology = FleetTopology::uniform(2);
+            BackendKind::Fleet(if hetero { topology.mixed() } else { topology })
         };
         assert_eq!(fleet_weight_shares(BackendKind::Gpu, &config, 20, 20), None);
         let equal = fleet_weight_shares(kind(false), &config, 20, 20).unwrap();

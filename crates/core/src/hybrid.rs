@@ -451,12 +451,7 @@ mod tests {
         let inst = generate("t", 8, 4, 23);
         let (_, expected) = brute_force_optimal(&inst);
         let cfg = GpuSolverConfig {
-            backend: BackendKind::Fleet {
-                devices: 3,
-                pipelined: true,
-                hetero: false,
-                stealing: false,
-            },
+            backend: BackendKind::Fleet(crate::config::FleetTopology::uniform(3)),
             lookahead: true,
             ..config(24)
         };

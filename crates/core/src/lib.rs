@@ -9,6 +9,7 @@
 
 pub mod autotune;
 pub mod backend;
+pub mod cache;
 pub mod config;
 pub mod cost;
 pub mod fault;
@@ -25,7 +26,14 @@ pub use backend::{
     make_backend, BackendAccounting, BackendBatch, BoundingBackend, GpuBackend, MulticoreBackend,
     PipelinedGpuBackend, SequentialBackend,
 };
-pub use config::{BackendKind, GpuSolverConfig, DEFAULT_FLEET_DEVICES};
+pub use cache::{
+    perturbed, CacheDonor, Certificate, ConfigKey, InstanceKey, ReuseKey, SolveCache,
+    DEFAULT_CACHE_CAPACITY,
+};
+pub use config::{
+    BackendKind, ConfigError, FleetTopology, GpuSolverConfig, LaunchMode, MemberMix,
+    SolverConfigBuilder, StealPolicy, DEFAULT_FLEET_DEVICES,
+};
 pub use cost::{CostReport, CostSummary, CostTable, LatencyHistogram, OpCost, SolveLatencies};
 pub use fault::{
     recovery_critical_seconds, redeal_plan, FailureEvent, FailurePlan, SolveCheckpoint,
@@ -40,8 +48,8 @@ pub use kernel_lb::LowerBoundKernel;
 pub use offload::{BoundingEngine, PipelineSession, PipelinedBatch, PipelinedBoundingResult};
 pub use placement::DataPlacement;
 pub use service::{
-    IncumbentUpdate, JobHandle, JobId, JobOutcome, JobSpec, JobStatus, JobStopReason,
-    ServiceConfig, SolveService,
+    CacheDisposition, CachePolicy, IncumbentUpdate, JobHandle, JobId, JobOutcome, JobSpec,
+    JobStatus, JobStopReason, RequestOutcome, ServiceConfig, SolveRequest, SolveService,
 };
 pub use solver::{GpuBnbSolver, GpuSolveOutcome};
 pub use stats::GpuRunStats;

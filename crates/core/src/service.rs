@@ -28,8 +28,10 @@
 //! See `docs/SERVICE.md` for the lifecycle, scheduling and fairness rules.
 
 use crate::backend::{make_backend, BackendAccounting, BoundingBackend};
+use crate::cache::{Certificate, ConfigKey, InstanceKey, SolveCache};
 use crate::config::GpuSolverConfig;
 use crate::cost::{CostReport, SolveLatencies};
+use crate::fault::SolveCheckpoint;
 use crate::stats::GpuRunStats;
 use bb::pool::Pool;
 use bb::stats::SolveStats;
@@ -324,6 +326,12 @@ pub struct JobSpec {
     /// the finished job's summed [`CostReport`] equals an uninterrupted
     /// run's.
     pub resume_cost: Option<CostReport>,
+    /// Keep the final pending frontier: when the job stops with work left
+    /// (budget, deadline, cancellation), the outcome carries the drained
+    /// pool as a [`SolveCheckpoint`] ([`JobOutcome::frontier`]) — the
+    /// resume point the solve cache stores for warm-start reuse. Off by
+    /// default (exhausted jobs have an empty frontier either way).
+    pub keep_frontier: bool,
 }
 
 impl JobSpec {
@@ -340,6 +348,7 @@ impl JobSpec {
             initial_upper_bound: None,
             initial_schedule: None,
             resume_cost: None,
+            keep_frontier: false,
         }
     }
 
@@ -396,6 +405,13 @@ impl JobSpec {
             self.initial_schedule = checkpoint.best_schedule.clone();
         }
         self.resume_cost = Some(checkpoint.cost);
+        self
+    }
+
+    /// Asks for the final pending frontier in the outcome
+    /// ([`JobOutcome::frontier`]; see [`JobSpec::keep_frontier`]).
+    pub fn keeping_frontier(mut self) -> Self {
+        self.keep_frontier = true;
         self
     }
 
@@ -483,6 +499,12 @@ pub struct JobOutcome {
     /// best_makespan`, clamped to `[0, 1]`; `0.0` exactly when optimal,
     /// `1.0` when no incumbent exists.
     pub gap: f64,
+    /// The final pending frontier as a resume checkpoint, when the job was
+    /// submitted with [`JobSpec::keep_frontier`] **and** stopped with work
+    /// left (an exhausted job's frontier is empty, so `None`). This is the
+    /// warm-start material the solve cache stores alongside the
+    /// certificate.
+    pub frontier: Option<SolveCheckpoint>,
 }
 
 impl JobOutcome {
@@ -600,6 +622,7 @@ struct JobRun {
     deadline: Option<Duration>,
     started: Instant,
     finished: bool,
+    keep_frontier: bool,
 }
 
 impl JobRun {
@@ -727,6 +750,126 @@ struct ServiceState {
     backends: Vec<BackendSlot>,
 }
 
+/// Whether a request may read and feed the service's [`SolveCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Look the workload up first (exact hit or warm-start donor) and store
+    /// the finished certificate. The default of [`SolveRequest::new`].
+    #[default]
+    ReadWrite,
+    /// Bypass the cache entirely: always a cold solve, nothing stored. A
+    /// disabled request is bit-identical to [`SolveService::submit`] +
+    /// [`SolveService::run_until_idle`] of the same spec.
+    Disabled,
+}
+
+/// How the cache answered a request (carried in [`RequestOutcome`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDisposition {
+    /// The request opted out ([`CachePolicy::Disabled`]) or carried a
+    /// request-level budget/deadline (never cached: truncation points are
+    /// caller state, not workload content).
+    Disabled,
+    /// No usable cached material: a cold solve ran and was stored.
+    Miss,
+    /// Exact repeat: the stored certificate was returned bit-identically,
+    /// with zero device work — the request bill is one `cache_hits` tick.
+    Hit,
+    /// A perturbed neighbour donated its incumbent as a warm upper bound
+    /// (and, when it had one, its frontier checkpoint as the starting
+    /// pool after a bound-recheck pass).
+    WarmStart {
+        /// Frontier nodes whose stored bound the perturbation invalidated
+        /// (recomputed bound differs); also billed as
+        /// `cache_invalidated_nodes`.
+        invalidated: u64,
+    },
+}
+
+/// The consolidated solve request: one entry point
+/// ([`SolveService::request`]) that folds the instance, the configuration,
+/// the cache policy and the service knobs into a single value, instead of
+/// the caller wiring [`JobSpec`], scheduler rounds and cache lookups by
+/// hand.
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    /// The Flow-Shop instance to solve.
+    pub instance: Instance,
+    /// Solver configuration (cache identity is its [`ConfigKey`]).
+    pub config: GpuSolverConfig,
+    /// Cache behaviour ([`CachePolicy::ReadWrite`] by default).
+    pub cache: CachePolicy,
+    /// Keep the final frontier in the certificate, making this workload a
+    /// resume-capable warm-start donor (see [`JobSpec::keep_frontier`]).
+    pub keep_frontier: bool,
+    /// Request-level node budget. Budgeted requests always solve fresh and
+    /// are never stored (see [`CacheDisposition::Disabled`]).
+    pub node_budget: Option<u64>,
+    /// Request-level deadline; same cache exclusion as the node budget.
+    pub deadline: Option<Duration>,
+}
+
+impl SolveRequest {
+    /// A cache-enabled request with no extra budgets.
+    pub fn new(instance: Instance, config: GpuSolverConfig) -> Self {
+        Self {
+            instance,
+            config,
+            cache: CachePolicy::ReadWrite,
+            keep_frontier: false,
+            node_budget: None,
+            deadline: None,
+        }
+    }
+
+    /// Sets the cache policy.
+    pub fn with_cache(mut self, cache: CachePolicy) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Keeps the final frontier in the stored certificate.
+    pub fn keeping_frontier(mut self) -> Self {
+        self.keep_frontier = true;
+        self
+    }
+
+    /// Caps the solve at `nodes` bound evaluations (disables caching for
+    /// this request).
+    pub fn with_node_budget(mut self, nodes: u64) -> Self {
+        self.node_budget = Some(nodes);
+        self
+    }
+
+    /// Caps the solve at `deadline` wall-clock time (disables caching for
+    /// this request).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// What [`SolveService::request`] returns: the certificate, how the cache
+/// answered, and the request's own deterministic bill.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// The solve certificate. On a [`CacheDisposition::Hit`] this is the
+    /// stored certificate, bit-identical to the one the original request
+    /// returned — including every cost counter.
+    pub certificate: Certificate,
+    /// How the cache answered.
+    pub disposition: CacheDisposition,
+    /// What **this request** charged the service: the fresh solve's cost
+    /// plus the cache counters (`cache_warm_starts`,
+    /// `cache_invalidated_nodes`) when one ran, or a zero report with one
+    /// `cache_hits` tick on an exact hit. Cost-gate rows for cached
+    /// replays price this report.
+    pub request_cost: CostReport,
+    /// The underlying job outcome when a solver actually ran; `None` on an
+    /// exact hit (nothing ran).
+    pub job: Option<JobOutcome>,
+}
+
 /// The solve service: submit jobs, run the deterministic scheduler, collect
 /// anytime outcomes. See the [module docs](self) for the architecture and
 /// `docs/SERVICE.md` for the full semantics.
@@ -797,6 +940,9 @@ pub struct SolveService {
     /// round — so `submit`/`cancel` never contend with a running round.
     pending: Mutex<Vec<QueuedJob>>,
     state: Mutex<ServiceState>,
+    /// The content-addressed certificate store behind
+    /// [`SolveService::request`].
+    cache: Mutex<SolveCache>,
 }
 
 impl SolveService {
@@ -815,6 +961,7 @@ impl SolveService {
             next_id: AtomicU64::new(0),
             pending: Mutex::new(Vec::new()),
             state: Mutex::new(ServiceState::default()),
+            cache: Mutex::new(SolveCache::default()),
         }
     }
 
@@ -862,6 +1009,166 @@ impl SolveService {
     /// [`SolveService::run_rounds`] for the round semantics.
     pub fn run_until_idle(&self) -> Vec<JobOutcome> {
         self.run_rounds(u64::MAX)
+    }
+
+    /// Number of certificates currently cached.
+    pub fn cached_certificates(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    /// Removes (and returns) the certificate cached for `(instance,
+    /// config)`: the next exact repeat misses and recomputes. The
+    /// store → evict → miss → recompute round trip reproduces an identical
+    /// [`CostReport`] — the solve is deterministic, the cache only memoizes.
+    pub fn evict_cached(
+        &self,
+        instance: &Instance,
+        config: &GpuSolverConfig,
+    ) -> Option<Certificate> {
+        self.cache
+            .lock()
+            .unwrap()
+            .evict(InstanceKey::of(instance), ConfigKey::of(config))
+    }
+
+    /// The consolidated solve entry point (the tentpole of the incremental
+    /// cache): answers `request` from the [`SolveCache`] when it can,
+    /// otherwise drives a solve to completion and stores its certificate.
+    ///
+    /// Three paths, reported in [`RequestOutcome::disposition`]:
+    ///
+    /// * **exact hit** — same [`InstanceKey`] and [`ConfigKey`] as a stored
+    ///   certificate: returned bit-identically (schedule, makespan, bound,
+    ///   gap and every cost counter), no solver runs, and the request is
+    ///   billed one `cache_hits` tick with zero device work;
+    /// * **warm start** — a same-shape donor with the same
+    ///   [`crate::cache::ReuseKey`] exists: its incumbent is **re-priced on
+    ///   the requested instance** (a valid, possibly loose upper bound) and
+    ///   seeds the solve; when the donor kept a frontier checkpoint, a
+    ///   bound-recheck pass re-bounds every frontier node on the requested
+    ///   instance (counting changed bounds as `cache_invalidated_nodes`)
+    ///   and the solve resumes from the rechecked frontier instead of the
+    ///   root;
+    /// * **miss** — a cold solve; its certificate is stored for next time.
+    ///
+    /// Requests carrying a request-level `node_budget` or `deadline`, or
+    /// [`CachePolicy::Disabled`], bypass the cache entirely and behave
+    /// bit-identically to [`SolveService::submit`] +
+    /// [`SolveService::run_until_idle`] of the same spec.
+    ///
+    /// Drives the scheduler with [`SolveService::run_until_idle`], so any
+    /// previously submitted jobs still pending are pumped too.
+    pub fn request(&self, request: SolveRequest) -> RequestOutcome {
+        let SolveRequest {
+            instance,
+            config,
+            cache: policy,
+            keep_frontier,
+            node_budget,
+            deadline,
+        } = request;
+        // Truncation points (budgets, deadlines) are caller state, not
+        // workload content: such requests never read or feed the cache.
+        let cacheable =
+            policy == CachePolicy::ReadWrite && node_budget.is_none() && deadline.is_none();
+
+        if cacheable {
+            let instance_key = InstanceKey::of(&instance);
+            let config_key = ConfigKey::of(&config);
+            if let Some(stored) = self.cache.lock().unwrap().get(instance_key, config_key) {
+                let request_cost = CostReport {
+                    cache_hits: 1,
+                    ..Default::default()
+                };
+                return RequestOutcome {
+                    certificate: stored.clone(),
+                    disposition: CacheDisposition::Hit,
+                    request_cost,
+                    job: None,
+                };
+            }
+        }
+
+        let mut spec = JobSpec::new(instance.clone(), config.clone());
+        if keep_frontier {
+            spec = spec.keeping_frontier();
+        }
+        if let Some(nodes) = node_budget {
+            spec = spec.with_node_budget(nodes);
+        }
+        if let Some(limit) = deadline {
+            spec = spec.with_deadline(limit);
+        }
+
+        // Warm-start material from the closest donor, when caching is on.
+        let mut warm: Option<u64> = None;
+        if cacheable {
+            let cache = self.cache.lock().unwrap();
+            if let Some(donor) = cache.donor(&instance, &config) {
+                if let Some(schedule) = &donor.certificate.best_schedule {
+                    // Re-price the donor's incumbent on the requested
+                    // instance: a feasible schedule is a valid upper bound
+                    // on *any* instance of the same shape.
+                    let warm_ub = fsp::schedule::makespan(&instance, schedule);
+                    spec = spec.with_incumbent(schedule.clone(), warm_ub);
+                    let mut invalidated = 0u64;
+                    if let Some(checkpoint) = &donor.certificate.frontier {
+                        // Bound-recheck pass: rebuild every frontier node
+                        // against the requested instance and recompute its
+                        // bound. Nodes whose stored bound the perturbation
+                        // changed are the invalidated subtrees the resumed
+                        // solve re-explores.
+                        let problem = FspProblem::new(instance.clone());
+                        let mut nodes = Vec::with_capacity(checkpoint.frontier.len());
+                        for (prefix, stored_bound) in &checkpoint.frontier {
+                            let mut node = FspNode::from_prefix(&instance, prefix);
+                            problem.bound(&mut node);
+                            if node.bound() != *stored_bound {
+                                invalidated += 1;
+                            }
+                            nodes.push(node);
+                        }
+                        spec = spec.with_initial_nodes(nodes);
+                    }
+                    warm = Some(invalidated);
+                }
+            }
+        }
+
+        let handle = self.submit(spec);
+        self.run_until_idle();
+        let outcome = handle.outcome().expect("run_until_idle finished the job");
+
+        let mut request_cost = outcome.cost;
+        let disposition = match (cacheable, warm) {
+            (false, _) => CacheDisposition::Disabled,
+            (true, None) => CacheDisposition::Miss,
+            (true, Some(invalidated)) => {
+                request_cost.cache_warm_starts = 1;
+                request_cost.cache_invalidated_nodes = invalidated;
+                CacheDisposition::WarmStart { invalidated }
+            }
+        };
+        let certificate = Certificate {
+            best_schedule: outcome.best_schedule.clone(),
+            best_makespan: outcome.best_makespan,
+            lower_bound: outcome.lower_bound,
+            gap: outcome.gap,
+            cost: request_cost,
+            frontier: outcome.frontier.clone(),
+        };
+        if cacheable {
+            self.cache
+                .lock()
+                .unwrap()
+                .insert(&instance, &config, certificate.clone());
+        }
+        RequestOutcome {
+            certificate,
+            disposition,
+            request_cost,
+            job: Some(outcome),
+        }
     }
 
     /// Runs at most `rounds` scheduler rounds, returning the outcomes of
@@ -929,6 +1236,7 @@ impl SolveService {
             stop: JobStopReason::Cancelled,
             lower_bound: 0,
             gap: optimality_gap(best_makespan, 0),
+            frontier: None,
         };
         *queued.shared.status.lock().unwrap() = JobStatus::Cancelled;
         *queued.shared.outcome.lock().unwrap() = Some(outcome.clone());
@@ -1017,6 +1325,7 @@ impl SolveService {
             deadline: spec.deadline.or(spec.config.time_limit),
             started: Instant::now(),
             finished: false,
+            keep_frontier: spec.keep_frontier,
             config: spec.config,
         });
     }
@@ -1065,6 +1374,25 @@ impl SolveService {
             JobStopReason::Exhausted => upper,
             _ => run.pool.best_bound().map_or(upper, |b| b.min(upper)),
         };
+        // The frontier checkpoint, when the caller asked to keep it and the
+        // job stopped with pending work: the pool drained in pop order, the
+        // same shape a paused standalone solve writes.
+        let frontier = (run.keep_frontier && !run.pool.is_empty()).then(|| {
+            let inst = run.problem.instance();
+            let mut entries = Vec::with_capacity(run.pool.len());
+            while let Some(node) = run.pool.pop() {
+                entries.push((node.prefix_vec(), node.bound()));
+            }
+            SolveCheckpoint {
+                jobs: inst.jobs(),
+                machines: inst.machines(),
+                upper_bound: upper,
+                best_schedule: run.best_schedule.clone(),
+                proven_bound: lower_bound,
+                cost: acc.cost,
+                frontier: entries,
+            }
+        });
         JobOutcome {
             job: run.id,
             best_makespan: upper,
@@ -1076,6 +1404,7 @@ impl SolveService {
             stop,
             lower_bound,
             gap: optimality_gap(upper, lower_bound),
+            frontier,
         }
     }
 }

@@ -62,3 +62,22 @@ if [ "$ckpt_schema" != "$ckpt_docs" ]; then
     exit 1
 fi
 echo "docs drift: ok — checkpoint schema $ckpt_schema agrees between emitter and docs"
+
+# Cache-counter drift: the three v9 cache cost counters priced by
+# `gpu_bnb::cost` must be named in both the caching guide and the
+# benchmarking guide — a renamed or added counter that forgets the docs
+# fails here.
+for counter in cache_hits cache_warm_starts cache_invalidated_nodes; do
+    if ! grep -q "$counter" crates/core/src/cost.rs; then
+        echo "docs drift: counter \`$counter\` not found in crates/core/src/cost.rs" >&2
+        exit 1
+    fi
+    for doc in docs/CACHING.md docs/BENCHMARKING.md; do
+        if ! grep -q "$counter" "$doc"; then
+            echo "docs drift: cost counter \`$counter\` is priced by gpu_bnb::cost" >&2
+            echo "but not documented in $doc." >&2
+            exit 1
+        fi
+    done
+done
+echo "docs drift: ok — the three cache counters are named in docs/CACHING.md and docs/BENCHMARKING.md"

@@ -15,9 +15,9 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_cost_baseline.json}"
 
 cargo build --release -p bench --bin solve_taillard
-# The five standalone smoke rows plus the four per-job service rows — the
-# same command the cost-gate CI job runs.
-./target/release/solve_taillard --smoke --service --jobs 4 \
+# The five standalone smoke rows, the four per-job service rows and the
+# four per-request cache rows — the same command the cost-gate CI job runs.
+./target/release/solve_taillard --smoke --service --cache --jobs 4 \
     --emit-cost-baseline "$out" >/dev/null
 
 # Determinism self-check: a second run must reproduce the file byte for
@@ -25,7 +25,7 @@ cargo build --release -p bench --bin solve_taillard
 # fix that before committing anything.
 second="$(mktemp)"
 trap 'rm -f "$second"' EXIT
-./target/release/solve_taillard --smoke --service --jobs 4 \
+./target/release/solve_taillard --smoke --service --cache --jobs 4 \
     --emit-cost-baseline "$second" >/dev/null
 cmp "$out" "$second"
 

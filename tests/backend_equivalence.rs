@@ -24,7 +24,7 @@ use flowshop_gpu_bnb::bb::{frozen_pool, FspProblem};
 use flowshop_gpu_bnb::fsp::{taillard, Time};
 use flowshop_gpu_bnb::gpu_bnb::backend::make_backend;
 use flowshop_gpu_bnb::gpu_bnb::{
-    BackendKind, BoundingEngine, DataPlacement, GpuBnbSolver, GpuSolverConfig,
+    BackendKind, BoundingEngine, DataPlacement, FleetTopology, GpuBnbSolver, GpuSolverConfig,
 };
 use proptest::prelude::*;
 
@@ -46,21 +46,13 @@ fn gated_kinds() -> Vec<BackendKind> {
         _ => {
             let mut kinds = BackendKind::ALL.to_vec();
             for devices in [1, 4] {
-                kinds.push(BackendKind::Fleet {
-                    devices,
-                    pipelined: true,
-                    hetero: false,
-                    stealing: false,
-                });
+                kinds.push(BackendKind::Fleet(FleetTopology::uniform(devices)));
             }
             // The mixed-spec fleet with deterministic stealing: same bounds,
             // different deal — the equivalence contract must not notice.
-            kinds.push(BackendKind::Fleet {
-                devices: 2,
-                pipelined: true,
-                hetero: true,
-                stealing: true,
-            });
+            kinds.push(BackendKind::Fleet(
+                FleetTopology::uniform(2).mixed().stealing(),
+            ));
             kinds
         }
     }

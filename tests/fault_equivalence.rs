@@ -36,8 +36,8 @@ use flowshop_gpu_bnb::fsp::{taillard, Instance, Time};
 use flowshop_gpu_bnb::gpu_bnb::fleet::effective_chunk;
 use flowshop_gpu_bnb::gpu_bnb::{
     fleet_member_specs, member_models, redeal_plan, BackendKind, CostReport, DataPlacement,
-    FailurePlan, GpuBnbSolver, GpuSolveOutcome, GpuSolverConfig, JobSpec, JobStopReason,
-    MemberModel, ServiceConfig, SolveCheckpoint, SolveService,
+    FailurePlan, FleetTopology, GpuBnbSolver, GpuSolveOutcome, GpuSolverConfig, JobSpec,
+    JobStopReason, MemberModel, ServiceConfig, SolveCheckpoint, SolveService,
 };
 use proptest::prelude::*;
 
@@ -65,36 +65,11 @@ fn gated_fleet_kinds() -> Vec<BackendKind> {
             }
         }
         _ => vec![
-            BackendKind::Fleet {
-                devices: 2,
-                pipelined: true,
-                hetero: false,
-                stealing: false,
-            },
-            BackendKind::Fleet {
-                devices: 4,
-                pipelined: true,
-                hetero: false,
-                stealing: false,
-            },
-            BackendKind::Fleet {
-                devices: 2,
-                pipelined: true,
-                hetero: true,
-                stealing: false,
-            },
-            BackendKind::Fleet {
-                devices: 2,
-                pipelined: true,
-                hetero: false,
-                stealing: true,
-            },
-            BackendKind::Fleet {
-                devices: 4,
-                pipelined: true,
-                hetero: true,
-                stealing: true,
-            },
+            BackendKind::Fleet(FleetTopology::uniform(2)),
+            BackendKind::Fleet(FleetTopology::uniform(4)),
+            BackendKind::Fleet(FleetTopology::uniform(2).mixed()),
+            BackendKind::Fleet(FleetTopology::uniform(2).stealing()),
+            BackendKind::Fleet(FleetTopology::uniform(4).mixed().stealing()),
         ],
     }
 }
@@ -113,18 +88,8 @@ fn checkpoint_kinds() -> Vec<BackendKind> {
         _ => vec![
             BackendKind::Gpu,
             BackendKind::GpuPipelined,
-            BackendKind::Fleet {
-                devices: 2,
-                pipelined: true,
-                hetero: false,
-                stealing: false,
-            },
-            BackendKind::Fleet {
-                devices: 2,
-                pipelined: true,
-                hetero: true,
-                stealing: true,
-            },
+            BackendKind::Fleet(FleetTopology::uniform(2)),
+            BackendKind::Fleet(FleetTopology::uniform(2).mixed().stealing()),
         ],
     }
 }

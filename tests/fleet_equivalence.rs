@@ -25,7 +25,7 @@ use flowshop_gpu_bnb::fsp::{taillard, Time};
 use flowshop_gpu_bnb::gpu_bnb::backend::make_backend;
 use flowshop_gpu_bnb::gpu_bnb::{
     plan_shards, plan_shards_weighted, steal_pass, BackendKind, DataPlacement, FleetShard,
-    GpuBnbSolver, GpuSolverConfig, MemberModel,
+    FleetTopology, GpuBnbSolver, GpuSolverConfig, MemberModel,
 };
 use proptest::prelude::*;
 
@@ -39,7 +39,7 @@ fn gated_device_counts() -> Vec<usize> {
                 .parse()
                 .unwrap_or_else(|e| panic!("invalid BACKEND_FILTER `{spec}`: {e}"));
             match kind {
-                BackendKind::Fleet { devices, .. } => vec![devices],
+                BackendKind::Fleet(topology) => vec![topology.devices],
                 _ => Vec::new(),
             }
         }
@@ -185,18 +185,14 @@ proptest! {
         let reference = single.bound_batch(&nodes).bounds;
         for devices in gated_device_counts() {
             for pipelined in [false, true] {
+                let topology = if pipelined {
+                    FleetTopology::uniform(devices)
+                } else {
+                    FleetTopology::uniform(devices).one_launch()
+                };
                 let mut fleet = make_backend(
                     &problem,
-                    &config(
-                        target,
-                        BackendKind::Fleet {
-                            devices,
-                            pipelined,
-                            hetero: false,
-                            stealing: false,
-                        },
-                        false,
-                    ),
+                    &config(target, BackendKind::Fleet(topology), false),
                     nodes.len().max(1),
                 );
                 let bounds = fleet.bound_batch(&nodes).bounds;
@@ -225,12 +221,7 @@ fn ta001_fleet_bounds_are_bit_identical() {
             &problem,
             &config(
                 256,
-                BackendKind::Fleet {
-                    devices,
-                    pipelined: true,
-                    hetero: false,
-                    stealing: false,
-                },
+                BackendKind::Fleet(FleetTopology::uniform(devices)),
                 false,
             ),
             frozen.nodes.len(),
@@ -262,12 +253,7 @@ fn ta001_fleet_visits_the_single_device_node_set_and_runs_faster() {
         )
     };
     let single = run(BackendKind::GpuPipelined);
-    let fleet = run(BackendKind::Fleet {
-        devices,
-        pipelined: true,
-        hetero: false,
-        stealing: false,
-    });
+    let fleet = run(BackendKind::Fleet(FleetTopology::uniform(devices)));
 
     assert!(
         single.stats.bounded > 10_000,
@@ -316,12 +302,14 @@ fn ta001_hetero_stealing_fleet_matches_the_node_set_and_beats_the_equal_deal() {
     let (entry, ub) = ta001_pinned_entry(&inst);
     let run = |hetero: bool, stealing: bool| {
         let problem = FspProblem::new(inst.clone());
-        let backend = BackendKind::Fleet {
-            devices: 2,
-            pipelined: true,
-            hetero,
-            stealing,
-        };
+        let mut topology = FleetTopology::uniform(2);
+        if hetero {
+            topology = topology.mixed();
+        }
+        if stealing {
+            topology = topology.stealing();
+        }
+        let backend = BackendKind::Fleet(topology);
         GpuBnbSolver::from_problem(problem, config(4096, backend, true)).solve_from(
             vec![entry.clone()],
             Some(ub),

@@ -41,14 +41,11 @@ fn ahead_kind() -> BackendKind {
 /// Whether a backend models a stream-overlapped (session-capable) schedule —
 /// the cross-iteration-beats-per-batch claim only applies to these.
 fn kind_pipelines(kind: BackendKind) -> bool {
-    matches!(
-        kind,
-        BackendKind::GpuPipelined
-            | BackendKind::Fleet {
-                pipelined: true,
-                ..
-            }
-    )
+    match kind {
+        BackendKind::GpuPipelined => true,
+        BackendKind::Fleet(topology) => topology.is_pipelined(),
+        _ => false,
+    }
 }
 
 fn ta001() -> flowshop_gpu_bnb::fsp::Instance {

@@ -6,7 +6,10 @@ use flowshop_gpu_bnb::fsp::bound::LowerBound;
 use flowshop_gpu_bnb::fsp::{
     makespan, makespan_prefix, taillard, JohnsonLowerBound, OneMachineBound,
 };
-use flowshop_gpu_bnb::gpu_bnb::{BoundingEngine, DataPlacement};
+use flowshop_gpu_bnb::gpu_bnb::{
+    perturbed, BoundingEngine, CacheDisposition, DataPlacement, GpuSolverConfig, ServiceConfig,
+    SolveRequest, SolveService,
+};
 use proptest::prelude::*;
 
 /// Strategy: a small random instance (3..=8 jobs, 2..=6 machines) plus a seed.
@@ -89,6 +92,68 @@ proptest! {
         let gpu_bound = engine.bound_nodes(std::slice::from_ref(&node)).bounds[0];
         let host_bound = host.bound_prefix_fn(node.front(), |j| node.is_scheduled(j));
         prop_assert_eq!(gpu_bound, host_bound);
+    }
+
+    #[test]
+    fn warm_starting_from_a_perturbed_neighbour_preserves_the_optimum(
+        (n, m, seed) in small_instance(),
+        perturb_seed in 1u64..1_000_000,
+    ) {
+        let inst = taillard::generate("prop", n, m, seed);
+        // A single processing-time edit: the smallest possible workload
+        // drift. (A downward edit of a cell already at 1 clamps to a no-op
+        // — content-addressing would then hit exactly, so skip those.)
+        let neighbour = perturbed(&inst, perturb_seed, 1);
+        prop_assume!(neighbour.raw() != inst.raw());
+        let config = GpuSolverConfig {
+            pool_size: 64,
+            placement: DataPlacement::SharedJmPtm,
+            fast_forward: true,
+            ..Default::default()
+        };
+
+        // Cold reference on the perturbed instance.
+        let fresh = SolveService::new(ServiceConfig { max_concurrent: 1 });
+        let cold = fresh.request(SolveRequest::new(neighbour.clone(), config.clone()));
+        prop_assert!(cold.certificate.is_optimal());
+
+        // Warm path: the original's certificate donates its incumbent.
+        let service = SolveService::new(ServiceConfig { max_concurrent: 1 });
+        service.request(SolveRequest::new(inst, config.clone()));
+        let warm = service.request(SolveRequest::new(neighbour.clone(), config));
+        prop_assert!(matches!(warm.disposition, CacheDisposition::WarmStart { .. }));
+        prop_assert_eq!(warm.request_cost.cache_warm_starts, 1);
+
+        // Soundness: a donated upper bound never changes the proven optimum.
+        prop_assert!(warm.certificate.is_optimal());
+        prop_assert_eq!(warm.certificate.best_makespan, cold.certificate.best_makespan);
+        let sched = warm.certificate.best_schedule.clone().expect("schedule");
+        prop_assert_eq!(makespan(&neighbour, &sched), warm.certificate.best_makespan);
+    }
+
+    #[test]
+    fn cache_round_trip_recomputes_an_identical_cost_report((n, m, seed) in small_instance()) {
+        let inst = taillard::generate("prop", n, m, seed);
+        let config = GpuSolverConfig {
+            pool_size: 64,
+            placement: DataPlacement::SharedJmPtm,
+            fast_forward: true,
+            ..Default::default()
+        };
+        let service = SolveService::new(ServiceConfig { max_concurrent: 1 });
+
+        // store → evict → miss → recompute: the solve is deterministic, the
+        // cache only memoizes, so the recomputed bill is bit-identical.
+        let first = service.request(SolveRequest::new(inst.clone(), config.clone()));
+        prop_assert_eq!(first.disposition, CacheDisposition::Miss);
+        let evicted = service.evict_cached(&inst, &config).expect("stored");
+        prop_assert_eq!(&evicted, &first.certificate);
+        prop_assert_eq!(service.cached_certificates(), 0);
+
+        let second = service.request(SolveRequest::new(inst, config));
+        prop_assert_eq!(second.disposition, CacheDisposition::Miss);
+        prop_assert_eq!(&second.request_cost, &first.request_cost);
+        prop_assert_eq!(&second.certificate, &first.certificate);
     }
 
     #[test]

@@ -27,8 +27,8 @@ use std::time::Duration;
 use flowshop_gpu_bnb::bb::{frozen_pool, FrozenPool, FspProblem};
 use flowshop_gpu_bnb::fsp::{taillard, Instance};
 use flowshop_gpu_bnb::gpu_bnb::{
-    BackendKind, DataPlacement, GpuBnbSolver, GpuSolverConfig, JobSpec, JobStatus, JobStopReason,
-    ServiceConfig, SolveService,
+    BackendKind, DataPlacement, FleetTopology, GpuBnbSolver, GpuSolverConfig, JobSpec, JobStatus,
+    JobStopReason, ServiceConfig, SolveService,
 };
 
 /// The backends this suite checks: `BACKEND_FILTER` when set, the full
@@ -45,19 +45,11 @@ fn gated_kinds() -> Vec<BackendKind> {
         _ => {
             let mut kinds = BackendKind::ALL.to_vec();
             for devices in [1, 4] {
-                kinds.push(BackendKind::Fleet {
-                    devices,
-                    pipelined: true,
-                    hetero: false,
-                    stealing: false,
-                });
+                kinds.push(BackendKind::Fleet(FleetTopology::uniform(devices)));
             }
-            kinds.push(BackendKind::Fleet {
-                devices: 2,
-                pipelined: true,
-                hetero: true,
-                stealing: true,
-            });
+            kinds.push(BackendKind::Fleet(
+                FleetTopology::uniform(2).mixed().stealing(),
+            ));
             kinds
         }
     }
